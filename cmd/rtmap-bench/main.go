@@ -1,0 +1,128 @@
+// Command rtmap-bench regenerates the paper's evaluation artifacts:
+//
+//	rtmap-bench -table2            # Table II (all systems and networks)
+//	rtmap-bench -table2 -net vgg9  # one network section
+//	rtmap-bench -fig4              # both panels of Fig. 4 (ResNet-18)
+//	rtmap-bench -cse               # §V-A: average CSE reduction
+//	rtmap-bench -movement          # §V-C: data-movement energy shares
+//	rtmap-bench -endurance         # §V-C: write-endurance lifetime
+//
+// Outputs are printed and, with -out DIR, also written as TSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rtmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-bench: ")
+
+	var (
+		table2    = flag.Bool("table2", false, "regenerate Table II")
+		fig4      = flag.Bool("fig4", false, "regenerate Fig. 4 (ResNet-18 per-layer)")
+		cse       = flag.Bool("cse", false, "report average CSE add/sub reduction (§V-A)")
+		movement  = flag.Bool("movement", false, "report data-movement energy shares (§V-C)")
+		endurance = flag.Bool("endurance", false, "report write-endurance lifetime (§V-C)")
+		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11)")
+		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
+		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
+		outDir    = flag.String("out", "", "directory for TSV artifacts")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance {
+		flag.Usage()
+		os.Exit(2)
+	}
+	progress := func(s string) {
+		if !*quiet {
+			log.Print(s)
+		}
+	}
+	save := func(name, content string) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	if *table2 {
+		opt := rtmap.DefaultTable2Options()
+		opt.Seed = *seed
+		opt.AccuracySamples = *samples
+		opt.Progress = progress
+		if *netFilter != "" {
+			opt.Networks = []string{*netFilter}
+		}
+		res, err := rtmap.Table2(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nTable II — accuracy, energy, latency, arrays, operations")
+		fmt.Print(res.Text())
+		save("table2.tsv", res.TSV())
+	}
+
+	if *fig4 {
+		opt := rtmap.DefaultFigure4Options()
+		opt.Seed = *seed
+		opt.Progress = progress
+		res, err := rtmap.Figure4(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(res.Energy.Render())
+		fmt.Println()
+		fmt.Print(res.Latency.Render())
+		save("fig4_energy.tsv", res.Energy.TSV())
+		save("fig4_latency.tsv", res.Latency.TSV())
+	}
+
+	if *cse {
+		progress("counting operations on all three networks")
+		avg, err := rtmap.CSEReductionAverage(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("average CSE add/sub reduction: %.1f%% (paper: 31%%)\n", avg*100)
+	}
+
+	if *movement {
+		net := rtmap.BuildResNet18(rtmap.DefaultModelConfig())
+		progress("compiling ResNet-18")
+		rtmShare, xbShare, err := rtmap.MovementComparison(net, rtmap.DefaultCompileConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("data-movement energy share: RTM-AP %.1f%% (paper: ~3%%), crossbar %.1f%% (paper: 41%%)\n",
+			rtmShare*100, xbShare*100)
+	}
+
+	if *endurance {
+		net := rtmap.BuildResNet18(rtmap.DefaultModelConfig())
+		progress("compiling ResNet-18")
+		comp, err := rtmap.Compile(net, rtmap.DefaultCompileConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := rtmap.Analyze(comp)
+		e := rtmap.Endurance(comp, rep)
+		fmt.Printf("write endurance: busiest cell (%s) rewritten every %.0f ns on average → lifetime %.1f years (paper: ~100 ns, ~31 years)\n",
+			e.WorstLayer, e.MeanRewriteIntervalNS, e.LifetimeYears)
+	}
+}

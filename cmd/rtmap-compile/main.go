@@ -1,0 +1,99 @@
+// Command rtmap-compile runs the compilation flow on a network and prints
+// the per-layer mapping and instruction statistics:
+//
+//	rtmap-compile -model resnet18                    # built-in model
+//	rtmap-compile -model vgg9 -bits 8 -sparsity 0.9  # other Table II points
+//	rtmap-compile -json net.json                     # serialized model
+//	rtmap-compile -model vgg9 -save net.json         # export a model
+//	rtmap-compile -model resnet18 -no-cse            # `unroll` configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rtmap"
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+)
+
+func buildNet(name string, bits int, sparsity float64, seed uint64) (*rtmap.Network, error) {
+	cfg := rtmap.ModelConfig{ActBits: bits, Sparsity: sparsity, Seed: seed}
+	switch name {
+	case "resnet18":
+		return rtmap.BuildResNet18(cfg), nil
+	case "vgg9":
+		return rtmap.BuildVGG9(cfg), nil
+	case "vgg11":
+		return rtmap.BuildVGG11(cfg), nil
+	case "tinycnn":
+		return rtmap.BuildTinyCNN(cfg), nil
+	case "tinyresnet":
+		return rtmap.BuildTinyResNet(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (resnet18|vgg9|vgg11|tinycnn|tinyresnet)", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-compile: ")
+	var (
+		modelName = flag.String("model", "", "built-in model name")
+		jsonPath  = flag.String("json", "", "load model from JSON instead")
+		savePath  = flag.String("save", "", "serialize the model to JSON and exit")
+		bits      = flag.Int("bits", 4, "activation precision")
+		sparsity  = flag.Float64("sparsity", 0.8, "ternary weight sparsity")
+		seed      = flag.Uint64("seed", 1, "weight seed")
+		noCSE     = flag.Bool("no-cse", false, "disable CSE (the `unroll` configuration)")
+	)
+	flag.Parse()
+
+	var net *rtmap.Network
+	var err error
+	switch {
+	case *jsonPath != "":
+		net, err = model.LoadFile(*jsonPath)
+	case *modelName != "":
+		net, err = buildNet(*modelName, *bits, *sparsity, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *savePath != "" {
+		if err := net.SaveFile(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *savePath)
+		return
+	}
+
+	cfg := rtmap.DefaultCompileConfig()
+	cfg.CSE = !*noCSE
+	comp, err := rtmap.Compile(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sim.Analyze(comp)
+
+	fmt.Printf("%s  (sparsity %.2f, %d-bit activations, CSE %v)\n",
+		net.Name, net.WeightSparsity(), *bits, cfg.CSE)
+	fmt.Printf("arrays: %d × 256×256   total adds/subs: %d   energy %.2f uJ   latency %.3f ms\n\n",
+		comp.PoolArrays, comp.TotalAddSub(), rep.EnergyUJ(), rep.LatencyMS())
+	fmt.Printf("%-24s %6s %5s %5s×%-4s %5s %5s %5s %6s %9s %9s %7s\n",
+		"layer", "P", "rowG", "strip", "og", "plane", "tiles", "accW", "adds", "accumOps", "energy-uJ", "lat-us")
+	for i, p := range comp.Layers {
+		if p.Class != core.ClassConv {
+			continue
+		}
+		lr := rep.Layers[i]
+		fmt.Printf("%-24s %6d %5d %5d×%-4d %5d %5d %5d %6d %9d %9.3f %7.1f\n",
+			p.Name, p.P, p.RowGroups, p.Strips, p.OutGroups, p.Planes, p.Tiles, p.AccWidth,
+			p.AddSubOps, p.CG.AccumOps, lr.Energy.TotalPJ()/1e6, lr.LatencyNS/1e3)
+	}
+}

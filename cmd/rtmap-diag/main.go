@@ -1,0 +1,66 @@
+// Command rtmap-diag prints calibration diagnostics: component-level energy
+// and latency for the RTM-AP model and the crossbar baseline on the
+// Table II networks. Development aid; the shipped artifacts come from
+// cmd/rtmap-bench.
+package main
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+	"rtmap/internal/xbar"
+)
+
+func rtmDump(name string, net *model.Network) {
+	comp, err := core.Compile(net, core.DefaultConfig())
+	if err != nil {
+		fmt.Println(name, "compile error:", err)
+		return
+	}
+	rep := sim.Analyze(comp)
+	t := rep.Total
+	fmt.Printf("%s RTM: total %.2fuJ dfg=%.2f acc=%.2f shift=%.2f move=%.2f periph=%.2f | lat=%.2fms arrays=%d\n",
+		name, rep.EnergyUJ(), t.DFGPJ/1e6, t.AccumPJ/1e6, t.ShiftPJ/1e6, t.MovementPJ/1e6, t.PeripheralsPJ/1e6,
+		rep.LatencyMS(), comp.PoolArrays)
+	// Layers sorted by latency (top 6).
+	type kv struct {
+		n          string
+		lat, e     float64
+		cns, r, ld float64
+	}
+	var top []kv
+	for _, lr := range rep.Layers {
+		top = append(top, kv{lr.Plan.Name, lr.LatencyNS / 1e6, lr.Energy.TotalPJ() / 1e6, lr.ComputeNS / 1e6, lr.ReduceNS / 1e6, lr.LoadNS / 1e6})
+	}
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].lat > top[i].lat {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	for i := 0; i < 6 && i < len(top); i++ {
+		fmt.Printf("   %-22s lat=%.3fms (cmp %.3f red %.3f ld %.3f) e=%.2fuJ\n",
+			top[i].n, top[i].lat, top[i].cns, top[i].r, top[i].ld, top[i].e)
+	}
+}
+
+func main() {
+	for _, bits := range []int{4, 8} {
+		net := model.VGG9(model.Config{ActBits: bits, Sparsity: 0.85, Seed: 1})
+		r := xbar.Analyze(net, xbar.Default(), bits)
+		t := r.Total
+		fmt.Printf("VGG9 %db XBAR: total %.2fuJ adc=%.2f xbar=%.2f acc=%.2f periph=%.2f move=%.2f (move %.0f%%) lat=%.2fms arrays=%d\n",
+			bits, r.EnergyUJ(), t.ADCPJ/1e6, t.CrossbarPJ/1e6, t.AccumPJ/1e6, t.PeriphPJ/1e6, t.MovePJ/1e6, 100*r.MovementShare(), r.LatencyMS(), r.Arrays)
+	}
+	for _, bits := range []int{4, 8} {
+		net := model.ResNet18(model.Config{ActBits: bits, Sparsity: 0.8, Seed: 1})
+		r := xbar.Analyze(net, xbar.Default(), bits)
+		fmt.Printf("ResNet18 %db XBAR: total %.2fuJ (move %.0f%%) lat=%.2fms arrays=%d\n",
+			bits, r.EnergyUJ(), 100*r.MovementShare(), r.LatencyMS(), r.Arrays)
+	}
+	rtmDump("VGG9-4b", model.VGG9(model.Config{ActBits: 4, Sparsity: 0.85, Seed: 1}))
+	rtmDump("ResNet18-4b", model.ResNet18(model.Config{ActBits: 4, Sparsity: 0.8, Seed: 1}))
+}

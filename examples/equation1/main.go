@@ -1,0 +1,75 @@
+// Equation (1) walk-through: the paper's worked example of arithmetic
+// optimization. The 6×6 ternary MVM "originally involves 19 operations and
+// can be reduced to 7 when removing redundant expressions" (§IV-A); this
+// example reproduces the exact decomposition — the shared subexpressions
+// x7 = x3−x5, x8 = x0−x1, x6 = x7+x8 and the free negated alias y2 = −x7 —
+// then shows the generated Table I LUTs that execute it and checks the
+// optimized DFG against the plain MVM on random inputs.
+//
+//	go run ./examples/equation1
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rtmap/internal/ap"
+	"rtmap/internal/dfg"
+	"rtmap/internal/ternary"
+)
+
+func main() {
+	// The matrix of Equation (1) (printed-sign typos corrected so the
+	// paper's own substitution is consistent; DESIGN.md §2).
+	s := ternary.Slice{Cout: 6, K: 6, M: []int8{
+		1, -1, 0, 1, 0, -1,
+		0, 0, -1, 1, 0, -1,
+		0, 0, 0, -1, 0, 1,
+		0, -1, 0, -1, 0, 1,
+		1, -1, 0, -1, 0, 0,
+		1, -1, -1, 1, 0, -1,
+	}}
+
+	fmt.Printf("Equation (1): 6×6 ternary MVM, %d nonzero weights\n", s.NNZ())
+	fmt.Printf("unoptimized:  %d accumulate operations (paper: 19)\n", dfg.NaiveAccumulateOps(s))
+
+	un := dfg.Build(s, dfg.Options{})
+	fmt.Printf("unrolled:     %d add/sub expressions\n", un.NumOps())
+
+	g := dfg.Build(s, dfg.Options{CSE: true})
+	g.AnnotateWidths(0, 15) // 4-bit unsigned activations
+	st := g.Statistics()
+	fmt.Printf("after CSE:    %d add/sub (paper: 7), %d negated aliases, DFG depth %d, widest value %d bits\n",
+		g.NumOps(), st.NegAliases, st.Depth, st.MaxBits)
+
+	// Semantic check against the plain MVM.
+	rng := rand.New(rand.NewPCG(1, 9))
+	ok := true
+	for trial := 0; trial < 1000; trial++ {
+		x := make([]int64, 6)
+		for i := range x {
+			x[i] = rng.Int64N(16)
+		}
+		got := g.Eval(x)
+		for o := 0; o < 6; o++ {
+			var want int64
+			for k := 0; k < 6; k++ {
+				want += int64(s.At(o, k)) * x[k]
+			}
+			if got[o] != want {
+				ok = false
+			}
+		}
+	}
+	fmt.Printf("semantics:    %v over 1000 random input vectors\n", map[bool]string{true: "exact", false: "BROKEN"}[ok])
+
+	fmt.Println("\noptimized DFG (Graphviz, cf. Fig. 3e):")
+	fmt.Print(g.Dot("equation1"))
+
+	fmt.Println("executing LUTs (generated from truth tables, §IV-C / Table I):")
+	for _, l := range []*ap.LUT{ap.AddIn, ap.SubIn, ap.AddOut, ap.SubOut} {
+		fmt.Printf("  %-18s %d passes → %d cycles per bit\n", l.Name, len(l.Passes), l.Cycles())
+	}
+	fmt.Println("\nnegated outputs (y2 = −x7) cost nothing: the accumulation phase")
+	fmt.Println("subtracts instead of adds — the paper's \"negative output\" LUTs.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small ternary network, compile it for the RTM-AP
+// accelerator, prove that the compiled AP programs compute exactly what
+// the quantized software reference computes, and price the execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtmap"
+	"rtmap/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small CNN with ternary weights (50% sparse) and 4-bit activations.
+	net := rtmap.BuildTinyCNN(rtmap.ModelConfig{ActBits: 4, Sparsity: 0.5, Seed: 1})
+	fmt.Printf("network: %s, %d ternary weights (%.0f%% zero)\n",
+		net.Name, net.TotalWeights(), 100*net.WeightSparsity())
+
+	// Calibrate the LSQ-style activation quantizers on synthetic data.
+	cal := workload.Inputs(net.InputShape, 4, 7)
+	if err := rtmap.Calibrate(net, cal); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile: unroll + constant folding + CSE + bitwidth annotation +
+	// column allocation + AP code generation (Fig. 3a of the paper).
+	cfg := rtmap.DefaultCompileConfig()
+	cfg.KeepPrograms = true // retain executable programs for simulation
+	comp, err := rtmap.Compile(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d CAM arrays, %d DFG adds/subs\n",
+		comp.PoolArrays, comp.TotalAddSub())
+
+	// Functional proof: the AP programs produce bit-identical results to
+	// the integer software reference on every layer.
+	inputs := workload.Inputs(net.InputShape, 3, 42)
+	if err := rtmap.Verify(net, cfg, inputs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: AP execution ≡ software reference (bit-exact, all layers)")
+
+	// And one visible inference end to end.
+	tr, err := rtmap.RunFunctional(comp, inputs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logits (codes): %v → class %d\n",
+		tr.Logits().Data, tr.Logits().ArgmaxInt()[0])
+
+	// Price it with the figures of merit of the paper's §V.
+	rep := rtmap.Analyze(comp)
+	fmt.Printf("estimated cost: %.3f µJ and %.1f µs per inference\n",
+		rep.EnergyUJ(), rep.TotalLatencyNS/1e3)
+	fmt.Printf("energy breakdown: DFG %.1f%%, accumulation %.1f%%, shifts %.1f%%, movement %.1f%%, peripherals %.1f%%\n",
+		100*rep.Total.DFGPJ/rep.Total.TotalPJ(),
+		100*rep.Total.AccumPJ/rep.Total.TotalPJ(),
+		100*rep.Total.ShiftPJ/rep.Total.TotalPJ(),
+		100*rep.Total.MovementPJ/rep.Total.TotalPJ(),
+		100*rep.Total.PeripheralsPJ/rep.Total.TotalPJ())
+}

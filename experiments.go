@@ -1,0 +1,62 @@
+package rtmap
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+	"rtmap/internal/xbar"
+)
+
+// CSEReduction reports the relative reduction of DFG adds/subs achieved by
+// CSE on one network (the paper: "the CSE optimization alone reduces the
+// number of additions by an average of 31%").
+func CSEReduction(net *Network) (float64, error) {
+	oc, err := core.CountOps(net, true)
+	if err != nil {
+		return 0, err
+	}
+	if oc.Unroll == 0 {
+		return 0, fmt.Errorf("rtmap: no operations counted")
+	}
+	return 1 - float64(oc.CSE)/float64(oc.Unroll), nil
+}
+
+// CSEReductionAverage averages CSEReduction over the paper's three
+// networks at their Table II sparsities.
+func CSEReductionAverage(seed uint64) (float64, error) {
+	nets := []*Network{
+		model.ResNet18(model.Config{ActBits: 4, Sparsity: 0.8, Seed: seed}),
+		model.VGG9(model.Config{ActBits: 4, Sparsity: 0.85, Seed: seed}),
+		model.VGG11(model.Config{ActBits: 4, Sparsity: 0.85, Seed: seed}),
+	}
+	total := 0.0
+	for _, n := range nets {
+		r, err := CSEReduction(n)
+		if err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total / float64(len(nets)), nil
+}
+
+// MovementComparison reports the data-movement energy share of RTM-AP and
+// of the crossbar baseline for one network (§V-C: ≈3% vs 41%).
+func MovementComparison(net *Network, cfg CompileConfig) (rtmShare, xbarShare float64, err error) {
+	comp, err := core.Compile(net, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rep := sim.Analyze(comp)
+	ai := 4
+	for i := range net.Layers {
+		if net.Layers[i].Kind == model.KindActQuant {
+			ai = net.Layers[i].Q.Bits
+			break
+		}
+	}
+	xb := xbar.Analyze(net, xbar.Default(), ai)
+	return rep.MovementShare(), xb.MovementShare(), nil
+}

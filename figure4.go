@@ -1,0 +1,155 @@
+package rtmap
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/report"
+	"rtmap/internal/sim"
+	"rtmap/internal/xbar"
+)
+
+// Figure4Options controls the layer-by-layer ResNet-18 comparison.
+type Figure4Options struct {
+	Seed     uint64
+	ActBits  int     // the paper plots the 4-bit configuration
+	Sparsity float64 // 0.8 in the paper
+	Progress func(string)
+}
+
+// DefaultFigure4Options mirrors the paper's Fig. 4 setup.
+func DefaultFigure4Options() Figure4Options {
+	return Figure4Options{Seed: 1, ActBits: 4, Sparsity: 0.8}
+}
+
+// Figure4Result holds both panels of Fig. 4.
+type Figure4Result struct {
+	// Energy is the stacked per-layer energy comparison
+	// (NeuroSim vs unroll vs unroll+CSE) over the 20 conv layers.
+	Energy *report.Stacked
+	// Latency is the per-layer latency comparison.
+	Latency *report.Lines
+}
+
+// Figure4 regenerates both panels of Fig. 4 for ResNet-18: the
+// layer-by-layer energy breakdown (with the contributions of peripherals,
+// accumulation, DFG/compute, data movement and shifts) and the
+// layer-by-layer latency, for DNN+NeuroSim and the two RTM-AP compiler
+// configurations.
+func Figure4(opt Figure4Options) (*Figure4Result, error) {
+	if opt.ActBits == 0 {
+		opt.ActBits = 4
+	}
+	if opt.Sparsity == 0 {
+		opt.Sparsity = 0.8
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	mc := model.Config{ActBits: opt.ActBits, Sparsity: opt.Sparsity, Seed: opt.Seed}
+	net := model.ResNet18(mc)
+
+	progress("compiling unroll+CSE")
+	cfgCSE := core.DefaultConfig()
+	compCSE, err := core.Compile(net, cfgCSE)
+	if err != nil {
+		return nil, err
+	}
+	progress("compiling unroll")
+	cfgUn := core.DefaultConfig()
+	cfgUn.CSE = false
+	compUn, err := core.Compile(net, cfgUn)
+	if err != nil {
+		return nil, err
+	}
+	repCSE := sim.Analyze(compCSE)
+	repUn := sim.Analyze(compUn)
+
+	progress("pricing crossbar baseline")
+	xb := xbar.Analyze(net, xbar.Default(), opt.ActBits)
+
+	// Conv layers only (20 for ResNet-18; the classifier is excluded as
+	// in the paper's 20-layer axis).
+	convCSE := onlyConvs(repCSE)
+	convUn := onlyConvs(repUn)
+	convXB := onlyConvLayers(net, xb)
+	n := len(convCSE)
+	if len(convUn) != n || len(convXB) != n {
+		return nil, fmt.Errorf("rtmap: layer count mismatch: %d/%d/%d", n, len(convUn), len(convXB))
+	}
+
+	configs := []string{"NeuroSim", "unroll", "unroll+CSE"}
+	components := []string{"compute", "accumulation", "movement", "peripherals", "shifts"}
+	res := &Figure4Result{
+		Energy: &report.Stacked{
+			Title: "Fig. 4 (top): per-layer energy, ResNet-18", Unit: "uJ",
+			Configs: configs, Components: components,
+		},
+		Latency: &report.Lines{
+			Title: "Fig. 4 (bottom): per-layer latency, ResNet-18", Unit: "ms",
+			Configs: configs,
+		},
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("L%02d %s", i+1, convCSE[i].Plan.Name)
+		res.Energy.Layers = append(res.Energy.Layers, name)
+		res.Latency.Layers = append(res.Latency.Layers, name)
+
+		xbE := convXB[i].Energy
+		res.Energy.Values = append(res.Energy.Values, [][]float64{
+			{
+				(xbE.ADCPJ + xbE.CrossbarPJ) / 1e6,
+				xbE.AccumPJ / 1e6,
+				xbE.MovePJ / 1e6,
+				xbE.PeriphPJ / 1e6,
+				0,
+			},
+			rtmComponentsUJ(convUn[i]),
+			rtmComponentsUJ(convCSE[i]),
+		})
+		res.Latency.Values = append(res.Latency.Values, []float64{
+			convXB[i].LatencyNS / 1e6,
+			convUn[i].LatencyNS / 1e6,
+			convCSE[i].LatencyNS / 1e6,
+		})
+	}
+	return res, nil
+}
+
+func rtmComponentsUJ(lr sim.LayerReport) []float64 {
+	return []float64{
+		lr.Energy.DFGPJ / 1e6,
+		lr.Energy.AccumPJ / 1e6,
+		lr.Energy.MovementPJ / 1e6,
+		lr.Energy.PeripheralsPJ / 1e6,
+		lr.Energy.ShiftPJ / 1e6,
+	}
+}
+
+// onlyConvs drops the final classifier from the conv-layer reports (the
+// paper's per-layer axis has the 20 convolutional layers).
+func onlyConvs(rep *sim.Report) []sim.LayerReport {
+	var out []sim.LayerReport
+	for _, lr := range rep.ConvReports() {
+		if lr.Plan.Kind == model.KindConv {
+			out = append(out, lr)
+		}
+	}
+	return out
+}
+
+func onlyConvLayers(net *Network, rep *xbar.Report) []xbar.LayerReport {
+	var out []xbar.LayerReport
+	for _, lr := range rep.Layers {
+		if net.Layers[lr.Index].Kind == model.KindConv {
+			out = append(out, lr)
+		}
+	}
+	return out
+}

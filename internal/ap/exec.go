@@ -1,0 +1,201 @@
+package ap
+
+import (
+	"fmt"
+
+	"rtmap/internal/cam"
+)
+
+// Exec runs program p bit-serially on the CAM array, issuing the exact
+// masked-search and tagged-write passes of the generated LUTs. phys maps
+// program column ids to physical CAM columns (nil = identity). This is the
+// cycle-faithful execution path used to validate the fast word-level
+// simulator and to ground the cost model; large-scale simulation uses
+// ExecWord instead.
+func Exec(a *cam.Array, p *Program, phys []int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pc := func(c int) int {
+		if phys == nil {
+			return c
+		}
+		return phys[c]
+	}
+	if len(p.Cols) > a.Cols() {
+		return fmt.Errorf("ap: program uses %d columns, array has %d", len(p.Cols), a.Cols())
+	}
+
+	carryCol := pc(p.Carry)
+	carryBase := p.Cols[p.Carry].Base
+
+	for idx, ins := range p.Instrs {
+		if err := execInstr(a, p, ins, pc, carryCol, carryBase); err != nil {
+			return fmt.Errorf("ap: instr %d (%v): %w", idx, ins, err)
+		}
+	}
+	return nil
+}
+
+// operand describes one source column during bit-serial execution.
+type operand struct {
+	col  int // physical column
+	meta Col
+}
+
+// domainAt returns the domain to align for bit k and whether the operand
+// still contributes (false once an unsigned operand is exhausted).
+func (o operand) domainAt(k int) (int, bool) {
+	if k < o.meta.Width {
+		return o.meta.Base + k, true
+	}
+	if o.meta.Unsigned {
+		return 0, false
+	}
+	return o.meta.Base + o.meta.Width - 1, true // hold at sign bit
+}
+
+func execInstr(a *cam.Array, p *Program, ins Instr, pc func(int) int, carryCol, carryBase int) error {
+	switch ins.Op {
+	case OpClear:
+		d := p.Cols[ins.Dst]
+		for k := 0; k < ins.Width; k++ {
+			a.Align(pc(ins.Dst), d.Base+k)
+			a.WriteAll([]cam.KeyBit{{Col: pc(ins.Dst), Bit: 0}})
+		}
+		return nil
+
+	case OpCopy:
+		src := operand{pc(ins.A), p.Cols[ins.A]}
+		dests := append([]int{ins.Dst}, ins.Dsts...)
+		for k := 0; k < ins.Width; k++ {
+			clear := make([]cam.KeyBit, 0, len(dests))
+			for _, d := range dests {
+				a.Align(pc(d), p.Cols[d].Base+k)
+				clear = append(clear, cam.KeyBit{Col: pc(d), Bit: 0})
+			}
+			a.WriteAll(clear)
+			dom, present := src.domainAt(k)
+			if !present {
+				continue // exhausted unsigned source: bits stay zero
+			}
+			a.Align(src.col, dom)
+			for _, pass := range CopyOut.Passes {
+				a.Search([]cam.KeyBit{{Col: src.col, Bit: pass.Key[0]}})
+				w := make([]cam.KeyBit, 0, len(dests))
+				for _, d := range dests {
+					w = append(w, cam.KeyBit{Col: pc(d), Bit: pass.Out[0]})
+				}
+				a.WriteTagged(w)
+			}
+		}
+		return nil
+
+	case OpAdd, OpSub, OpNeg:
+		return execArith(a, p, ins, pc, carryCol, carryBase)
+	}
+	return fmt.Errorf("unknown opcode %v", ins.Op)
+}
+
+func execArith(a *cam.Array, p *Program, ins Instr, pc func(int) int, carryCol, carryBase int) error {
+	// Clear the carry/borrow column once per instruction.
+	a.Align(carryCol, carryBase)
+	a.WriteAll([]cam.KeyBit{{Col: carryCol, Bit: 0}})
+
+	var opA, opB operand
+	hasB := ins.Op != OpNeg
+	opA = operand{pc(ins.A), p.Cols[ins.A]}
+	if hasB {
+		opB = operand{pc(ins.B), p.Cols[ins.B]}
+	}
+	dstPhys := pc(ins.Dst)
+	dstMeta := p.Cols[ins.Dst]
+
+	for k := 0; k < ins.Width; k++ {
+		aDom, aOK := opA.domainAt(k)
+		if aOK {
+			a.Align(opA.col, aDom)
+		}
+		bOK := false
+		if hasB {
+			var bDom int
+			bDom, bOK = opB.domainAt(k)
+			if bOK {
+				a.Align(opB.col, bDom)
+			}
+		}
+		if !ins.InPlace {
+			a.Align(dstPhys, dstMeta.Base+k)
+			a.WriteAll([]cam.KeyBit{{Col: dstPhys, Bit: 0}})
+		}
+
+		lut, search, write := selectLUT(ins, carryCol, opA.col, opB.col, dstPhys, aOK, bOK)
+		for _, pass := range lut.Passes {
+			key := make([]cam.KeyBit, len(search))
+			for i, c := range search {
+				key[i] = cam.KeyBit{Col: c, Bit: pass.Key[i]}
+			}
+			a.Search(key)
+			out := make([]cam.KeyBit, len(write))
+			for i, c := range write {
+				out[i] = cam.KeyBit{Col: c, Bit: pass.Out[i]}
+			}
+			a.WriteTagged(out)
+		}
+	}
+	return nil
+}
+
+// selectLUT picks the LUT variant for one bit position given operand
+// availability, returning the physical search and write column lists in
+// role order. Exhausted unsigned operands degrade the op to its
+// carry/borrow-ripple variant, which is both physically accurate and
+// cheaper — the "custom integer types" optimization of §IV-A.
+func selectLUT(ins Instr, carry, colA, colB, dst int, aOK, bOK bool) (*LUT, []int, []int) {
+	res := dst
+	if ins.InPlace {
+		res = colB
+	}
+	switch ins.Op {
+	case OpAdd:
+		if ins.InPlace {
+			if aOK {
+				return AddIn, []int{carry, colB, colA}, []int{carry, colB}
+			}
+			return AddInNoA, []int{carry, colB}, []int{carry, colB}
+		}
+		switch {
+		case aOK && bOK:
+			return AddOut, []int{carry, colB, colA}, []int{carry, res}
+		case bOK:
+			return AddOutNoA, []int{carry, colB}, []int{carry, res}
+		case aOK:
+			return AddOutNoA, []int{carry, colA}, []int{carry, res}
+		default:
+			return AddOutCarryOnly, []int{carry}, []int{carry, res}
+		}
+	case OpSub:
+		if ins.InPlace {
+			if aOK {
+				return SubIn, []int{carry, colB, colA}, []int{carry, colB}
+			}
+			return SubInNoA, []int{carry, colB}, []int{carry, colB}
+		}
+		switch {
+		case aOK && bOK:
+			return SubOut, []int{carry, colB, colA}, []int{carry, res}
+		case bOK:
+			return SubOutNoA, []int{carry, colB}, []int{carry, res}
+		case aOK:
+			return NegOut, []int{carry, colA}, []int{carry, res}
+		default:
+			return SubOutBorrowOnly, []int{carry}, []int{carry, res}
+		}
+	case OpNeg:
+		if aOK {
+			return NegOut, []int{carry, colA}, []int{carry, res}
+		}
+		return SubOutBorrowOnly, []int{carry}, []int{carry, res}
+	}
+	panic("ap: selectLUT on non-arithmetic op")
+}

@@ -1,0 +1,298 @@
+package ap
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rtmap/internal/cam"
+	"rtmap/internal/energy"
+)
+
+// buildProgram lays out columns on the nanowire (carry first, then data
+// columns back to back) and returns the program skeleton.
+func buildProgram(widths []int, unsigned []bool) *Program {
+	p := &Program{Carry: 0}
+	p.Cols = append(p.Cols, Col{Name: "carry", Base: 0, Width: 1})
+	base := 1
+	for i, w := range widths {
+		p.Cols = append(p.Cols, Col{Name: "c", Base: base, Width: w, Unsigned: unsigned[i]})
+		base += w
+	}
+	return p
+}
+
+func newArray(t *testing.T, rows, cols int) *cam.Array {
+	t.Helper()
+	par := energy.Default()
+	return cam.New(rows, cols, par)
+}
+
+// loadCam writes per-column row values into the array nanowires.
+func loadCam(a *cam.Array, p *Program, vals [][]int64) {
+	for c := 1; c < len(p.Cols); c++ {
+		meta := p.Cols[c]
+		for r, v := range vals[c] {
+			a.LoadWord(r, c, meta.Base, meta.Width, v)
+		}
+	}
+}
+
+// readCam reads a column back, honoring unsignedness.
+func readCam(a *cam.Array, p *Program, col, rows int) []int64 {
+	meta := p.Cols[col]
+	out := make([]int64, rows)
+	for r := 0; r < rows; r++ {
+		v := a.ReadWord(r, col, meta.Base, meta.Width)
+		if meta.Unsigned && v < 0 {
+			v += 1 << uint(meta.Width)
+		}
+		out[r] = v
+	}
+	return out
+}
+
+func TestExecAddSubExhaustive(t *testing.T) {
+	// Columns: carry, A (4-bit unsigned), B (6-bit signed), R (7-bit).
+	p := buildProgram([]int{4, 6, 7}, []bool{true, false, false})
+	const colA, colB, colR = 1, 2, 3
+	p.Instrs = []Instr{
+		{Op: OpAdd, Dst: colR, A: colA, B: colB, Width: 7},
+		{Op: OpSub, Dst: colB, A: colA, B: colB, InPlace: true, Width: 6},
+	}
+	rows := 16
+	var cases [][2]int64
+	for a := int64(0); a < 16; a += 3 {
+		for b := int64(-32); b < 32; b += 5 {
+			cases = append(cases, [2]int64{a, b})
+		}
+	}
+	for start := 0; start < len(cases); start += rows {
+		end := min(start+rows, len(cases))
+		n := end - start
+		arr := newArray(t, rows, len(p.Cols))
+		arr.SetUsedRows(n)
+		vals := make([][]int64, len(p.Cols))
+		for c := range vals {
+			vals[c] = make([]int64, rows)
+		}
+		for i := 0; i < n; i++ {
+			vals[colA][i] = cases[start+i][0]
+			vals[colB][i] = cases[start+i][1]
+		}
+		loadCam(arr, p, vals)
+		if err := Exec(arr, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		gotR := readCam(arr, p, colR, n)
+		gotB := readCam(arr, p, colB, n)
+		for i := 0; i < n; i++ {
+			a0, b0 := cases[start+i][0], cases[start+i][1]
+			if want := a0 + b0; gotR[i] != want {
+				t.Fatalf("add: %d+%d = %d, want %d", a0, b0, gotR[i], want)
+			}
+			want := b0 - a0
+			// 6-bit two's complement wrap of the in-place result.
+			want = ((want+32)%64+64)%64 - 32
+			if gotB[i] != want {
+				t.Fatalf("sub in-place: %d-%d = %d, want %d", b0, a0, gotB[i], want)
+			}
+		}
+	}
+}
+
+func TestExecNegAndCopy(t *testing.T) {
+	p := buildProgram([]int{5, 6, 6, 6}, []bool{false, false, false, false})
+	const colA, colN, colC1, colC2 = 1, 2, 3, 4
+	p.Instrs = []Instr{
+		{Op: OpNeg, Dst: colN, A: colA, Width: 6},
+		{Op: OpCopy, Dst: colC1, Dsts: []int{colC2}, A: colA, Width: 6},
+	}
+	rows := 9
+	arr := newArray(t, rows, len(p.Cols))
+	vals := make([][]int64, len(p.Cols))
+	for c := range vals {
+		vals[c] = make([]int64, rows)
+	}
+	src := []int64{-16, -7, -1, 0, 1, 5, 9, 15, 12}
+	copy(vals[colA], src)
+	loadCam(arr, p, vals)
+	if err := Exec(arr, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotN := readCam(arr, p, colN, rows)
+	gotC1 := readCam(arr, p, colC1, rows)
+	gotC2 := readCam(arr, p, colC2, rows)
+	for i, v := range src {
+		if gotN[i] != -v {
+			t.Errorf("neg(%d) = %d", v, gotN[i])
+		}
+		if gotC1[i] != v || gotC2[i] != v {
+			t.Errorf("copy(%d) = %d/%d (multi-destination write)", v, gotC1[i], gotC2[i])
+		}
+	}
+}
+
+// Property: the bit-level CAM execution agrees with the word-level
+// reference on randomized programs (random widths, signedness, in/out of
+// place ops, operand reuse).
+func TestExecMatchesWordRandomPrograms(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0x5eed))
+		nData := 3 + rng.IntN(4)
+		widths := make([]int, nData)
+		unsigned := make([]bool, nData)
+		for i := range widths {
+			widths[i] = 3 + rng.IntN(6)
+			unsigned[i] = rng.IntN(3) == 0
+		}
+		p := buildProgram(widths, unsigned)
+
+		signedCols := []int{}
+		allCols := []int{}
+		for c := 1; c <= nData; c++ {
+			allCols = append(allCols, c)
+			if !p.Cols[c].Unsigned {
+				signedCols = append(signedCols, c)
+			}
+		}
+		if len(signedCols) == 0 {
+			continue
+		}
+		nInstr := 4 + rng.IntN(8)
+		for len(p.Instrs) < nInstr {
+			dst := signedCols[rng.IntN(len(signedCols))]
+			w := p.Cols[dst].Width
+			pick := func() int { return allCols[rng.IntN(len(allCols))] }
+			switch rng.IntN(4) {
+			case 0: // in-place add/sub: B == dst must be signed
+				op := OpAdd
+				if rng.IntN(2) == 0 {
+					op = OpSub
+				}
+				a := pick()
+				if a == dst {
+					continue
+				}
+				p.Instrs = append(p.Instrs, Instr{Op: op, Dst: dst, A: a, B: dst, InPlace: true, Width: w})
+			case 1: // out-of-place add/sub
+				op := OpAdd
+				if rng.IntN(2) == 0 {
+					op = OpSub
+				}
+				a, b := pick(), pick()
+				if a == dst || b == dst {
+					continue
+				}
+				p.Instrs = append(p.Instrs, Instr{Op: op, Dst: dst, A: a, B: b, Width: w})
+			case 2: // neg
+				a := pick()
+				if a == dst {
+					continue
+				}
+				p.Instrs = append(p.Instrs, Instr{Op: OpNeg, Dst: dst, A: a, Width: w})
+			case 3: // copy
+				a := pick()
+				if a == dst {
+					continue
+				}
+				p.Instrs = append(p.Instrs, Instr{Op: OpCopy, Dst: dst, A: a, Width: w})
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+
+		rows := 4 + rng.IntN(8)
+		arr := newArray(t, rows, len(p.Cols))
+		wm, err := NewWordMachine(p, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([][]int64, len(p.Cols))
+		for c := range vals {
+			vals[c] = make([]int64, rows)
+		}
+		for c := 1; c <= nData; c++ {
+			meta := p.Cols[c]
+			for r := 0; r < rows; r++ {
+				if meta.Unsigned {
+					vals[c][r] = rng.Int64N(1 << uint(meta.Width))
+				} else {
+					half := int64(1) << uint(meta.Width-1)
+					vals[c][r] = rng.Int64N(2*half) - half
+				}
+			}
+			wm.SetColumn(c, vals[c])
+		}
+		loadCam(arr, p, vals)
+
+		if err := Exec(arr, p, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := wm.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for c := 1; c <= nData; c++ {
+			want := wm.Column(c)
+			got := readCam(arr, p, c, rows)
+			for r := 0; r < rows; r++ {
+				if got[r] != want[r] {
+					t.Fatalf("trial %d: col %d row %d: bit-level %d != word-level %d\nprogram: %v",
+						trial, c, r, got[r], want[r], p.Instrs)
+				}
+			}
+		}
+	}
+}
+
+func TestExecClear(t *testing.T) {
+	p := buildProgram([]int{4}, []bool{false})
+	p.Instrs = []Instr{{Op: OpClear, Dst: 1, Width: 4}}
+	arr := newArray(t, 4, 2)
+	vals := [][]int64{nil, {7, -8, 3, -1}}
+	loadCam(arr, p, vals)
+	if err := Exec(arr, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range readCam(arr, p, 1, 4) {
+		if v != 0 {
+			t.Errorf("row %d not cleared: %d", r, v)
+		}
+	}
+}
+
+func TestCostSummary(t *testing.T) {
+	p := buildProgram([]int{4, 4, 5}, []bool{false, false, false})
+	p.Instrs = []Instr{
+		{Op: OpAdd, Dst: 2, A: 1, B: 2, InPlace: true, Width: 4},
+		{Op: OpAdd, Dst: 3, A: 1, B: 2, Width: 5},
+	}
+	c := p.Cost()
+	if c.AddSub != 2 || c.Instrs != 2 {
+		t.Fatalf("cost %+v", c)
+	}
+	// In-place: 4 bits × 4 passes; out-of-place: 5 bits × 5 passes.
+	if c.SearchPasses != 4*4+5*5 {
+		t.Errorf("search passes %d, want %d", c.SearchPasses, 4*4+5*5)
+	}
+	if c.Cycles <= 0 {
+		t.Error("cycles must be positive")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	p := buildProgram([]int{4, 4}, []bool{false, false})
+	bad := []Instr{
+		{Op: OpAdd, Dst: 1, A: 2, B: 2, InPlace: true, Width: 4}, // in-place dst != B
+		{Op: OpAdd, Dst: 1, A: 1, B: 2, Width: 4},                // dst aliases operand
+		{Op: OpAdd, Dst: 1, A: 2, B: 2, Width: 3},                // width != dst width
+		{Op: OpAdd, Dst: 0, A: 1, B: 2, Width: 1},                // carry as dst
+		{Op: OpCopy, Dst: 2, A: 2, Width: 4},                     // copy onto itself
+	}
+	for i, ins := range bad {
+		p.Instrs = []Instr{ins}
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%v): expected validation error", i, ins)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package ap implements the associative processor: the LUT-driven
+// bulk-bitwise execution model of §II-B/III of the paper. Every arithmetic
+// operation is decomposed into ordered (masked search, tagged write) pass
+// pairs per bit position; Table I of the paper lists the pass tables for
+// 1-bit in-place and out-of-place addition and subtraction.
+//
+// Rather than hard-coding the tables, this package *generates* them from
+// boolean functions (the paper's §IV-C "LUT generation" step): given a
+// truth table and a declaration of which output roles persist in searched
+// columns, Generate derives the needed passes (rows whose outputs differ
+// from the pre-state) and orders them so that no tagged-and-written row can
+// be re-matched by a later pass. The generated tables reproduce Table I,
+// including its run order, for the in-place adder and both subtractors;
+// for the out-of-place adder the paper's printed table has two rows'
+// comments swapped (011/110 — see TestPaperTableIAdderErratum).
+package ap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pass is one (search, write) pair of a LUT: rows matching Key on the
+// operation's search columns receive Out on its write columns.
+type Pass struct {
+	Key []uint8
+	Out []uint8
+}
+
+// LUT is an ordered pass table implementing one 1-bit step of an AP
+// operation.
+type LUT struct {
+	Name string
+	// NIn is the number of search roles (columns in the key).
+	NIn int
+	// NOut is the number of write roles.
+	NOut int
+	// Persistent maps each write role to the search role stored in the
+	// same physical column, or -1 when the role is written into a fresh
+	// (pre-zeroed) column.
+	Persistent []int
+	Passes     []Pass
+}
+
+// Cycles returns the number of search/write cycles of one 1-bit step
+// (two per pass, matching the paper's 8 for in-place and 10 for
+// out-of-place operations).
+func (l *LUT) Cycles() int { return 2 * len(l.Passes) }
+
+// String renders the pass table for debugging and documentation.
+func (l *LUT) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d passes, %d cycles)\n", l.Name, len(l.Passes), l.Cycles())
+	for i, p := range l.Passes {
+		fmt.Fprintf(&b, "  %d: search %v -> write %v\n", i+1, p.Key, p.Out)
+	}
+	return b.String()
+}
+
+// Generate derives an ordered LUT from a truth table.
+//
+// nIn is the search-key width; f maps each input combination to the output
+// values; persistent declares, per output role, the search role aliased by
+// the same column (or -1 for fresh pre-zeroed columns). A pass is needed
+// whenever some output differs from the column's pre-state (the aliased
+// input bit, or 0 for fresh columns). Ordering: if applying pass Q leaves
+// its rows in a state that matches pass P's key, P must run before Q;
+// Generate topologically sorts under these constraints (preferring
+// truth-table enumeration order) and panics if they are cyclic, which
+// would mean the operation cannot be implemented with single-visit passes.
+func Generate(name string, nIn int, persistent []int, f func(in []uint8) []uint8) *LUT {
+	if nIn < 1 || nIn > 8 {
+		panic(fmt.Sprintf("ap: LUT input width %d unsupported", nIn))
+	}
+	type cand struct {
+		pass Pass
+		idx  int
+	}
+	var cands []cand
+	for v := 0; v < 1<<uint(nIn); v++ {
+		in := make([]uint8, nIn)
+		for i := range in {
+			in[i] = uint8(v>>uint(nIn-1-i)) & 1 // role 0 is the MSB of v for readability
+		}
+		out := f(in)
+		if len(out) != len(persistent) {
+			panic(fmt.Sprintf("ap: %s: f returned %d outputs, want %d", name, len(out), len(persistent)))
+		}
+		needed := false
+		for j, o := range out {
+			pre := uint8(0)
+			if persistent[j] >= 0 {
+				pre = in[persistent[j]]
+			}
+			if o&1 != pre {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			key := make([]uint8, nIn)
+			copy(key, in)
+			ov := make([]uint8, len(out))
+			for j, o := range out {
+				ov[j] = o & 1
+			}
+			cands = append(cands, cand{Pass{Key: key, Out: ov}, v})
+		}
+	}
+
+	// Post-state of a pass over the search roles.
+	post := func(p Pass) []uint8 {
+		s := make([]uint8, nIn)
+		copy(s, p.Key)
+		for j, role := range persistent {
+			if role >= 0 {
+				s[role] = p.Out[j]
+			}
+		}
+		return s
+	}
+	eq := func(a, b []uint8) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// before[q] lists candidate indices that must precede q.
+	n := len(cands)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for q := 0; q < n; q++ {
+		// A pass whose persistent outputs equal its key leaves rows in
+		// their matched state; that is harmless (each pass runs once) and
+		// common when only a fresh column is written.
+		ps := post(cands[q].pass)
+		for p := 0; p < n; p++ {
+			if p == q {
+				continue
+			}
+			if eq(ps, cands[p].pass.Key) {
+				// p must run before q.
+				succ[p] = append(succ[p], q)
+				indeg[q]++
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			used := false
+			for _, o := range order {
+				if o == i {
+					used = true
+					break
+				}
+			}
+			if used || indeg[i] != 0 {
+				continue
+			}
+			if pick == -1 || cands[i].idx < cands[pick].idx {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			panic(fmt.Sprintf("ap: %s: cyclic pass ordering constraints", name))
+		}
+		order = append(order, pick)
+		for _, s := range succ[pick] {
+			indeg[s]--
+		}
+	}
+
+	lut := &LUT{Name: name, NIn: nIn, NOut: len(persistent), Persistent: persistent}
+	for _, i := range order {
+		lut.Passes = append(lut.Passes, cands[i].pass)
+	}
+	return lut
+}
+
+// Truth functions. Role order follows Table I: (carry/borrow, B, A).
+
+func addTruth(in []uint8) []uint8 { // in = (Cr, B, A) possibly shorter
+	var s uint8
+	for _, b := range in {
+		s += b
+	}
+	return []uint8{s >> 1, s & 1} // (carry', sum)
+}
+
+func subTruth(in []uint8) []uint8 { // in = (Br, B, A): B - A - Br
+	br, b, a := in[0], in[1], in[2]
+	d := int(b) - int(a) - int(br)
+	r := uint8(d & 1)
+	var bo uint8
+	if d < 0 {
+		bo = 1
+	}
+	return []uint8{bo, r}
+}
+
+func subNoATruth(in []uint8) []uint8 { // (Br, B): B - Br
+	br, b := in[0], in[1]
+	d := int(b) - int(br)
+	r := uint8(d & 1)
+	var bo uint8
+	if d < 0 {
+		bo = 1
+	}
+	return []uint8{bo, r}
+}
+
+func negTruth(in []uint8) []uint8 { // (Br, A): 0 - A - Br
+	br, a := in[0], in[1]
+	d := -int(a) - int(br)
+	r := uint8(d & 1)
+	var bo uint8
+	if d < 0 {
+		bo = 1
+	}
+	return []uint8{bo, r}
+}
+
+// Standard LUT set (generated once at init). Names and pass counts match
+// Table I of the paper: in-place ops need 4 passes (8 cycles), out-of-place
+// 5 passes (10 cycles).
+var (
+	// AddIn: B ← B + A. Search roles (Cr, B, A); writes (Cr, B).
+	AddIn = Generate("add.inplace", 3, []int{0, 1}, addTruth)
+	// AddOut: R ← B + A into a fresh column. Writes (Cr, R).
+	AddOut = Generate("add.outofplace", 3, []int{0, -1}, addTruth)
+	// AddInNoA: carry ripple when operand A is exhausted (B ← B + Cr).
+	AddInNoA = Generate("add.inplace.carry", 2, []int{0, 1}, addTruth)
+	// AddOutNoA: R ← B + Cr when operand A is exhausted.
+	AddOutNoA = Generate("add.outofplace.carry", 2, []int{0, -1}, addTruth)
+
+	// SubIn: B ← B − A. Search roles (Br, B, A); writes (Br, B).
+	SubIn = Generate("sub.inplace", 3, []int{0, 1}, subTruth)
+	// SubOut: R ← B − A into a fresh column. Writes (Br, R).
+	SubOut = Generate("sub.outofplace", 3, []int{0, -1}, subTruth)
+	// SubInNoA: borrow ripple when A is exhausted (B ← B − Br).
+	SubInNoA = Generate("sub.inplace.borrow", 2, []int{0, 1}, subNoATruth)
+	// SubOutNoA: R ← B − Br when A is exhausted.
+	SubOutNoA = Generate("sub.outofplace.borrow", 2, []int{0, -1}, subNoATruth)
+	// NegOut: R ← 0 − A (negated copy, §IV-C "negative output").
+	NegOut = Generate("neg.outofplace", 2, []int{0, -1}, negTruth)
+	// AddOutCarryOnly: R ← Cr when both operands are exhausted.
+	AddOutCarryOnly = Generate("add.outofplace.carryonly", 1, []int{0, -1}, addTruth)
+	// SubOutBorrowOnly: R ← 0 − Br when both operands are exhausted.
+	SubOutBorrowOnly = Generate("sub.outofplace.borrowonly", 1, []int{0, -1},
+		func(in []uint8) []uint8 {
+			d := -int(in[0])
+			r := uint8(d & 1)
+			var bo uint8
+			if d < 0 {
+				bo = 1
+			}
+			return []uint8{bo, r}
+		})
+	// CopyOut: R ← A, possibly into several destination columns at once
+	// (the multi-destination write of §IV-C).
+	CopyOut = Generate("copy", 1, []int{-1}, func(in []uint8) []uint8 {
+		return []uint8{in[0]}
+	})
+)

@@ -1,0 +1,215 @@
+package ap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func passMap(l *LUT) map[string][]uint8 {
+	m := make(map[string][]uint8)
+	for _, p := range l.Passes {
+		m[fmt.Sprint(p.Key)] = p.Out
+	}
+	return m
+}
+
+func keyOrder(l *LUT) []string {
+	var out []string
+	for _, p := range l.Passes {
+		out = append(out, fmt.Sprint(p.Key))
+	}
+	return out
+}
+
+// Table I, left half: the in-place 1-bit adder. Four passes (8 cycles) in
+// the paper's run order 1st..4th.
+func TestInPlaceAdderMatchesPaperTableI(t *testing.T) {
+	if got := len(AddIn.Passes); got != 4 {
+		t.Fatalf("in-place adder has %d passes, want 4", got)
+	}
+	if AddIn.Cycles() != 8 {
+		t.Fatalf("in-place adder cycles %d, want 8", AddIn.Cycles())
+	}
+	wantOrder := []string{
+		fmt.Sprint([]uint8{0, 1, 1}), // 1st: (Cr,B,A)=011 → (1,0)
+		fmt.Sprint([]uint8{0, 0, 1}), // 2nd: 001 → (0,1)
+		fmt.Sprint([]uint8{1, 0, 0}), // 3rd: 100 → (0,1)
+		fmt.Sprint([]uint8{1, 1, 0}), // 4th: 110 → (1,0)
+	}
+	got := keyOrder(AddIn)
+	for i := range wantOrder {
+		if got[i] != wantOrder[i] {
+			t.Errorf("pass %d key %s, want %s (paper run order)", i+1, got[i], wantOrder[i])
+		}
+	}
+	m := passMap(AddIn)
+	checks := map[string][]uint8{
+		fmt.Sprint([]uint8{0, 1, 1}): {1, 0},
+		fmt.Sprint([]uint8{0, 0, 1}): {0, 1},
+		fmt.Sprint([]uint8{1, 0, 0}): {0, 1},
+		fmt.Sprint([]uint8{1, 1, 0}): {1, 0},
+	}
+	for k, want := range checks {
+		if fmt.Sprint(m[k]) != fmt.Sprint(want) {
+			t.Errorf("key %s writes %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+// Table I, right half of the subtractor rows: both subtractors match the
+// paper exactly, including run order.
+func TestSubtractorsMatchPaperTableI(t *testing.T) {
+	if len(SubIn.Passes) != 4 || SubIn.Cycles() != 8 {
+		t.Fatalf("in-place sub: %d passes/%d cycles, want 4/8", len(SubIn.Passes), SubIn.Cycles())
+	}
+	wantIn := []string{
+		fmt.Sprint([]uint8{0, 0, 1}), // 1st: 001 → (1,1)
+		fmt.Sprint([]uint8{0, 1, 1}), // 2nd: 011 → (0,0)
+		fmt.Sprint([]uint8{1, 1, 0}), // 3rd: 110 → (0,0)
+		fmt.Sprint([]uint8{1, 0, 0}), // 4th: 100 → (1,1)
+	}
+	got := keyOrder(SubIn)
+	for i := range wantIn {
+		if got[i] != wantIn[i] {
+			t.Errorf("in-place sub pass %d = %s, want %s", i+1, got[i], wantIn[i])
+		}
+	}
+
+	if len(SubOut.Passes) != 5 || SubOut.Cycles() != 10 {
+		t.Fatalf("out-of-place sub: %d passes/%d cycles, want 5/10", len(SubOut.Passes), SubOut.Cycles())
+	}
+	wantOut := []string{
+		fmt.Sprint([]uint8{0, 0, 1}), // 1st
+		fmt.Sprint([]uint8{0, 1, 0}), // 2nd
+		fmt.Sprint([]uint8{1, 0, 0}), // 3rd
+		fmt.Sprint([]uint8{1, 1, 0}), // 4th
+		fmt.Sprint([]uint8{1, 1, 1}), // 5th
+	}
+	got = keyOrder(SubOut)
+	for i := range wantOut {
+		if got[i] != wantOut[i] {
+			t.Errorf("out-of-place sub pass %d = %s, want %s", i+1, got[i], wantOut[i])
+		}
+	}
+}
+
+// The paper's printed out-of-place adder marks row 011 as NC and row 110
+// as a pass; simulating the truth table shows those two comments must be
+// swapped (row 110 leaves carry=1 and fresh R=0 untouched, while row 011
+// must raise the carry). Our generated table carries the corrected rows —
+// same pass count (5) and cycle count (10) as the paper.
+func TestPaperTableIAdderErratum(t *testing.T) {
+	if len(AddOut.Passes) != 5 || AddOut.Cycles() != 10 {
+		t.Fatalf("out-of-place add: %d passes/%d cycles, want 5/10", len(AddOut.Passes), AddOut.Cycles())
+	}
+	m := passMap(AddOut)
+	if _, has110 := m[fmt.Sprint([]uint8{1, 1, 0})]; has110 {
+		t.Error("row 110 should be NC for out-of-place add (Cr stays 1, R stays 0)")
+	}
+	out011, has011 := m[fmt.Sprint([]uint8{0, 1, 1})]
+	if !has011 {
+		t.Fatal("row 011 must be a pass (carry must be raised)")
+	}
+	if fmt.Sprint(out011) != fmt.Sprint([]uint8{1, 0}) {
+		t.Errorf("row 011 writes %v, want [1 0]", out011)
+	}
+	// Ordering correctness: 111 must run before 011, otherwise rows
+	// processed by 011 (which become Cr=1,B=1,A=1) would be re-matched.
+	order := keyOrder(AddOut)
+	pos := map[string]int{}
+	for i, k := range order {
+		pos[k] = i
+	}
+	if pos[fmt.Sprint([]uint8{1, 1, 1})] > pos[fmt.Sprint([]uint8{0, 1, 1})] {
+		t.Errorf("pass 111 must precede 011; got order %v", order)
+	}
+}
+
+// Degenerate (operand-exhausted) LUT variants keep the expected sizes.
+func TestDegenerateLUTSizes(t *testing.T) {
+	cases := []struct {
+		lut  *LUT
+		want int
+	}{
+		{AddInNoA, 2}, {AddOutNoA, 2}, {SubInNoA, 2}, {SubOutNoA, 3},
+		{NegOut, 2}, {AddOutCarryOnly, 1}, {SubOutBorrowOnly, 1}, {CopyOut, 1},
+	}
+	for _, c := range cases {
+		if got := len(c.lut.Passes); got != c.want {
+			t.Errorf("%s: %d passes, want %d", c.lut.Name, got, c.want)
+		}
+	}
+}
+
+// Every generated LUT must, when simulated pass-by-pass on all possible
+// row states, produce exactly its truth function.
+func TestLUTPassSimulation(t *testing.T) {
+	type tf struct {
+		lut *LUT
+		f   func(in []uint8) []uint8
+	}
+	cases := []tf{
+		{AddIn, addTruth}, {AddOut, addTruth},
+		{AddInNoA, addTruth}, {AddOutNoA, addTruth}, {AddOutCarryOnly, addTruth},
+		{SubIn, subTruth}, {SubOut, subTruth},
+		{SubInNoA, subNoATruth}, {NegOut, negTruth},
+	}
+	for _, c := range cases {
+		l := c.lut
+		for v := 0; v < 1<<uint(l.NIn); v++ {
+			// Row state over search roles (plus an implicit fresh output 0).
+			state := make([]uint8, l.NIn)
+			for i := range state {
+				state[i] = uint8(v>>uint(l.NIn-1-i)) & 1
+			}
+			fresh := uint8(0)
+			matchedOnce := false
+			for _, p := range l.Passes {
+				match := true
+				for i := range p.Key {
+					if state[i] != p.Key[i] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				if matchedOnce {
+					t.Errorf("%s: state %d matched two passes", l.Name, v)
+				}
+				matchedOnce = true
+				for j, role := range l.Persistent {
+					if role >= 0 {
+						state[role] = p.Out[j]
+					} else {
+						fresh = p.Out[j]
+					}
+				}
+			}
+			// Recompute expected outputs from the original input.
+			in := make([]uint8, l.NIn)
+			for i := range in {
+				in[i] = uint8(v>>uint(l.NIn-1-i)) & 1
+			}
+			want := c.f(in)
+			for j, role := range l.Persistent {
+				got := fresh
+				if role >= 0 {
+					got = state[role]
+				}
+				if got != want[j]&1 {
+					t.Errorf("%s: input %v: output role %d = %d, want %d",
+						l.Name, in, j, got, want[j]&1)
+				}
+			}
+		}
+	}
+}
+
+func TestLUTString(t *testing.T) {
+	s := AddIn.String()
+	if s == "" {
+		t.Error("empty LUT rendering")
+	}
+}

@@ -1,0 +1,114 @@
+package ap
+
+import "fmt"
+
+// WordMachine executes AP programs at word granularity: every column holds
+// one integer per row and each macro-instruction becomes a vector
+// operation. It defines the reference semantics of the ISA — the bit-level
+// executor (Exec) must agree with it exactly, which TestExecMatchesWord
+// checks over randomized programs — and is what the large-scale functional
+// simulator runs, since simulating ResNet-18 pass-by-pass would be
+// needlessly slow without changing any result.
+type WordMachine struct {
+	prog *Program
+	rows int
+	vals [][]int64 // [column][row]
+}
+
+// NewWordMachine allocates a machine for p with the given active rows.
+func NewWordMachine(p *Program, rows int) (*WordMachine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("ap: word machine needs positive rows, got %d", rows)
+	}
+	m := &WordMachine{prog: p, rows: rows, vals: make([][]int64, len(p.Cols))}
+	for c := range m.vals {
+		m.vals[c] = make([]int64, rows)
+	}
+	return m, nil
+}
+
+// Rows returns the active row count.
+func (m *WordMachine) Rows() int { return m.rows }
+
+// SetColumn initializes a column with values (wrapped to the column's
+// stored width, mirroring what LoadWord would put in the nanowires).
+func (m *WordMachine) SetColumn(col int, vals []int64) {
+	if len(vals) != m.rows {
+		panic(fmt.Sprintf("ap: SetColumn got %d values for %d rows", len(vals), m.rows))
+	}
+	meta := m.prog.Cols[col]
+	for r, v := range vals {
+		m.vals[col][r] = wrap(v, meta.Width, meta.Unsigned)
+	}
+}
+
+// Column returns a copy of a column's values.
+func (m *WordMachine) Column(col int) []int64 {
+	out := make([]int64, m.rows)
+	copy(out, m.vals[col])
+	return out
+}
+
+// Run executes the whole program.
+func (m *WordMachine) Run() error {
+	for idx, ins := range m.prog.Instrs {
+		if err := m.step(ins); err != nil {
+			return fmt.Errorf("ap: instr %d (%v): %w", idx, ins, err)
+		}
+	}
+	return nil
+}
+
+func (m *WordMachine) step(ins Instr) error {
+	w := ins.Width
+	switch ins.Op {
+	case OpClear:
+		for r := 0; r < m.rows; r++ {
+			m.vals[ins.Dst][r] = 0
+		}
+	case OpCopy:
+		dm := m.prog.Cols[ins.Dst]
+		for r := 0; r < m.rows; r++ {
+			v := wrap(m.vals[ins.A][r], w, dm.Unsigned)
+			m.vals[ins.Dst][r] = v
+			for _, d := range ins.Dsts {
+				m.vals[d][r] = v
+			}
+		}
+	case OpAdd:
+		for r := 0; r < m.rows; r++ {
+			m.vals[ins.Dst][r] = wrap(m.vals[ins.B][r]+m.vals[ins.A][r], w, false)
+		}
+	case OpSub:
+		for r := 0; r < m.rows; r++ {
+			m.vals[ins.Dst][r] = wrap(m.vals[ins.B][r]-m.vals[ins.A][r], w, false)
+		}
+	case OpNeg:
+		for r := 0; r < m.rows; r++ {
+			m.vals[ins.Dst][r] = wrap(-m.vals[ins.A][r], w, false)
+		}
+	default:
+		return fmt.Errorf("unknown opcode %v", ins.Op)
+	}
+	return nil
+}
+
+// wrap truncates v to an n-bit value: two's complement for signed columns,
+// modulo 2^n for unsigned ones. Programs produced by the compiler never
+// actually wrap (bitwidth annotation is sound — tested); wrapping here
+// mirrors the physical truncation of the nanowire so that any annotation
+// bug shows up as a word/bit-level divergence instead of silent +∞ growth.
+func wrap(v int64, n int, unsigned bool) int64 {
+	if n >= 63 {
+		return v
+	}
+	mask := int64(1)<<uint(n) - 1
+	v &= mask
+	if !unsigned && v&(1<<uint(n-1)) != 0 {
+		v -= 1 << uint(n)
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+// Package arch models the hierarchical organization of the accelerator
+// (Fig. 2a/b of the paper): banks composed of tiles, tiles composed of
+// APs, with a tile buffer and intercommunication network per tile and a
+// global buffer at the top. It provides the geometry bookkeeping (how many
+// APs a layer needs, which ones it gets) and the interconnect cost model
+// (1 pJ/bit with distance-dependent hop factors) used by the accumulation
+// phase's inter-AP adder tree.
+package arch
+
+import (
+	"fmt"
+
+	"rtmap/internal/energy"
+)
+
+// Geometry describes the accelerator hierarchy.
+type Geometry struct {
+	Banks        int
+	TilesPerBank int
+	APsPerTile   int
+	Rows         int // CAM rows per AP
+	Cols         int // CAM columns per AP
+	Domains      int // nanowire domains per cell
+}
+
+// DefaultGeometry returns a hierarchy large enough for every network in
+// the paper (ResNet-18 needs 49 arrays; Table II).
+func DefaultGeometry(par energy.Params) Geometry {
+	return Geometry{
+		Banks:        2,
+		TilesPerBank: 4,
+		APsPerTile:   8,
+		Rows:         par.CAMRows,
+		Cols:         par.CAMCols,
+		Domains:      par.DomainsPerTrack,
+	}
+}
+
+// TotalAPs returns the number of APs in the hierarchy.
+func (g Geometry) TotalAPs() int { return g.Banks * g.TilesPerBank * g.APsPerTile }
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.TilesPerBank <= 0 || g.APsPerTile <= 0 {
+		return fmt.Errorf("arch: non-positive hierarchy %+v", g)
+	}
+	if g.Rows <= 0 || g.Cols <= 0 || g.Domains <= 0 {
+		return fmt.Errorf("arch: non-positive array geometry %+v", g)
+	}
+	return nil
+}
+
+// APID identifies one AP by position in the hierarchy.
+type APID struct {
+	Bank, Tile, AP int
+}
+
+// Linear returns the flat index of the AP.
+func (g Geometry) Linear(id APID) int {
+	return (id.Bank*g.TilesPerBank+id.Tile)*g.APsPerTile + id.AP
+}
+
+// ByLinear returns the APID for a flat index.
+func (g Geometry) ByLinear(i int) APID {
+	ap := i % g.APsPerTile
+	t := (i / g.APsPerTile) % g.TilesPerBank
+	b := i / (g.APsPerTile * g.TilesPerBank)
+	return APID{Bank: b, Tile: t, AP: ap}
+}
+
+// HopLevel classifies the distance between two APs.
+type HopLevel int
+
+const (
+	// HopLocal is a transfer within one AP (no interconnect).
+	HopLocal HopLevel = iota
+	// HopTile crosses the intra-tile interconnection network.
+	HopTile
+	// HopBank crosses tiles within one bank.
+	HopBank
+	// HopGlobal crosses banks through the global buffer.
+	HopGlobal
+)
+
+// Distance returns the hop level between two APs.
+func (g Geometry) Distance(a, b APID) HopLevel {
+	switch {
+	case a == b:
+		return HopLocal
+	case a.Bank == b.Bank && a.Tile == b.Tile:
+		return HopTile
+	case a.Bank == b.Bank:
+		return HopBank
+	default:
+		return HopGlobal
+	}
+}
+
+// hopFactor scales the base 1 pJ/bit movement energy with distance,
+// reflecting the tile/bank/global buffer traversals of [14].
+func hopFactor(h HopLevel) float64 {
+	switch h {
+	case HopLocal:
+		return 0
+	case HopTile:
+		return 1
+	case HopBank:
+		return 1.5
+	default:
+		return 2
+	}
+}
+
+// Interconnect accumulates data-movement costs.
+type Interconnect struct {
+	par energy.Params
+
+	BitsMoved uint64
+	EnergyPJ  float64
+	LatencyNS float64
+	Transfers uint64
+}
+
+// NewInterconnect returns a cost accumulator using par's constants.
+func NewInterconnect(par energy.Params) *Interconnect {
+	return &Interconnect{par: par}
+}
+
+// Move accounts a transfer of bits between two APs and returns its energy.
+func (ic *Interconnect) Move(g Geometry, from, to APID, bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	h := g.Distance(from, to)
+	e := float64(bits) * ic.par.MovePJPerBit * hopFactor(h)
+	ic.BitsMoved += uint64(bits)
+	ic.EnergyPJ += e
+	ic.LatencyNS += float64(bits) * ic.par.MoveNSPerBit
+	ic.Transfers++
+	return e
+}
+
+// Allocation is the set of APs assigned to one layer: RowGroups APs are
+// needed to cover all output positions, and Replicas independent copies of
+// that row-group strip process disjoint channel subsets in parallel
+// (§IV-B: channels beyond one AP's domain capacity spread over multiple
+// CAMs, "thus adding parallelism").
+type Allocation struct {
+	Layer     string
+	RowGroups int // ceil(P / rows): APs per replica strip
+	Replicas  int // parallel channel groups
+	APs       []APID
+	UsedRows  int // rows used in the last row group (others use full rows)
+}
+
+// APsNeeded returns RowGroups × Replicas.
+func (a Allocation) APsNeeded() int { return a.RowGroups * a.Replicas }
+
+// Allocator hands out APs of a geometry to layers.
+type Allocator struct {
+	g    Geometry
+	next int
+}
+
+// NewAllocator returns an allocator over g.
+func NewAllocator(g Geometry) *Allocator {
+	return &Allocator{g: g}
+}
+
+// Reset returns all APs to the pool (layers are time-multiplexed; each
+// layer sees the full accelerator, as in the paper's per-layer resource
+// allocation).
+func (al *Allocator) Reset() { al.next = 0 }
+
+// Allocate assigns APs for a layer with P output positions and chGroups
+// sequential channel groups, giving it as many parallel replicas as the
+// hierarchy allows (capped by chGroups — more replicas than channel groups
+// would idle).
+func (al *Allocator) Allocate(layer string, p, chGroups int) (Allocation, error) {
+	if p <= 0 {
+		return Allocation{}, fmt.Errorf("arch: layer %s has no output positions", layer)
+	}
+	if chGroups <= 0 {
+		chGroups = 1
+	}
+	rows := al.g.Rows
+	rowGroups := (p + rows - 1) / rows
+	total := al.g.TotalAPs()
+	if rowGroups > total {
+		return Allocation{}, fmt.Errorf("arch: layer %s needs %d row groups, hierarchy has %d APs",
+			layer, rowGroups, total)
+	}
+	replicas := total / rowGroups
+	if replicas > chGroups {
+		replicas = chGroups
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	alloc := Allocation{
+		Layer:     layer,
+		RowGroups: rowGroups,
+		Replicas:  replicas,
+		UsedRows:  p - (rowGroups-1)*rows,
+	}
+	for i := 0; i < alloc.APsNeeded(); i++ {
+		alloc.APs = append(alloc.APs, al.g.ByLinear(i))
+	}
+	return alloc, nil
+}

@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"testing"
+
+	"rtmap/internal/energy"
+)
+
+func TestGeometryLinearRoundTrip(t *testing.T) {
+	g := DefaultGeometry(energy.Default())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.TotalAPs(); i++ {
+		if got := g.Linear(g.ByLinear(i)); got != i {
+			t.Errorf("linear round trip %d -> %d", i, got)
+		}
+	}
+}
+
+func TestDistanceLevels(t *testing.T) {
+	g := DefaultGeometry(energy.Default())
+	a := APID{0, 0, 0}
+	cases := []struct {
+		b    APID
+		want HopLevel
+	}{
+		{APID{0, 0, 0}, HopLocal},
+		{APID{0, 0, 1}, HopTile},
+		{APID{0, 1, 0}, HopBank},
+		{APID{1, 0, 0}, HopGlobal},
+	}
+	for _, c := range cases {
+		if got := g.Distance(a, c.b); got != c.want {
+			t.Errorf("distance to %+v = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestInterconnectCosts(t *testing.T) {
+	g := DefaultGeometry(energy.Default())
+	ic := NewInterconnect(energy.Default())
+	eTile := ic.Move(g, APID{0, 0, 0}, APID{0, 0, 1}, 100)
+	if eTile != 100 { // 1 pJ/bit × hop factor 1
+		t.Errorf("tile move energy %g, want 100", eTile)
+	}
+	eGlobal := ic.Move(g, APID{0, 0, 0}, APID{1, 0, 0}, 100)
+	if eGlobal <= eTile {
+		t.Error("global moves must cost more than tile moves")
+	}
+	if ic.Move(g, APID{0, 0, 0}, APID{0, 0, 0}, 100) != 0 {
+		t.Error("local moves are free")
+	}
+	if ic.BitsMoved != 300 || ic.Transfers != 3 {
+		t.Errorf("accounting %+v", ic)
+	}
+}
+
+func TestAllocatorResNetShapes(t *testing.T) {
+	g := DefaultGeometry(energy.Default())
+	al := NewAllocator(g)
+	// ResNet-18 conv1: P = 112² = 12544 → 49 row groups of 256.
+	a, err := al.Allocate("conv1", 112*112, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RowGroups != 49 {
+		t.Errorf("row groups %d, want 49", a.RowGroups)
+	}
+	if a.Replicas != 1 {
+		t.Errorf("replicas %d, want 1 (single channel group)", a.Replicas)
+	}
+	if a.UsedRows != 12544-48*256 {
+		t.Errorf("tail rows %d", a.UsedRows)
+	}
+
+	// Deep layer: P = 49 → 1 row group; 32 channel groups spread across
+	// the hierarchy.
+	al.Reset()
+	a, err = al.Allocate("layer4", 49, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RowGroups != 1 {
+		t.Errorf("row groups %d, want 1", a.RowGroups)
+	}
+	if a.Replicas != 32 {
+		t.Errorf("replicas %d, want 32", a.Replicas)
+	}
+	if a.APsNeeded() != 32 || len(a.APs) != 32 {
+		t.Errorf("APs needed %d/%d, want 32", a.APsNeeded(), len(a.APs))
+	}
+}
+
+func TestAllocatorRejectsOversized(t *testing.T) {
+	g := Geometry{Banks: 1, TilesPerBank: 1, APsPerTile: 2, Rows: 16, Cols: 16, Domains: 64}
+	al := NewAllocator(g)
+	if _, err := al.Allocate("huge", 16*3, 1); err == nil {
+		t.Error("allocation beyond hierarchy must fail")
+	}
+}
+
+func TestReplicasCappedByChannelGroups(t *testing.T) {
+	g := DefaultGeometry(energy.Default())
+	al := NewAllocator(g)
+	a, err := al.Allocate("l", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Replicas != 3 {
+		t.Errorf("replicas %d, want 3 (capped by channel groups)", a.Replicas)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cam models the RTM-based CAM array at the heart of each
+// associative processor (Fig. 2c/d of the paper): a grid of rows × columns
+// where every cell is a racetrack nanowire, every column is one DBC (so a
+// single shift command changes the bit-plane of a whole column), and the
+// two primitives are the masked parallel search (all rows compared against
+// a key on selected columns, match results latched in the tag register)
+// and the tagged parallel write (a data pattern written into all tagged
+// rows on selected columns).
+//
+// The array keeps exact cost accounting — search/write passes, cells
+// touched, shift steps, energy and cycles — using the figures of merit in
+// internal/energy.
+package cam
+
+import (
+	"fmt"
+
+	"rtmap/internal/energy"
+	"rtmap/internal/rtm"
+)
+
+// KeyBit selects one column of a search key or write pattern.
+type KeyBit struct {
+	Col int
+	Bit uint8
+}
+
+// Stats accumulates the cost counters of one array.
+type Stats struct {
+	Searches   uint64 // search passes issued
+	Writes     uint64 // write passes issued
+	SearchBits uint64 // cells compared (masked cols × active rows)
+	WriteBits  uint64 // cells written (cols × tagged rows)
+	ShiftSteps uint64 // single-domain DBC steps
+	Cycles     uint64 // search/write phases (one per pass)
+
+	SearchPJ float64
+	WritePJ  float64
+	ShiftPJ  float64
+}
+
+// EnergyPJ returns the total energy of the counters.
+func (s Stats) EnergyPJ() float64 { return s.SearchPJ + s.WritePJ + s.ShiftPJ }
+
+// Array is one CAM array of an AP.
+type Array struct {
+	rows, cols int
+	dbcs       []*rtm.DBC // one per column
+	tag        []bool
+	tagCount   int
+	usedRows   int // rows holding live data; energy scales with these
+	par        energy.Params
+	stats      Stats
+}
+
+// New allocates a rows × cols array whose cells have the domain count
+// given by par.DomainsPerTrack.
+func New(rows, cols int, par energy.Params) *Array {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("cam: invalid geometry %dx%d", rows, cols))
+	}
+	if !par.Validate() {
+		panic("cam: invalid energy parameters")
+	}
+	a := &Array{
+		rows: rows, cols: cols,
+		dbcs:     make([]*rtm.DBC, cols),
+		tag:      make([]bool, rows),
+		usedRows: rows,
+		par:      par,
+	}
+	for c := range a.dbcs {
+		a.dbcs[c] = rtm.NewDBC(rows, par.DomainsPerTrack)
+	}
+	return a
+}
+
+// Rows returns the row count.
+func (a *Array) Rows() int { return a.rows }
+
+// Cols returns the column count.
+func (a *Array) Cols() int { return a.cols }
+
+// Domains returns the per-cell domain count.
+func (a *Array) Domains() int { return a.par.DomainsPerTrack }
+
+// Stats returns a copy of the accumulated counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the cost counters (data is untouched).
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+// SetUsedRows declares how many rows hold live data. Searches precharge
+// and compare only these rows' match lines in the energy model.
+func (a *Array) SetUsedRows(n int) {
+	if n < 0 || n > a.rows {
+		panic(fmt.Sprintf("cam: used rows %d outside [0,%d]", n, a.rows))
+	}
+	a.usedRows = n
+}
+
+// UsedRows returns the active-row count.
+func (a *Array) UsedRows() int { return a.usedRows }
+
+// Align shifts column col so that domain `domain` faces the access ports
+// and accounts the shift cost. It returns the steps taken.
+func (a *Array) Align(col, domain int) int {
+	steps := a.dbcs[col].ShiftTo(domain)
+	if steps > 0 {
+		a.stats.ShiftSteps += uint64(steps)
+		a.stats.ShiftPJ += float64(steps) * float64(a.rows) * a.par.ShiftPJPerBit
+	}
+	return steps
+}
+
+// ColumnPos returns the domain currently aligned in column col.
+func (a *Array) ColumnPos(col int) int { return a.dbcs[col].Pos() }
+
+// Search compares all active rows against the key (over the aligned
+// domains of the key's columns) and latches the per-row results into the
+// tag register. It returns the number of matching rows.
+func (a *Array) Search(key []KeyBit) int {
+	if len(key) == 0 {
+		panic("cam: empty search key")
+	}
+	a.tagCount = 0
+	for r := 0; r < a.rows; r++ {
+		match := r < a.usedRows
+		if match {
+			for _, kb := range key {
+				if a.dbcs[kb.Col].Read(r) != kb.Bit&1 {
+					match = false
+					break
+				}
+			}
+		}
+		a.tag[r] = match
+		if match {
+			a.tagCount++
+		}
+	}
+	a.stats.Searches++
+	a.stats.Cycles++
+	bits := uint64(len(key)) * uint64(a.usedRows)
+	a.stats.SearchBits += bits
+	a.stats.SearchPJ += float64(bits) * a.par.SearchPJPerBit
+	return a.tagCount
+}
+
+// WriteTagged writes the pattern into every tagged row on the pattern's
+// columns (the second phase of a LUT pass).
+func (a *Array) WriteTagged(pattern []KeyBit) {
+	if len(pattern) == 0 {
+		panic("cam: empty write pattern")
+	}
+	for r := 0; r < a.rows; r++ {
+		if !a.tag[r] {
+			continue
+		}
+		for _, kb := range pattern {
+			a.dbcs[kb.Col].Write(r, kb.Bit)
+		}
+	}
+	a.stats.Writes++
+	a.stats.Cycles++
+	bits := uint64(len(pattern)) * uint64(a.tagCount)
+	a.stats.WriteBits += bits
+	a.stats.WritePJ += float64(bits) * a.par.WritePJPerBit
+}
+
+// WriteAll writes the pattern into every active row without a preceding
+// search (used to clear fresh result/carry columns).
+func (a *Array) WriteAll(pattern []KeyBit) {
+	if len(pattern) == 0 {
+		panic("cam: empty write pattern")
+	}
+	for r := 0; r < a.usedRows; r++ {
+		for _, kb := range pattern {
+			a.dbcs[kb.Col].Write(r, kb.Bit)
+		}
+	}
+	a.stats.Writes++
+	a.stats.Cycles++
+	bits := uint64(len(pattern)) * uint64(a.usedRows)
+	a.stats.WriteBits += bits
+	a.stats.WritePJ += float64(bits) * a.par.WritePJPerBit
+}
+
+// Tagged reports whether row r is currently tagged.
+func (a *Array) Tagged(r int) bool { return a.tag[r] }
+
+// TagCount returns the number of tagged rows.
+func (a *Array) TagCount() int { return a.tagCount }
+
+// LatencyNS returns the op latency implied by the counters (compute
+// cycles plus shift steps).
+func (a *Array) LatencyNS() float64 {
+	return float64(a.stats.Cycles)*a.par.CycleNS + float64(a.stats.ShiftSteps)*a.par.ShiftNS
+}
+
+// LoadWord stores a two's-complement value into the cell (row, col) at
+// domains [base, base+width). Setup helper: endurance counters advance but
+// op-level energy is attributed to the producer that wrote the value (the
+// previous layer's store phase), not to this array.
+func (a *Array) LoadWord(row, col, base, width int, v int64) {
+	a.dbcs[col].LoadWord(row, base, width, v)
+}
+
+// ReadWord reads the two's-complement value at (row, col), domains
+// [base, base+width). Readout helper for verification.
+func (a *Array) ReadWord(row, col, base, width int) int64 {
+	return a.dbcs[col].ReadWord(row, base, width)
+}
+
+// MaxCellWrites returns the endurance-limiting write count over all cells.
+func (a *Array) MaxCellWrites() uint64 {
+	var m uint64
+	for _, d := range a.dbcs {
+		if w := d.MaxTrackWrites(); w > m {
+			m = w
+		}
+	}
+	return m
+}

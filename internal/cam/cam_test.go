@@ -1,0 +1,138 @@
+package cam
+
+import (
+	"testing"
+
+	"rtmap/internal/energy"
+)
+
+func newArr(t *testing.T, rows, cols int) *Array {
+	t.Helper()
+	return New(rows, cols, energy.Default())
+}
+
+func TestSearchAndTag(t *testing.T) {
+	a := newArr(t, 4, 2)
+	// Column 0 bits: rows 0,2 hold 1. Column 1: row 2 holds 1.
+	a.LoadWord(0, 0, 0, 1, 1)
+	a.LoadWord(2, 0, 0, 1, 1)
+	a.LoadWord(2, 1, 0, 1, 1)
+	if n := a.Search([]KeyBit{{Col: 0, Bit: 1}}); n != 2 {
+		t.Errorf("single-column search matched %d rows, want 2", n)
+	}
+	if n := a.Search([]KeyBit{{Col: 0, Bit: 1}, {Col: 1, Bit: 1}}); n != 1 {
+		t.Errorf("two-column search matched %d rows, want 1", n)
+	}
+	if !a.Tagged(2) || a.Tagged(0) {
+		t.Error("tag register wrong rows")
+	}
+}
+
+func TestWriteTaggedOnlyTouchesTaggedRows(t *testing.T) {
+	a := newArr(t, 4, 2)
+	a.LoadWord(1, 0, 0, 1, 1)
+	a.Search([]KeyBit{{Col: 0, Bit: 1}}) // tags row 1 only
+	a.WriteTagged([]KeyBit{{Col: 1, Bit: 1}})
+	for r := 0; r < 4; r++ {
+		want := int64(0)
+		if r == 1 {
+			want = 1
+		}
+		if got := a.ReadWord(r, 1, 0, 2); got != want {
+			t.Errorf("row %d col 1 = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestUsedRowsLimitsSearch(t *testing.T) {
+	a := newArr(t, 4, 1)
+	for r := 0; r < 4; r++ {
+		a.LoadWord(r, 0, 0, 1, 1)
+	}
+	a.SetUsedRows(2)
+	if n := a.Search([]KeyBit{{Col: 0, Bit: 1}}); n != 2 {
+		t.Errorf("search matched %d rows with 2 active, want 2", n)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a := newArr(t, 8, 4)
+	a.SetUsedRows(8)
+	a.Search([]KeyBit{{Col: 0, Bit: 0}, {Col: 1, Bit: 0}, {Col: 2, Bit: 0}})
+	s := a.Stats()
+	if s.Searches != 1 || s.SearchBits != 3*8 {
+		t.Errorf("search stats %+v", s)
+	}
+	wantPJ := float64(3*8) * energy.Default().SearchPJPerBit
+	if s.SearchPJ != wantPJ {
+		t.Errorf("search energy %g, want %g", s.SearchPJ, wantPJ)
+	}
+	a.WriteTagged([]KeyBit{{Col: 3, Bit: 1}}) // all 8 rows tagged (all-zero match)
+	s = a.Stats()
+	if s.Writes != 1 || s.WriteBits != 8 {
+		t.Errorf("write stats %+v", s)
+	}
+	if s.Cycles != 2 {
+		t.Errorf("cycles %d, want 2", s.Cycles)
+	}
+}
+
+func TestAlignShiftCost(t *testing.T) {
+	a := newArr(t, 4, 2)
+	if steps := a.Align(0, 5); steps != 5 {
+		t.Errorf("align took %d steps, want 5", steps)
+	}
+	if steps := a.Align(0, 5); steps != 0 {
+		t.Errorf("re-align took %d steps, want 0", steps)
+	}
+	s := a.Stats()
+	if s.ShiftSteps != 5 {
+		t.Errorf("shift steps %d, want 5", s.ShiftSteps)
+	}
+	if s.ShiftPJ <= 0 {
+		t.Error("shift energy not accounted")
+	}
+	if a.ColumnPos(0) != 5 || a.ColumnPos(1) != 0 {
+		t.Error("column alignment must be independent per column")
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	a := newArr(t, 4, 1)
+	a.SetUsedRows(3)
+	for r := 0; r < 4; r++ {
+		a.LoadWord(r, 0, 0, 1, 1)
+	}
+	a.WriteAll([]KeyBit{{Col: 0, Bit: 0}})
+	for r := 0; r < 3; r++ {
+		if a.ReadWord(r, 0, 0, 2) != 0 {
+			t.Errorf("row %d not cleared", r)
+		}
+	}
+	if a.ReadWord(3, 0, 0, 2) != 1 {
+		t.Error("inactive row must not be written")
+	}
+}
+
+func TestLatencyNS(t *testing.T) {
+	a := newArr(t, 4, 2)
+	a.Search([]KeyBit{{Col: 0, Bit: 0}})
+	a.WriteTagged([]KeyBit{{Col: 1, Bit: 1}})
+	a.Align(0, 10)
+	par := energy.Default()
+	want := 2*par.CycleNS + 10*par.ShiftNS
+	if got := a.LatencyNS(); got != want {
+		t.Errorf("latency %g, want %g", got, want)
+	}
+}
+
+func TestMaxCellWrites(t *testing.T) {
+	a := newArr(t, 2, 2)
+	a.Search([]KeyBit{{Col: 0, Bit: 0}})
+	for i := 0; i < 5; i++ {
+		a.WriteTagged([]KeyBit{{Col: 1, Bit: 1}})
+	}
+	if a.MaxCellWrites() < 5 {
+		t.Errorf("max cell writes %d, want >= 5", a.MaxCellWrites())
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rtmap/internal/codegen"
+	"rtmap/internal/dfg"
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+// actInfo describes the activation format flowing out of a layer.
+type actInfo struct {
+	Bits     int
+	Unsigned bool
+	Lo, Hi   int64
+}
+
+// activationOf resolves the activation format produced by layer idx
+// (InputRef = network input), walking through shape-only layers.
+func activationOf(net *model.Network, idx int) (actInfo, error) {
+	if idx == model.InputRef {
+		q := net.InputQ
+		return actInfo{Bits: q.Bits, Unsigned: !q.Signed, Lo: int64(q.Qn()), Hi: int64(q.Qp())}, nil
+	}
+	l := &net.Layers[idx]
+	switch l.Kind {
+	case model.KindActQuant:
+		q := l.Q
+		lo := int64(q.Qn())
+		if l.ReLU {
+			lo = 0
+		}
+		return actInfo{Bits: q.Bits, Unsigned: !q.Signed || l.ReLU, Lo: lo, Hi: int64(q.Qp())}, nil
+	case model.KindAdd:
+		in, err := activationOf(net, l.Inputs[0])
+		if err != nil {
+			return actInfo{}, err
+		}
+		sum := actInfo{Lo: 2 * in.Lo, Hi: 2 * in.Hi}
+		sum.Bits = dfg.SignedBits(sum.Lo, sum.Hi)
+		sum.Unsigned = sum.Lo >= 0
+		return sum, nil
+	case model.KindMaxPool, model.KindFlatten, model.KindGlobalAvgPool:
+		return activationOf(net, l.Inputs[0])
+	}
+	return actInfo{}, fmt.Errorf("core: layer %d (%s) does not produce a defined activation format", idx, l.Name)
+}
+
+// Compile lowers the network onto the RTM-AP accelerator.
+func Compile(net *model.Network, cfg Config) (*Compiled, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Par.CAMRows == 0 {
+		return nil, fmt.Errorf("core: zero-valued energy parameters; use DefaultConfig")
+	}
+	if cfg.TempBudget <= 0 {
+		cfg.TempBudget = 64
+	}
+	if cfg.TileFloor <= 0 {
+		cfg.TileFloor = 32
+	}
+	shapes := net.OutShapes(1)
+
+	comp := &Compiled{Net: net, Cfg: cfg}
+
+	// Array pool: the widest layer's row groups (Table II "#Arrays").
+	rows := cfg.Par.CAMRows
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		switch l.Kind {
+		case model.KindConv, model.KindLinear, model.KindAdd, model.KindMaxPool:
+			p := shapes[i].H * shapes[i].W
+			if rg := (p + rows - 1) / rows; rg > comp.PoolArrays {
+				comp.PoolArrays = rg
+			}
+		}
+	}
+	if comp.PoolArrays == 0 {
+		comp.PoolArrays = 1
+	}
+
+	inShape := func(i int) tensor.Shape {
+		idx := net.Layers[i].Inputs[0]
+		if idx == model.InputRef {
+			return net.InputShape
+		}
+		return shapes[idx]
+	}
+
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		is, os := inShape(i), shapes[i]
+		plan := &LayerPlan{
+			Index: i, Name: l.Name, Kind: l.Kind,
+			InC: is.C, InH: is.H, InW: is.W,
+			OutC: os.C, OutH: os.H, OutW: os.W,
+			P: os.H * os.W,
+		}
+		var err error
+		switch l.Kind {
+		case model.KindConv, model.KindLinear:
+			plan.Class = ClassConv
+			err = compileConv(net, l, plan, cfg, comp.PoolArrays)
+		case model.KindActQuant:
+			plan.Class = ClassQuant
+			plan.RequantElems = int64(plan.P) * int64(plan.OutC)
+			plan.ActBits = l.Q.Bits
+			plan.ActUnsigned = !l.Q.Signed || l.ReLU
+		case model.KindAdd:
+			plan.Class = ClassAdd
+			var ai actInfo
+			ai, err = activationOf(net, l.Inputs[0])
+			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+			width := ai.Bits + 1
+			plan.RowGroups = (plan.P + rows - 1) / rows
+			plan.ElemOps = int64(plan.OutC)
+			plan.ElemBits = int64(plan.OutC) * int64(width)
+			plan.LoadMoveBits = 2 * int64(plan.OutC) * int64(plan.P) * int64(ai.Bits)
+			plan.LoadWriteBits = plan.LoadMoveBits
+		case model.KindMaxPool:
+			plan.Class = ClassPool
+			var ai actInfo
+			ai, err = activationOf(net, l.Inputs[0])
+			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+			plan.RowGroups = (plan.P + rows - 1) / rows
+			win := int64(l.Pool.K * l.Pool.K)
+			plan.PoolCmpOps = 2 * int64(plan.OutC) * (win - 1)
+			plan.PoolCmpBits = plan.PoolCmpOps * int64(ai.Bits)
+			plan.LoadMoveBits = int64(is.C) * int64(is.H) * int64(is.W) * int64(ai.Bits)
+			plan.LoadWriteBits = int64(plan.OutC) * int64(plan.P) * win * int64(ai.Bits)
+		case model.KindGlobalAvgPool:
+			plan.Class = ClassGAP
+			var ai actInfo
+			ai, err = activationOf(net, l.Inputs[0])
+			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+			area := int64(is.H * is.W)
+			plan.RowGroups = 1
+			plan.ElemOps = int64(plan.OutC) * (area - 1)
+			sumBits := dfg.SignedBits(ai.Lo*area, ai.Hi*area)
+			plan.ElemBits = plan.ElemOps * int64(sumBits)
+			plan.RequantElems = int64(plan.OutC) // peripheral divide
+			plan.LoadMoveBits = int64(is.C) * area * int64(ai.Bits)
+			plan.LoadWriteBits = plan.LoadMoveBits
+		case model.KindFlatten:
+			plan.Class = ClassFree
+		default:
+			err = fmt.Errorf("core: unsupported layer kind %v", l.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d (%s): %w", i, l.Name, err)
+		}
+		comp.Layers = append(comp.Layers, plan)
+	}
+	return comp, nil
+}
+
+// compileConv plans and emits one conv/linear layer.
+func compileConv(net *model.Network, l *model.Layer, plan *LayerPlan, cfg Config, pool int) error {
+	par := cfg.Par
+	w := l.W
+	k := w.Fh * w.Fw
+
+	ai, err := activationOf(net, l.Inputs[0])
+	if err != nil {
+		return err
+	}
+	plan.K = k
+	plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+	plan.RowGroups = (plan.P + par.CAMRows - 1) / par.CAMRows
+	maxReplicas := pool / plan.RowGroups
+	if maxReplicas < 1 {
+		maxReplicas = 1
+	}
+
+	tempBudget := cfg.TempBudget
+	for attempt := 0; ; attempt++ {
+		err := planAndEmitConv(l, plan, cfg, ai, tempBudget, maxReplicas, pool)
+		if err == nil {
+			return nil
+		}
+		if attempt >= 3 {
+			return err
+		}
+		// Column pressure: give temporaries more room and retry.
+		tempBudget *= 2
+		if tempBudget+k+cfg.TileFloor+1 >= par.CAMCols {
+			return err
+		}
+	}
+}
+
+// reduceMoveBudget caps inter-strip reduction traffic at this fraction of
+// the estimated compute energy when the planner considers splitting
+// channels across parallel strips.
+const reduceMoveBudget = 0.25
+
+// chooseStrips sweeps candidate strip counts and returns (planes, strips).
+func chooseStrips(l *model.Layer, plan *LayerPlan, cfg Config, ai actInfo,
+	g, planesCap, maxReplicas, tempBudget int) (int, int) {
+	par := cfg.Par
+	k := plan.K
+	cin, cout := l.W.Cin, l.W.Cout
+	nnz := l.W.NNZ()
+
+	// Rough per-layer compute energy: every nonzero weight becomes one
+	// add/sub of ~(actBits+3) bit passes across P rows.
+	cInBit := 4*3*par.SearchPJPerBit + 4*2*0.25*par.WritePJPerBit
+	estCompute := float64(plan.P) * float64(nnz) * float64(ai.Bits+3) * cInBit
+	// Accumulator width guess for reduction traffic.
+	perFilter := float64(nnz)/float64(cout) + 1
+	accWGuess := ai.Bits + bitsFor(int64(perFilter*float64(ai.Hi))) + 1
+
+	bestPlanes, bestStrips := 0, 0
+	var bestScore float64
+	for target := 1; target <= max(1, maxReplicas); target++ {
+		chansPerStrip := (cin + target - 1) / target
+		planes := (chansPerStrip + g - 1) / g
+		if planes > planesCap {
+			planes = planesCap
+		}
+		if planes < 1 {
+			planes = 1
+		}
+		strips := (cin + planes*g - 1) / (planes * g)
+		replicas := min(strips, maxReplicas)
+		moveBits := float64(replicas-1) * float64(plan.P) * float64(cout) * float64(accWGuess)
+		movePJ := moveBits * par.MovePJPerBit
+		allowance := reduceMoveBudget * estCompute
+		if par.MoveAllowancePJ > allowance {
+			allowance = par.MoveAllowancePJ
+		}
+		if replicas > 1 && movePJ > allowance {
+			continue
+		}
+		// Latency score: compute work divided by parallel strips, with a
+		// mild penalty for the extra tiles smaller accumulator budgets
+		// force (definitions are recomputed per tile).
+		accSlots := max(1, par.DomainsPerTrack/accWGuess)
+		availAcc := par.CAMCols - 1 - tempBudget - planes*k
+		if availAcc < 1 {
+			continue
+		}
+		accCols := min((cout+accSlots-1)/accSlots, availAcc)
+		tile := min(accCols*accSlots, cout)
+		tiles := (cout + tile - 1) / tile
+		rounds := (strips + replicas - 1) / replicas
+		score := float64(nnz) / float64(replicas) * float64(rounds) * (1 + 0.15*float64(tiles-1))
+		if bestStrips == 0 || score < bestScore {
+			bestScore, bestPlanes, bestStrips = score, planes, strips
+		}
+	}
+	if bestStrips == 0 {
+		// No candidate met the movement budget; fall back to maximum
+		// residency (fewest strips).
+		planes := (cin + g - 1) / g
+		if planes > planesCap {
+			planes = planesCap
+		}
+		bestPlanes = planes
+		bestStrips = (cin + planes*g - 1) / (planes * g)
+	}
+	return bestPlanes, bestStrips
+}
+
+func bitsFor(v int64) int {
+	b := 0
+	for ; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+func planAndEmitConv(l *model.Layer, plan *LayerPlan, cfg Config, ai actInfo,
+	tempBudget, maxReplicas, maxPool int) error {
+	par := cfg.Par
+	w := l.W
+	k := plan.K
+	cin, cout := w.Cin, w.Cout
+
+	// Channel-to-domain packing: G channel slots per input plane.
+	g := par.DomainsPerTrack / ai.Bits
+	if g < 1 {
+		return fmt.Errorf("activation width %d exceeds nanowire domains", ai.Bits)
+	}
+	planesCap := (par.CAMCols - 1 - tempBudget - cfg.TileFloor) / k
+	if planesCap < 1 {
+		return fmt.Errorf("patch size %d leaves no room for input planes (temp budget %d)", k, tempBudget)
+	}
+	// Strip-count selection is the latency/data-movement trade of §IV-B:
+	// more parallel strips cut latency linearly but every extra strip adds
+	// an inter-AP partial-sum reduction (P·Cout·accW bits over the
+	// interconnect). We sweep the feasible strip counts and take the
+	// fastest plan whose reduction traffic stays below a fixed fraction of
+	// the layer's estimated compute energy — which is what keeps overall
+	// movement near the 3% the paper reports (§V-C).
+	planes, strips := chooseStrips(l, plan, cfg, ai, g, planesCap, maxReplicas, tempBudget)
+	capacity := planes * g
+	replicas := strips
+	if replicas > maxReplicas {
+		replicas = maxReplicas
+	}
+	plan.Planes, plan.ChansPerPlane = planes, g
+	plan.Strips, plan.Replicas = strips, replicas
+	plan.LoadRounds = (strips + replicas - 1) / replicas
+
+	// Exact accumulator width from weight counts: row o's channel sum lies
+	// in [pos·lo − neg·hi, pos·hi − neg·lo] over all input channels.
+	accW := 1
+	{
+		kTot := w.Cin * k
+		for o := 0; o < cout; o++ {
+			pos, neg := 0, 0
+			for _, v := range w.W[o*kTot : (o+1)*kTot] {
+				switch {
+				case v > 0:
+					pos++
+				case v < 0:
+					neg++
+				}
+			}
+			lo := int64(pos)*ai.Lo - int64(neg)*ai.Hi
+			hi := int64(pos)*ai.Hi - int64(neg)*ai.Lo
+			if b := dfg.SignedBits(lo, hi); b > accW {
+				accW = b
+			}
+		}
+	}
+	if accW > par.DomainsPerTrack {
+		return fmt.Errorf("accumulator width %d exceeds %d domains", accW, par.DomainsPerTrack)
+	}
+	plan.AccWidth = accW
+	// Accumulators pack along nanowire domains (§III "true multi-bit
+	// storage"): each accumulator column holds ⌊domains/accW⌋ partial sums.
+	slots := par.DomainsPerTrack / accW
+	if slots < 1 {
+		slots = 1
+	}
+	// Adaptive column split: accumulators take only the columns they need
+	// (domain packing covers `slots` outputs per column); everything else
+	// becomes temp space for CSE definitions and chains. tempBudget is the
+	// floor reserved for temporaries (doubled on retry).
+	availForAcc := par.CAMCols - 1 - planes*k - tempBudget
+	if availForAcc < 1 {
+		return fmt.Errorf("no columns left for accumulators (planes=%d, temps=%d)", planes, tempBudget)
+	}
+	accColCount := (cout + slots - 1) / slots
+	if accColCount > availForAcc {
+		accColCount = availForAcc
+	}
+	tile := accColCount * slots
+	if tile > cout {
+		tile = cout
+	}
+	plan.TileSize = tile
+	plan.Tiles = (cout + tile - 1) / tile
+	// Output-channel tiles are independent (no cross-tile reduction), so
+	// spare arrays run them in parallel — the paper's "multiple APs can be
+	// used to meet the requirements of each layer".
+	plan.OutGroups = maxPool / (plan.RowGroups * replicas)
+	if plan.OutGroups > plan.Tiles {
+		plan.OutGroups = plan.Tiles
+	}
+	if plan.OutGroups < 1 {
+		plan.OutGroups = 1
+	}
+
+	// Physical column map: [carry | inputs | accumulators | temps].
+	next := 0
+	carryCol := next
+	next++
+	inputCols := make([][]int, planes)
+	for p := range inputCols {
+		inputCols[p] = make([]int, k)
+		for i := range inputCols[p] {
+			inputCols[p][i] = next
+			next++
+		}
+	}
+	accCols := make([]int, accColCount)
+	for i := range accCols {
+		accCols[i] = next
+		next++
+	}
+	var tempCols []int
+	for next < par.CAMCols {
+		tempCols = append(tempCols, next)
+		next++
+	}
+
+	// Resource-aware CSE: definitions live in temp columns for a whole
+	// channel fragment, so their count is capped by the actual temp pool
+	// (chains need a little headroom on top).
+	// Definitions release their columns as soon as their last consumer
+	// row folds (eager accumulates), so peak liveness is well below the
+	// definition count; allow extraction past the pool size and let the
+	// retry path widen the temp pool if a layer's peak truly overflows.
+	maxDefs := 2 * (len(tempCols) - 16)
+	if maxDefs < 8 {
+		maxDefs = 8
+	}
+	opt := dfg.Options{CSE: cfg.CSE, MaxDefs: maxDefs}
+	plan.CG = codegen.Stats{}
+	plan.AddSubOps, plan.NaiveOps = 0, 0
+	plan.StripPlans = nil
+	plan.TileSizes = nil
+	plan.ReduceOps, plan.ReduceBits, plan.ReduceMoveBits = 0, 0, 0
+
+	if cfg.KeepPrograms {
+		plan.StripPlans = make([]StripPlan, strips)
+		for s := range plan.StripPlans {
+			lo := s * capacity
+			hi := lo + capacity
+			if hi > cin {
+				hi = cin
+			}
+			for c := lo; c < hi; c++ {
+				plan.StripPlans[s].Channels = append(plan.StripPlans[s].Channels, c)
+			}
+		}
+	}
+
+	for t := 0; t < plan.Tiles; t++ {
+		rowLo := t * tile
+		rowHi := rowLo + tile
+		if rowHi > cout {
+			rowHi = cout
+		}
+		tsize := rowHi - rowLo
+		plan.TileSizes = append(plan.TileSizes, tsize)
+
+		// Build (in parallel) the per-channel slice DFGs of this tile.
+		graphs := make([]*dfg.Graph, cin)
+		build := func(c int) {
+			s := w.Slice(c).RowRange(rowLo, rowHi)
+			gph := dfg.Build(s, opt)
+			gph.AnnotateWidths(ai.Lo, ai.Hi)
+			graphs[c] = gph
+		}
+		if cfg.Parallel && cin > 1 {
+			var wg sync.WaitGroup
+			nw := runtime.GOMAXPROCS(0)
+			ch := make(chan int)
+			for i := 0; i < nw; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for c := range ch {
+						build(c)
+					}
+				}()
+			}
+			for c := 0; c < cin; c++ {
+				ch <- c
+			}
+			close(ch)
+			wg.Wait()
+		} else {
+			for c := 0; c < cin; c++ {
+				build(c)
+			}
+		}
+
+		for s := 0; s < strips; s++ {
+			chLo := s * capacity
+			chHi := chLo + capacity
+			if chHi > cin {
+				chHi = cin
+			}
+			lay := codegen.Layout{
+				K: k, ActBits: ai.Bits, ActUnsigned: ai.Unsigned,
+				AccWidth: accW, TileSize: tsize, AccSlots: slots,
+				Planes: planes, ChansPerPlane: g,
+				InputCols: inputCols, AccCols: accCols[:(tsize+slots-1)/slots],
+				CarryCol: carryCol, TempCols: tempCols,
+				InputBase: 0, AccBase: 0, CarryBase: 0,
+			}
+			b, err := codegen.NewTileBuilder(lay)
+			if err != nil {
+				return err
+			}
+			for c := chLo; c < chHi; c++ {
+				if err := b.AddChannel(c-chLo, graphs[c]); err != nil {
+					return fmt.Errorf("tile %d strip %d: %w", t, s, err)
+				}
+			}
+			tp, err := b.Finish()
+			if err != nil {
+				return err
+			}
+			plan.CG.Add(tp.Stats)
+			if cfg.KeepPrograms {
+				plan.StripPlans[s].Programs = append(plan.StripPlans[s].Programs, tp)
+			}
+		}
+
+		for c := 0; c < cin; c++ {
+			plan.AddSubOps += graphs[c].NumOps()
+			s := w.Slice(c).RowRange(rowLo, rowHi)
+			if n := s.NNZ(); n > 0 {
+				plan.NaiveOps += n - 1
+			}
+		}
+
+		// Inter-strip adder tree for this tile.
+		merges := replicas - 1
+		plan.ReduceOps += merges * tsize
+		plan.ReduceBits += merges * tsize * accW
+		plan.ReduceMoveBits += int64(merges) * int64(plan.P) * int64(tsize) * int64(accW)
+	}
+
+	// Input staging (consumer-side accounting). Output-parallel array
+	// groups each stage their own copy of the inputs.
+	plan.LoadMoveBits = int64(plan.InC) * int64(plan.InH) * int64(plan.InW) * int64(ai.Bits)
+	plan.LoadWriteBits = int64(cin) * int64(plan.P) * int64(k) * int64(ai.Bits) * int64(plan.OutGroups)
+	return nil
+}

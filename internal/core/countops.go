@@ -1,0 +1,76 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"rtmap/internal/dfg"
+	"rtmap/internal/model"
+)
+
+// OpCounts carries the Table II "#Adds/Subs" metrics of one network: the
+// DFG add/sub count over full (untiled) weight slices, which is the
+// compiler-level quantity the paper reports, for both evaluated
+// configurations.
+type OpCounts struct {
+	Unroll int // loop unrolling + constant folding only
+	CSE    int // all optimizations of Fig. 3a
+	// PerLayer maps conv-layer plan order to (unroll, cse) pairs.
+	PerLayer [][2]int
+}
+
+// CountOps computes the slice-DFG operation counts of every conv/linear
+// layer without emitting programs (full Cout slices, no output tiling — the
+// arithmetic-level metric of §IV-A; the executed, tiled counts live in
+// LayerPlan.AddSubOps).
+func CountOps(net *model.Network, parallel bool) (OpCounts, error) {
+	if err := net.Validate(); err != nil {
+		return OpCounts{}, err
+	}
+	var oc OpCounts
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		if l.Kind != model.KindConv && l.Kind != model.KindLinear {
+			continue
+		}
+		cin := l.W.Cin
+		un := make([]int, cin)
+		cs := make([]int, cin)
+		count := func(c int) {
+			s := l.W.Slice(c)
+			un[c] = dfg.Build(s, dfg.Options{}).NumOps()
+			cs[c] = dfg.Build(s, dfg.Options{CSE: true}).NumOps()
+		}
+		if parallel && cin > 1 {
+			var wg sync.WaitGroup
+			ch := make(chan int)
+			for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for c := range ch {
+						count(c)
+					}
+				}()
+			}
+			for c := 0; c < cin; c++ {
+				ch <- c
+			}
+			close(ch)
+			wg.Wait()
+		} else {
+			for c := 0; c < cin; c++ {
+				count(c)
+			}
+		}
+		layerUn, layerCSE := 0, 0
+		for c := 0; c < cin; c++ {
+			layerUn += un[c]
+			layerCSE += cs[c]
+		}
+		oc.Unroll += layerUn
+		oc.CSE += layerCSE
+		oc.PerLayer = append(oc.PerLayer, [2]int{layerUn, layerCSE})
+	}
+	return oc, nil
+}

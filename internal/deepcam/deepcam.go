@@ -1,0 +1,119 @@
+// Package deepcam models the DeepCAM baseline [4] of Table II: a fully
+// CAM-based inference accelerator that approximates dot products by
+// hashing weights and activations into binary signatures and measuring
+// match-line discharge timing (a Hamming-distance readout) on large
+// (512×1024) CAM arrays with variable hash lengths.
+//
+// The paper compares against DeepCAM only at whole-network granularity and
+// notes two caveats it reproduces here: (a) extremely low energy on small
+// VGG-style networks, and (b) poor scaling — both accuracy and energy
+// efficiency — on deeper networks like ResNet-18, because the
+// random-projection approximation error compounds with depth and larger
+// fan-ins demand longer hashes.
+package deepcam
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+// Params are the DeepCAM figures of merit.
+type Params struct {
+	ArrayRows, ArrayCols int
+	HashLen              int     // binary signature length (variable in [4])
+	SearchPJPerBit       float64 // CAM search energy per cell
+	MatchNSPerSearch     float64 // match-line discharge + timing readout
+	PeriphPJPerOut       float64 // time-to-digital conversion per output
+	MovePJBit            float64
+}
+
+// Default returns the configuration used for the Table II row
+// (512×1024 arrays as in [4]).
+func Default() Params {
+	return Params{
+		ArrayRows: 512, ArrayCols: 1024,
+		HashLen:          64,
+		SearchPJPerBit:   0.02,
+		MatchNSPerSearch: 5.0,
+		PeriphPJPerOut:   1.9,
+		MovePJBit:        1.0,
+	}
+}
+
+// Report is the whole-network DeepCAM estimate.
+type Report struct {
+	EnergyPJ  float64
+	LatencyNS float64
+	Arrays    int
+	// ApproxSigma is the modeled relative standard deviation of the
+	// Hamming dot-product approximation at the final layer — the driver
+	// of DeepCAM's accuracy loss on complex tasks.
+	ApproxSigma float64
+}
+
+// EnergyUJ returns energy in µJ.
+func (r *Report) EnergyUJ() float64 { return r.EnergyPJ / 1e6 }
+
+// LatencyMS returns latency in ms.
+func (r *Report) LatencyMS() float64 { return r.LatencyNS / 1e6 }
+
+// Analyze estimates DeepCAM's cost on the network.
+func Analyze(net *model.Network, par Params) *Report {
+	rep := &Report{}
+	shapes := net.OutShapes(1)
+	weights := 0
+	depth := 0
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		if l.Kind != model.KindConv && l.Kind != model.KindLinear {
+			continue
+		}
+		depth++
+		weights += l.W.Elems()
+		p := shapes[i].H * shapes[i].W
+		outs := float64(p) * float64(l.W.Cout)
+		// One hash-length CAM search per output (all rows matched in
+		// parallel) and one match-line timing readout per output; readouts
+		// serialize through the time-to-digital converters.
+		rep.EnergyPJ += outs*float64(par.HashLen)*par.SearchPJPerBit + outs*par.PeriphPJPerOut
+		rep.LatencyNS += outs * par.MatchNSPerSearch
+		// Hash signatures of activations move between layers.
+		rep.EnergyPJ += float64(p) * float64(par.HashLen) * par.MovePJBit * 0.02
+	}
+	// Signature storage sets the array count (~1.25 signature bits per
+	// weight after hashing).
+	rep.Arrays = (weights*5/4 + par.ArrayRows*par.ArrayCols - 1) / (par.ArrayRows * par.ArrayCols)
+	// Relative error of an L-bit random-projection dot product is
+	// ~1/sqrt(L) per layer and compounds with depth (§V-A: accuracy of
+	// complex tasks "is more sensitive to approximation").
+	rep.ApproxSigma = math.Sqrt(float64(depth)) / math.Sqrt(float64(par.HashLen))
+	return rep
+}
+
+// ForwardHash runs the integer forward pass with DeepCAM's approximation
+// injected: every conv partial sum is perturbed with zero-mean noise of
+// standard deviation |sum|·/√HashLen (the Johnson–Lindenstrauss error of
+// the Hamming-distance dot-product estimate), deterministically seeded.
+func ForwardHash(net *model.Network, in *tensor.Float, par Params, seed uint64) (*model.IntTrace, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xdeebca3))
+	sigma := 1 / math.Sqrt(float64(par.HashLen))
+	return net.ForwardIntQuantized(in, func(x *tensor.Int, l *model.Layer) *tensor.Int {
+		out := tensor.ConvIntTernarySparse(x, l.W.W, l.ConvSpec())
+		// Scale of a typical partial sum for noise injection.
+		var meanAbs float64
+		for _, v := range out.Data {
+			meanAbs += math.Abs(float64(v))
+		}
+		if len(out.Data) > 0 {
+			meanAbs /= float64(len(out.Data))
+		}
+		for i, v := range out.Data {
+			noise := rng.NormFloat64() * sigma * (0.5*math.Abs(float64(v)) + 0.5*meanAbs)
+			out.Data[i] = v + int32(math.RoundToEven(noise))
+		}
+		return out
+	})
+}

@@ -1,0 +1,85 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz format (Fig. 3e of the paper shows
+// such a DFG for Equation (1)). Negated-alias outputs are drawn with
+// dashed edges, matching the paper's "red operator" convention for
+// negative outputs.
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n", name)
+	inputOf := make(map[int]int)
+	for k, id := range g.Inputs {
+		inputOf[id] = k
+	}
+	for i, nd := range g.Nodes {
+		switch nd.Kind {
+		case OpInput:
+			fmt.Fprintf(&b, "  n%d [shape=box,label=\"x%d\"];\n", i, inputOf[i])
+		case OpAdd:
+			fmt.Fprintf(&b, "  n%d [shape=circle,label=\"+\\n%db\"];\n", i, nd.Bits)
+		case OpSub:
+			fmt.Fprintf(&b, "  n%d [shape=circle,label=\"-\\n%db\"];\n", i, nd.Bits)
+		}
+		if nd.Kind == OpAdd || nd.Kind == OpSub {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", nd.A, i)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"r\"];\n", nd.B, i)
+		}
+	}
+	for o, ref := range g.Outputs {
+		if ref.Zero {
+			fmt.Fprintf(&b, "  y%d [shape=plaintext,label=\"y%d=0\"];\n", o, o)
+			continue
+		}
+		fmt.Fprintf(&b, "  y%d [shape=plaintext,label=\"y%d\"];\n", o, o)
+		style := ""
+		if ref.Neg {
+			style = " [style=dashed,label=\"neg\"]"
+		}
+		fmt.Fprintf(&b, "  n%d -> y%d%s;\n", ref.Node, o, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes a slice DFG for reporting.
+type Stats struct {
+	Inputs     int
+	AddSubOps  int // MVM-convention op count (the Table II metric)
+	NegAliases int
+	ZeroRows   int
+	MaxBits    int
+	Depth      int // longest op chain (latency-relevant)
+}
+
+// Statistics computes summary statistics (widths must be annotated first
+// for MaxBits to be meaningful).
+func (g *Graph) Statistics() Stats {
+	s := Stats{Inputs: len(g.Inputs), AddSubOps: g.NumOps(), MaxBits: g.MaxBits()}
+	depth := make([]int, len(g.Nodes))
+	for i, nd := range g.Nodes {
+		if nd.Kind == OpAdd || nd.Kind == OpSub {
+			d := depth[nd.A]
+			if depth[nd.B] > d {
+				d = depth[nd.B]
+			}
+			depth[i] = d + 1
+			if depth[i] > s.Depth {
+				s.Depth = depth[i]
+			}
+		}
+	}
+	for _, ref := range g.Outputs {
+		switch {
+		case ref.Zero:
+			s.ZeroRows++
+		case ref.Neg:
+			s.NegAliases++
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+// Package energy centralizes the figures of merit that drive the analytic
+// performance/energy model, taken from the paper's experimental setup
+// (§V): the 45 nm 256×256 RTM TCAM of Gnawali et al. [12] (search delay
+// under 200 ps, ≈3 fJ per bit searched), 64 domains per nanowire [9],
+// 1 pJ/bit for internal data movement at tile/bank/global level [14], and
+// the 8-cycle in-place / 10-cycle out-of-place LUT operations whose 0.8 ns
+// and 1 ns durations (§V-C) pin the cycle time at 100 ps.
+//
+// All energies are expressed in picojoules and all times in nanoseconds.
+package energy
+
+// Params holds every constant of the cost model. Zero values are invalid;
+// use Default (paper configuration) and override selectively.
+type Params struct {
+	// Geometry.
+	CAMRows         int // rows per AP array (256)
+	CAMCols         int // columns per AP array (256)
+	DomainsPerTrack int // racetrack domains per nanowire cell (64)
+
+	// Timing.
+	CycleNS      float64 // one search or write phase (0.1 ns = 100 ps)
+	ShiftNS      float64 // one domain-wall shift step of a DBC
+	MoveNSPerBit float64 // serialization latency of interconnect transfers
+
+	// Energy.
+	SearchPJPerBit float64 // per cell compared during a masked search (3e-3 pJ = 3 fJ)
+	WritePJPerBit  float64 // per cell written during a tagged parallel write
+	ShiftPJPerBit  float64 // per domain step per track shifted
+	MovePJPerBit   float64 // tile/bank/global interconnect (1 pJ/bit)
+
+	// Control overheads (instruction fetch/decode, tag management).
+	InstrOverheadPJ float64 // per AP macro-instruction
+	InstrOverheadNS float64 // per AP macro-instruction
+
+	// Accumulation units: the paper's accumulation phase runs on digital
+	// accumulators at the AP periphery ("our design relies on additional
+	// accumulation units", §V-B). Each accumulate costs one readout of the
+	// row value plus one narrow digital add.
+	AccumUnitPJ       float64 // digital add of one partial sum element
+	AccumReadPJPerBit float64 // sensing one stored bit for accumulation
+	AccumLatNS        float64 // pipelined accumulate issue interval per strip
+
+	// ActivationMoveFrac is the fraction of activation bits that crosses
+	// the interconnect between layers: feature maps are computed in place
+	// (§IV: "data-centric approach"), so only patches spanning row-group
+	// boundaries and layout changes travel (the paper keeps total data
+	// movement near 3%).
+	ActivationMoveFrac float64
+	// MoveAllowancePJ is the per-layer reduction-traffic allowance the
+	// planner may always spend when splitting channels across strips.
+	MoveAllowancePJ float64
+
+	// Peripheral requantization (fused ReLU+requantize per OFM element).
+	RequantPJPerElem float64
+	RequantNSPerOp   float64 // per SIMD requantize pass over one AP
+
+	// Write endurance of RTM cells in write cycles (§V-C quotes 10^16 [9]).
+	EnduranceCycles float64
+}
+
+// Default returns the paper's configuration.
+func Default() Params {
+	return Params{
+		CAMRows:         256,
+		CAMCols:         256,
+		DomainsPerTrack: 64,
+
+		CycleNS:      0.1,
+		ShiftNS:      0.1,       // overlapped with compute phases; see DESIGN.md
+		MoveNSPerBit: 0.0078125, // 128-bit links at 1 GHz
+
+		SearchPJPerBit: 0.003, // 3 fJ/bit [12]
+		WritePJPerBit:  0.002, // RTM domain-wall write, few-fJ class [12]
+		ShiftPJPerBit:  0.0005,
+		MovePJPerBit:   1.0, // [14]
+
+		InstrOverheadPJ: 0.3,
+		InstrOverheadNS: 0.0,
+
+		AccumUnitPJ:       0.03,
+		AccumReadPJPerBit: 0.002,
+		AccumLatNS:        0.8,
+
+		ActivationMoveFrac: 0.05,
+		MoveAllowancePJ:    1e5, // 0.1 µJ
+
+		RequantPJPerElem: 0.15,
+		RequantNSPerOp:   1.0,
+
+		EnduranceCycles: 1e16,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() bool {
+	return p.CAMRows > 0 && p.CAMCols > 0 && p.DomainsPerTrack > 0 &&
+		p.CycleNS > 0 && p.SearchPJPerBit > 0 && p.WritePJPerBit > 0 &&
+		p.MovePJPerBit > 0
+}
+
+// Breakdown is the per-component energy decomposition used in Fig. 4:
+// the channel-wise DFG phase, the accumulation phase (local + inter-AP
+// adder tree), RTM shifts, data movement over the interconnect, and
+// peripheral/control overheads.
+type Breakdown struct {
+	DFGPJ         float64
+	AccumPJ       float64
+	ShiftPJ       float64
+	MovementPJ    float64
+	PeripheralsPJ float64
+}
+
+// TotalPJ returns the sum of all components.
+func (b Breakdown) TotalPJ() float64 {
+	return b.DFGPJ + b.AccumPJ + b.ShiftPJ + b.MovementPJ + b.PeripheralsPJ
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.DFGPJ += o.DFGPJ
+	b.AccumPJ += o.AccumPJ
+	b.ShiftPJ += o.ShiftPJ
+	b.MovementPJ += o.MovementPJ
+	b.PeripheralsPJ += o.PeripheralsPJ
+}
+
+// Scale multiplies every component by f and returns the result.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		DFGPJ:         b.DFGPJ * f,
+		AccumPJ:       b.AccumPJ * f,
+		ShiftPJ:       b.ShiftPJ * f,
+		MovementPJ:    b.MovementPJ * f,
+		PeripheralsPJ: b.PeripheralsPJ * f,
+	}
+}

@@ -1,0 +1,55 @@
+package energy
+
+import "testing"
+
+func TestDefaultMatchesPaperFiguresOfMerit(t *testing.T) {
+	p := Default()
+	// §V pins these: 256×256 arrays, 64 domains per nanowire, 3 fJ/bit
+	// search, 1 pJ/bit movement, 100 ps cycle (8 cycles = 0.8 ns in-place),
+	// 10^16 endurance cycles.
+	if p.CAMRows != 256 || p.CAMCols != 256 {
+		t.Errorf("array geometry %dx%d, want 256x256", p.CAMRows, p.CAMCols)
+	}
+	if p.DomainsPerTrack != 64 {
+		t.Errorf("domains %d, want 64", p.DomainsPerTrack)
+	}
+	if p.SearchPJPerBit != 0.003 {
+		t.Errorf("search energy %g pJ/bit, want 0.003 (3 fJ)", p.SearchPJPerBit)
+	}
+	if p.MovePJPerBit != 1.0 {
+		t.Errorf("movement %g pJ/bit, want 1.0", p.MovePJPerBit)
+	}
+	if p.CycleNS != 0.1 {
+		t.Errorf("cycle %g ns, want 0.1 (8 cycles = 0.8 ns in-place op)", p.CycleNS)
+	}
+	if p.EnduranceCycles != 1e16 {
+		t.Errorf("endurance %g, want 1e16", p.EnduranceCycles)
+	}
+	if !p.Validate() {
+		t.Error("default params must validate")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{DFGPJ: 1, AccumPJ: 2, ShiftPJ: 3, MovementPJ: 4, PeripheralsPJ: 5}
+	if a.TotalPJ() != 15 {
+		t.Errorf("total %g, want 15", a.TotalPJ())
+	}
+	var b Breakdown
+	b.Add(a)
+	b.Add(a)
+	if b.TotalPJ() != 30 {
+		t.Errorf("sum %g, want 30", b.TotalPJ())
+	}
+	s := a.Scale(2)
+	if s.DFGPJ != 2 || s.TotalPJ() != 30 {
+		t.Errorf("scale wrong: %+v", s)
+	}
+}
+
+func TestValidateRejectsZero(t *testing.T) {
+	var p Params
+	if p.Validate() {
+		t.Error("zero params must not validate")
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"rtmap/internal/quant"
+	"rtmap/internal/tensor"
+)
+
+// maxCalibSamplesPerSite bounds how many activation values each
+// quantization site contributes per calibration input (strided
+// subsampling keeps calibration linear in network size, not tensor size).
+const maxCalibSamplesPerSite = 8192
+
+// Calibrate fits every activation quantizer (and the input quantizer) on
+// the given calibration inputs by running the float reference path without
+// fake quantization and minimizing per-site reconstruction MSE — the
+// post-training surrogate for LSQ described in internal/quant.
+// Quantizers sharing a ShareID are fitted jointly on their pooled samples
+// so residual branches land on a common grid.
+func Calibrate(n *Network, inputs []*tensor.Float) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("model: calibration requires at least one input")
+	}
+
+	// Input quantizer: fit on raw input values.
+	var inSample []float32
+	for _, in := range inputs {
+		inSample = appendStrided(inSample, in.Data, maxCalibSamplesPerSite)
+	}
+	n.InputQ = quant.Calibrate(inSample, n.InputQ.Bits, n.InputQ.Signed)
+
+	// Gather pre-quantization samples per site (after ReLU when fused).
+	siteSamples := make(map[int][]float32) // layer index → samples
+	for _, in := range inputs {
+		outs, err := n.ForwardFloat(in, false)
+		if err != nil {
+			return err
+		}
+		for i := range n.Layers {
+			l := &n.Layers[i]
+			if l.Kind != KindActQuant {
+				continue
+			}
+			src := outs[l.Inputs[0]]
+			if l.Inputs[0] == InputRef {
+				src = in
+			}
+			vals := src.Data
+			if l.ReLU {
+				clipped := make([]float32, 0, min(len(vals), maxCalibSamplesPerSite))
+				step := 1 + len(vals)/maxCalibSamplesPerSite
+				for j := 0; j < len(vals); j += step {
+					v := vals[j]
+					if v < 0 {
+						v = 0
+					}
+					clipped = append(clipped, v)
+				}
+				siteSamples[i] = append(siteSamples[i], clipped...)
+			} else {
+				siteSamples[i] = appendStrided(siteSamples[i], vals, maxCalibSamplesPerSite)
+			}
+		}
+	}
+
+	// Pool samples for shared sites.
+	shared := make(map[int][]float32)
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		if l.Kind == KindActQuant && l.ShareID > 0 {
+			shared[l.ShareID] = append(shared[l.ShareID], siteSamples[i]...)
+		}
+	}
+
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		if l.Kind != KindActQuant {
+			continue
+		}
+		sample := siteSamples[i]
+		if l.ShareID > 0 {
+			sample = shared[l.ShareID]
+		}
+		if len(sample) == 0 {
+			return fmt.Errorf("model: no calibration samples for layer %d (%s)", i, l.Name)
+		}
+		l.Q = quant.Calibrate(sample, l.Q.Bits, l.Q.Signed)
+	}
+	return nil
+}
+
+func appendStrided(dst []float32, src []float32, maxN int) []float32 {
+	step := 1 + len(src)/maxN
+	for i := 0; i < len(src); i += step {
+		dst = append(dst, src[i])
+	}
+	return dst
+}

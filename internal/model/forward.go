@@ -1,0 +1,222 @@
+package model
+
+import (
+	"fmt"
+
+	"rtmap/internal/quant"
+	"rtmap/internal/tensor"
+)
+
+// IntTrace captures the integer execution of a network: per-layer output
+// code tensors and the real-valued scale attached to each (value ≈
+// code·scale). The functional AP simulator replays conv layers against
+// this trace to prove bit-exactness with the software reference.
+type IntTrace struct {
+	Outputs []*tensor.Int
+	Scales  []float64
+	// InputCodes is the quantized network input presented to layer 0.
+	InputCodes *tensor.Int
+}
+
+// Logits returns the final layer output codes.
+func (t *IntTrace) Logits() *tensor.Int { return t.Outputs[len(t.Outputs)-1] }
+
+// InputOf returns the code tensor feeding layer i (resolving InputRef).
+func (t *IntTrace) InputOf(n *Network, i int, arg int) *tensor.Int {
+	idx := n.Layers[i].Inputs[arg]
+	if idx == InputRef {
+		return t.InputCodes
+	}
+	return t.Outputs[idx]
+}
+
+// ForwardInt runs the integer reference path: activations are integer codes
+// exactly as stored in the AP's nanowires, convolutions are pure ternary
+// add/sub accumulations, and KindActQuant layers apply the fused
+// ReLU+requantize step. This is the "software accuracy" baseline the AP
+// must match bit-for-bit.
+func (n *Network) ForwardInt(in *tensor.Float) (*IntTrace, error) {
+	return n.ForwardIntQuantized(in, func(x *tensor.Int, l *Layer) *tensor.Int {
+		return tensor.ConvIntTernarySparse(x, l.W.W, l.ConvSpec())
+	})
+}
+
+// ForwardIntQuantized runs the integer path with a custom conv/linear
+// executor. Baseline models use it to inject their analog imperfections
+// (e.g. the crossbar's per-tile ADC requantization) while keeping every
+// other layer bit-identical to the reference, so accuracy comparisons
+// isolate exactly the compute-substrate difference.
+func (n *Network) ForwardIntQuantized(in *tensor.Float,
+	conv func(x *tensor.Int, l *Layer) *tensor.Int) (*IntTrace, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	want := n.InputShape
+	if in.Shape.C != want.C || in.Shape.H != want.H || in.Shape.W != want.W {
+		return nil, fmt.Errorf("model %s: input shape %v, want CxHxW %dx%dx%d",
+			n.Name, in.Shape, want.C, want.H, want.W)
+	}
+	codes := tensor.NewInt(in.Shape)
+	for i, v := range in.Data {
+		codes.Data[i] = n.InputQ.Quantize(v)
+	}
+	tr := &IntTrace{
+		Outputs:    make([]*tensor.Int, len(n.Layers)),
+		Scales:     make([]float64, len(n.Layers)),
+		InputCodes: codes,
+	}
+	getT := func(idx int) *tensor.Int {
+		if idx == InputRef {
+			return codes
+		}
+		return tr.Outputs[idx]
+	}
+	getS := func(idx int) float64 {
+		if idx == InputRef {
+			return float64(n.InputQ.Step)
+		}
+		return tr.Scales[idx]
+	}
+
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		x := getT(l.Inputs[0])
+		s := getS(l.Inputs[0])
+		switch l.Kind {
+		case KindConv, KindLinear:
+			tr.Outputs[i] = conv(x, l)
+			tr.Scales[i] = s * float64(l.WScale)
+		case KindMaxPool:
+			tr.Outputs[i] = tensor.MaxPoolInt(x, l.Pool)
+			tr.Scales[i] = s
+		case KindGlobalAvgPool:
+			tr.Outputs[i] = tensor.GlobalAvgPoolInt(x)
+			tr.Scales[i] = s
+		case KindActQuant:
+			out := tensor.NewInt(x.Shape)
+			scale := s / float64(l.Q.Step)
+			for j, c := range x.Data {
+				out.Data[j] = RequantCode(c, scale, l.Q, l.ReLU)
+			}
+			tr.Outputs[i] = out
+			tr.Scales[i] = float64(l.Q.Step)
+		case KindAdd:
+			y := getT(l.Inputs[1])
+			sy := getS(l.Inputs[1])
+			if !scalesClose(s, sy) {
+				return nil, fmt.Errorf("layer %d (%s): residual scales differ (%g vs %g)",
+					i, l.Name, s, sy)
+			}
+			out := x.Clone()
+			out.AddInt(y)
+			tr.Outputs[i] = out
+			tr.Scales[i] = s
+		case KindFlatten:
+			out := &tensor.Int{
+				Shape: tensor.Shape{N: x.Shape.N, C: x.Shape.C * x.Shape.H * x.Shape.W, H: 1, W: 1},
+				Data:  x.Data,
+			}
+			tr.Outputs[i] = out
+			tr.Scales[i] = s
+		default:
+			return nil, fmt.Errorf("layer %d: unknown kind %v", i, l.Kind)
+		}
+	}
+	return tr, nil
+}
+
+// RequantCode applies the fused activation/requantization step to one
+// accumulated partial sum: ReLU+requantize for hidden activations, or a
+// plain clamp onto a (possibly signed) grid for residual alignment. The
+// functional AP simulator applies exactly this function in its peripheral
+// requantize step so the integer paths stay bit-identical.
+func RequantCode(c int32, scale float64, q quant.Quantizer, relu bool) int32 {
+	if relu {
+		return quant.Requantize(c, scale, q)
+	}
+	v := int32(roundToEven(float64(c) * scale))
+	if v < q.Qn() {
+		v = q.Qn()
+	}
+	if v > q.Qp() {
+		v = q.Qp()
+	}
+	return v
+}
+
+func roundToEven(x float64) float64 {
+	f := float64(int64(x))
+	d := x - f
+	switch {
+	case d > 0.5 || (d == 0.5 && int64(f)%2 != 0):
+		return f + 1
+	case d < -0.5 || (d == -0.5 && int64(f)%2 != 0):
+		return f - 1
+	}
+	return f
+}
+
+func scalesClose(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= 1e-9*m
+}
+
+// ForwardFloat runs the full-precision reference path: float activations,
+// dequantized ternary weights (±α), ReLU, and fake-quantization at the
+// KindActQuant sites (straight-through estimate of the integer path). With
+// quantizers disabled (Step == 0 is not allowed, so callers pass
+// fakeQuant=false) this is the FP teacher used by the accuracy harness.
+func (n *Network) ForwardFloat(in *tensor.Float, fakeQuant bool) ([]*tensor.Float, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Float, len(n.Layers))
+	get := func(idx int) *tensor.Float {
+		if idx == InputRef {
+			return in
+		}
+		return outs[idx]
+	}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		x := get(l.Inputs[0])
+		switch l.Kind {
+		case KindConv, KindLinear:
+			outs[i] = tensor.ConvFloatTernary(x, l.W.W, l.WScale, l.ConvSpec())
+		case KindMaxPool:
+			outs[i] = tensor.MaxPoolFloat(x, l.Pool)
+		case KindGlobalAvgPool:
+			outs[i] = tensor.GlobalAvgPoolFloat(x)
+		case KindActQuant:
+			out := x.Clone()
+			if l.ReLU {
+				out.ReLUFloat()
+			}
+			if fakeQuant {
+				for j, v := range out.Data {
+					out.Data[j] = l.Q.FakeQuant(v)
+				}
+			}
+			outs[i] = out
+		case KindAdd:
+			out := x.Clone()
+			out.AddFloat(get(l.Inputs[1]))
+			outs[i] = out
+		case KindFlatten:
+			outs[i] = &tensor.Float{
+				Shape: tensor.Shape{N: x.Shape.N, C: x.Shape.C * x.Shape.H * x.Shape.W, H: 1, W: 1},
+				Data:  x.Data,
+			}
+		default:
+			return nil, fmt.Errorf("layer %d: unknown kind %v", i, l.Kind)
+		}
+	}
+	return outs, nil
+}

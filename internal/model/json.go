@@ -1,0 +1,188 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rtmap/internal/quant"
+	"rtmap/internal/tensor"
+	"rtmap/internal/ternary"
+)
+
+// The JSON model format is the repository's stand-in for the ONNX import
+// in Fig. 3a of the paper: a self-contained serialization of a trained,
+// ternarized, quantization-annotated network. Weights are stored as
+// base64-encoded bytes with the mapping {0→0, 1→+1, 2→−1}.
+
+type jsonQuant struct {
+	Bits   int     `json:"bits"`
+	Step   float32 `json:"step"`
+	Signed bool    `json:"signed,omitempty"`
+}
+
+type jsonLayer struct {
+	Kind    string     `json:"kind"`
+	Name    string     `json:"name"`
+	Inputs  []int      `json:"inputs"`
+	Cout    int        `json:"cout,omitempty"`
+	Cin     int        `json:"cin,omitempty"`
+	Fh      int        `json:"fh,omitempty"`
+	Fw      int        `json:"fw,omitempty"`
+	Weights []byte     `json:"weights,omitempty"`
+	WScale  float32    `json:"wscale,omitempty"`
+	Stride  int        `json:"stride,omitempty"`
+	Pad     int        `json:"pad,omitempty"`
+	PoolK   int        `json:"pool_k,omitempty"`
+	PoolS   int        `json:"pool_stride,omitempty"`
+	PoolP   int        `json:"pool_pad,omitempty"`
+	Quant   *jsonQuant `json:"quant,omitempty"`
+	ReLU    bool       `json:"relu,omitempty"`
+	ShareID int        `json:"share_id,omitempty"`
+}
+
+type jsonNetwork struct {
+	Format string      `json:"format"`
+	Name   string      `json:"name"`
+	Input  [4]int      `json:"input_nchw"`
+	InputQ jsonQuant   `json:"input_quant"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+const formatTag = "rtmap-twn-v1"
+
+func encodeTernary(w []int8) []byte {
+	b := make([]byte, len(w))
+	for i, v := range w {
+		switch v {
+		case 0:
+			b[i] = 0
+		case 1:
+			b[i] = 1
+		case -1:
+			b[i] = 2
+		default:
+			panic(fmt.Sprintf("model: non-ternary weight %d", v))
+		}
+	}
+	return b
+}
+
+func decodeTernary(b []byte) ([]int8, error) {
+	w := make([]int8, len(b))
+	for i, v := range b {
+		switch v {
+		case 0:
+			w[i] = 0
+		case 1:
+			w[i] = 1
+		case 2:
+			w[i] = -1
+		default:
+			return nil, fmt.Errorf("model: invalid ternary byte %d at %d", v, i)
+		}
+	}
+	return w, nil
+}
+
+// WriteJSON serializes the network.
+func (n *Network) WriteJSON(w io.Writer) error {
+	jn := jsonNetwork{
+		Format: formatTag,
+		Name:   n.Name,
+		Input:  [4]int{n.InputShape.N, n.InputShape.C, n.InputShape.H, n.InputShape.W},
+		InputQ: jsonQuant{Bits: n.InputQ.Bits, Step: n.InputQ.Step, Signed: n.InputQ.Signed},
+	}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		jl := jsonLayer{Kind: l.Kind.String(), Name: l.Name, Inputs: l.Inputs}
+		switch l.Kind {
+		case KindConv, KindLinear:
+			jl.Cout, jl.Cin, jl.Fh, jl.Fw = l.W.Cout, l.W.Cin, l.W.Fh, l.W.Fw
+			jl.Weights = encodeTernary(l.W.W)
+			jl.WScale = l.WScale
+			jl.Stride, jl.Pad = l.Stride, l.Pad
+		case KindMaxPool:
+			jl.PoolK, jl.PoolS, jl.PoolP = l.Pool.K, l.Pool.Stride, l.Pool.Pad
+		case KindActQuant:
+			jl.Quant = &jsonQuant{Bits: l.Q.Bits, Step: l.Q.Step, Signed: l.Q.Signed}
+			jl.ReLU = l.ReLU
+			jl.ShareID = l.ShareID
+		}
+		jn.Layers = append(jn.Layers, jl)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jn)
+}
+
+// ReadJSON deserializes a network written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("model: decoding: %w", err)
+	}
+	if jn.Format != formatTag {
+		return nil, fmt.Errorf("model: unknown format %q", jn.Format)
+	}
+	n := &Network{
+		Name:       jn.Name,
+		InputShape: tensor.Shape{N: jn.Input[0], C: jn.Input[1], H: jn.Input[2], W: jn.Input[3]},
+		InputQ:     quant.Quantizer{Bits: jn.InputQ.Bits, Step: jn.InputQ.Step, Signed: jn.InputQ.Signed},
+	}
+	kinds := map[string]Kind{}
+	for k, s := range kindNames {
+		kinds[s] = k
+	}
+	for i, jl := range jn.Layers {
+		k, ok := kinds[jl.Kind]
+		if !ok {
+			return nil, fmt.Errorf("model: layer %d: unknown kind %q", i, jl.Kind)
+		}
+		l := Layer{Kind: k, Name: jl.Name, Inputs: jl.Inputs}
+		switch k {
+		case KindConv, KindLinear:
+			wvals, err := decodeTernary(jl.Weights)
+			if err != nil {
+				return nil, fmt.Errorf("model: layer %d: %w", i, err)
+			}
+			l.W = &ternary.Weights{Cout: jl.Cout, Cin: jl.Cin, Fh: jl.Fh, Fw: jl.Fw, W: wvals}
+			l.WScale = jl.WScale
+			l.Stride, l.Pad = jl.Stride, jl.Pad
+		case KindMaxPool:
+			l.Pool = tensor.PoolSpec{K: jl.PoolK, Stride: jl.PoolS, Pad: jl.PoolP}
+		case KindActQuant:
+			if jl.Quant == nil {
+				return nil, fmt.Errorf("model: layer %d: actquant without quantizer", i)
+			}
+			l.Q = quant.Quantizer{Bits: jl.Quant.Bits, Step: jl.Quant.Step, Signed: jl.Quant.Signed}
+			l.ReLU = jl.ReLU
+			l.ShareID = jl.ShareID
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SaveFile writes the network to path as JSON.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.WriteJSON(f)
+}
+
+// LoadFile reads a network from a JSON file.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,229 @@
+// Package model defines the network intermediate representation consumed by
+// the RTM-AP compiler: a DAG of layers with ternary weights and explicit
+// activation-quantization points, plus reference float and integer
+// inference paths, the paper's model zoo (VGG-9, VGG-11, ResNet-18) and a
+// compact JSON serialization standing in for the ONNX import of Fig. 3a.
+package model
+
+import (
+	"fmt"
+
+	"rtmap/internal/quant"
+	"rtmap/internal/tensor"
+	"rtmap/internal/ternary"
+)
+
+// Kind enumerates layer types.
+type Kind int
+
+const (
+	// KindConv is a 2-D convolution with ternary weights.
+	KindConv Kind = iota
+	// KindLinear is a fully-connected layer (ternary 1×1 conv on C×1×1).
+	KindLinear
+	// KindMaxPool is K×K max pooling.
+	KindMaxPool
+	// KindGlobalAvgPool reduces each channel map to its mean.
+	KindGlobalAvgPool
+	// KindActQuant re-quantizes accumulated partial sums onto an activation
+	// grid, optionally applying ReLU first (the fused activation step of
+	// the accumulation phase, §IV-B).
+	KindActQuant
+	// KindAdd is an elementwise residual addition of two earlier outputs,
+	// which must be on identical activation grids.
+	KindAdd
+	// KindFlatten reshapes C×H×W to (C·H·W)×1×1.
+	KindFlatten
+)
+
+var kindNames = map[Kind]string{
+	KindConv:          "conv",
+	KindLinear:        "linear",
+	KindMaxPool:       "maxpool",
+	KindGlobalAvgPool: "gavgpool",
+	KindActQuant:      "actquant",
+	KindAdd:           "add",
+	KindFlatten:       "flatten",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// InputRef is the pseudo-index referring to the network input tensor.
+const InputRef = -1
+
+// Layer is one node of the network DAG. Exactly the fields relevant to its
+// Kind are populated.
+type Layer struct {
+	Kind   Kind
+	Name   string
+	Inputs []int // producing layer indices; InputRef = network input
+
+	// KindConv / KindLinear.
+	W      *ternary.Weights
+	WScale float32 // TWN scale α (float reference path only)
+	Stride int
+	Pad    int
+
+	// KindMaxPool.
+	Pool tensor.PoolSpec
+
+	// KindActQuant.
+	Q       quant.Quantizer
+	ReLU    bool
+	ShareID int // >0: quantizers with equal ShareID share one calibrated step
+}
+
+// Network is an executable layer DAG. Layers are stored in topological
+// order (every input index precedes its consumer).
+type Network struct {
+	Name       string
+	InputShape tensor.Shape // with N = 1; batch is set at execution time
+	InputQ     quant.Quantizer
+	Layers     []Layer
+}
+
+// Validate checks structural invariants: topological input ordering, arity
+// per kind, ternary weight validity, and Add-grid compatibility.
+func (n *Network) Validate() error {
+	if !n.InputShape.Valid() {
+		return fmt.Errorf("model %s: invalid input shape %v", n.Name, n.InputShape)
+	}
+	for i, l := range n.Layers {
+		arity := 1
+		if l.Kind == KindAdd {
+			arity = 2
+		}
+		if len(l.Inputs) != arity {
+			return fmt.Errorf("layer %d (%s): got %d inputs, want %d", i, l.Name, len(l.Inputs), arity)
+		}
+		for _, in := range l.Inputs {
+			if in != InputRef && (in < 0 || in >= i) {
+				return fmt.Errorf("layer %d (%s): input %d not topologically earlier", i, l.Name, in)
+			}
+		}
+		switch l.Kind {
+		case KindConv, KindLinear:
+			if l.W == nil {
+				return fmt.Errorf("layer %d (%s): missing weights", i, l.Name)
+			}
+			if err := l.W.Validate(); err != nil {
+				return fmt.Errorf("layer %d (%s): %w", i, l.Name, err)
+			}
+			if l.Kind == KindConv && l.Stride <= 0 {
+				return fmt.Errorf("layer %d (%s): stride %d", i, l.Name, l.Stride)
+			}
+		case KindMaxPool:
+			if l.Pool.K <= 0 || l.Pool.Stride <= 0 {
+				return fmt.Errorf("layer %d (%s): bad pool %+v", i, l.Name, l.Pool)
+			}
+		case KindActQuant:
+			if l.Q.Bits < 1 {
+				return fmt.Errorf("layer %d (%s): quantizer bits %d", i, l.Name, l.Q.Bits)
+			}
+		}
+	}
+	return nil
+}
+
+// ConvSpec returns the tensor.ConvSpec of a conv/linear layer.
+func (l *Layer) ConvSpec() tensor.ConvSpec {
+	switch l.Kind {
+	case KindConv:
+		return tensor.ConvSpec{
+			Cin: l.W.Cin, Cout: l.W.Cout, Fh: l.W.Fh, Fw: l.W.Fw,
+			Stride: l.Stride, Pad: l.Pad,
+		}
+	case KindLinear:
+		return tensor.ConvSpec{Cin: l.W.Cin, Cout: l.W.Cout, Fh: 1, Fw: 1, Stride: 1}
+	}
+	panic(fmt.Sprintf("model: ConvSpec on %v layer", l.Kind))
+}
+
+// OutShapes computes the static output shape of every layer for batch size
+// batchN.
+func (n *Network) OutShapes(batchN int) []tensor.Shape {
+	shapes := make([]tensor.Shape, len(n.Layers))
+	at := func(idx int) tensor.Shape {
+		if idx == InputRef {
+			s := n.InputShape
+			s.N = batchN
+			return s
+		}
+		return shapes[idx]
+	}
+	for i, l := range n.Layers {
+		in := at(l.Inputs[0])
+		switch l.Kind {
+		case KindConv, KindLinear:
+			shapes[i] = l.ConvSpec().OutShape(in)
+		case KindMaxPool:
+			shapes[i] = l.Pool.OutShape(in)
+		case KindGlobalAvgPool:
+			shapes[i] = tensor.Shape{N: in.N, C: in.C, H: 1, W: 1}
+		case KindActQuant, KindAdd:
+			shapes[i] = in
+		case KindFlatten:
+			shapes[i] = tensor.Shape{N: in.N, C: in.C * in.H * in.W, H: 1, W: 1}
+		default:
+			panic(fmt.Sprintf("model: unknown kind %v", l.Kind))
+		}
+	}
+	return shapes
+}
+
+// Output returns the index of the final layer.
+func (n *Network) Output() int { return len(n.Layers) - 1 }
+
+// ConvLayers returns the indices of all conv and linear layers in
+// definition order — the per-layer axis of the paper's Fig. 4.
+func (n *Network) ConvLayers() []int {
+	var idx []int
+	for i, l := range n.Layers {
+		if l.Kind == KindConv || l.Kind == KindLinear {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// LayerByName returns the index of the first layer with the given name, or
+// -1 when absent.
+func (n *Network) LayerByName(name string) int {
+	for i, l := range n.Layers {
+		if l.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalWeights returns the number of ternary weights in the network.
+func (n *Network) TotalWeights() int {
+	total := 0
+	for _, l := range n.Layers {
+		if l.W != nil {
+			total += l.W.Elems()
+		}
+	}
+	return total
+}
+
+// WeightSparsity returns the overall fraction of zero weights.
+func (n *Network) WeightSparsity() float64 {
+	nnz, total := 0, 0
+	for _, l := range n.Layers {
+		if l.W != nil {
+			nnz += l.W.NNZ()
+			total += l.W.Elems()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(nnz)/float64(total)
+}

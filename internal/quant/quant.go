@@ -1,0 +1,143 @@
+// Package quant implements activation quantization in the style of learned
+// step size quantization (LSQ, Esser et al. 2019), which the paper uses to
+// quantize activations to 8 and 4 bits while retaining accuracy.
+//
+// LSQ learns a step size s by gradient descent; the quantized value is
+//
+//	q = clamp(round(x/s), Qn, Qp),   x̂ = q·s.
+//
+// Training infrastructure is out of scope for this reproduction, so the
+// step is fitted by minimizing the mean squared reconstruction error over a
+// calibration sample (a standard post-training surrogate that converges to
+// the same fixed point LSQ reaches for these grids). The integer codes q
+// are exactly what the RTM-AP stores in its nanowires and computes on.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps float activations to integer codes on a uniform grid.
+// The zero point is always 0: activations are quantized after ReLU
+// (unsigned) and weights are ternary, so affine offsets are unnecessary.
+type Quantizer struct {
+	Bits   int     // code width in bits (4 or 8 in the paper)
+	Step   float32 // grid step size s
+	Signed bool    // signed codes use [-(2^(b-1)), 2^(b-1)-1]
+}
+
+// Qn returns the most negative representable code.
+func (q Quantizer) Qn() int32 {
+	if q.Signed {
+		return -(int32(1) << (q.Bits - 1))
+	}
+	return 0
+}
+
+// Qp returns the most positive representable code.
+func (q Quantizer) Qp() int32 {
+	if q.Signed {
+		return int32(1)<<(q.Bits-1) - 1
+	}
+	return int32(1)<<q.Bits - 1
+}
+
+// Quantize returns the integer code for x.
+func (q Quantizer) Quantize(x float32) int32 {
+	if q.Step == 0 {
+		return 0
+	}
+	c := int32(math.RoundToEven(float64(x) / float64(q.Step)))
+	if c < q.Qn() {
+		c = q.Qn()
+	}
+	if c > q.Qp() {
+		c = q.Qp()
+	}
+	return c
+}
+
+// Dequantize maps a code back to its real value.
+func (q Quantizer) Dequantize(c int32) float32 { return float32(c) * q.Step }
+
+// FakeQuant quantizes and dequantizes x (the straight-through value used by
+// the float reference path).
+func (q Quantizer) FakeQuant(x float32) float32 { return q.Dequantize(q.Quantize(x)) }
+
+// Valid reports whether the quantizer is usable.
+func (q Quantizer) Valid() bool { return q.Bits >= 1 && q.Bits <= 16 && q.Step > 0 }
+
+func (q Quantizer) String() string {
+	kind := "u"
+	if q.Signed {
+		kind = "s"
+	}
+	return fmt.Sprintf("%s%d(step=%g)", kind, q.Bits, q.Step)
+}
+
+// Calibrate fits the step size on a calibration sample by scanning a
+// geometric grid of candidate steps around max|x|/Qp and picking the
+// minimum-MSE step. This is the standard post-training surrogate for LSQ's
+// learned step.
+func Calibrate(sample []float32, bits int, signed bool) Quantizer {
+	if bits < 1 {
+		panic("quant: bits must be >= 1")
+	}
+	q := Quantizer{Bits: bits, Signed: signed}
+	var maxAbs float64
+	for _, v := range sample {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		q.Step = 1
+		return q
+	}
+	base := maxAbs / float64(q.Qp())
+	bestStep, bestErr := base, math.Inf(1)
+	// Scan steps from base/8 to 2·base: clipping a small tail of the
+	// distribution usually reduces MSE for bell-shaped activations.
+	for i := 0; i < 64; i++ {
+		s := base * math.Pow(2, -3+4*float64(i)/63)
+		cand := Quantizer{Bits: bits, Signed: signed, Step: float32(s)}
+		var mse float64
+		for _, v := range sample {
+			d := float64(v - cand.FakeQuant(v))
+			mse += d * d
+		}
+		if mse < bestErr {
+			bestErr, bestStep = mse, s
+		}
+	}
+	q.Step = float32(bestStep)
+	return q
+}
+
+// RequantScale returns the combined scale factor used when the accumulated
+// integer partial sums of a layer (inputs quantized with in, weights scaled
+// by wScale) are re-quantized onto the next layer's grid out:
+//
+//	next_code = clamp(round(acc · RequantScale), 0, out.Qp())
+//
+// The AP applies this in the fused activation step of the accumulation
+// phase (§IV-B); the crossbar baseline applies it in its ADC/shift-add
+// peripherals.
+func RequantScale(in Quantizer, wScale float32, out Quantizer) float64 {
+	return float64(in.Step) * float64(wScale) / float64(out.Step)
+}
+
+// Requantize applies RequantScale with ReLU semantics (codes below zero
+// clamp to zero), returning the next layer's activation code.
+func Requantize(acc int32, scale float64, out Quantizer) int32 {
+	c := int32(math.RoundToEven(float64(acc) * scale))
+	if c < 0 {
+		c = 0
+	}
+	if c > out.Qp() {
+		c = out.Qp()
+	}
+	return c
+}

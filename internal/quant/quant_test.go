@@ -1,0 +1,147 @@
+package quant
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeRanges(t *testing.T) {
+	u4 := Quantizer{Bits: 4, Step: 1}
+	if u4.Qn() != 0 || u4.Qp() != 15 {
+		t.Errorf("u4 range [%d,%d], want [0,15]", u4.Qn(), u4.Qp())
+	}
+	u8 := Quantizer{Bits: 8, Step: 1}
+	if u8.Qn() != 0 || u8.Qp() != 255 {
+		t.Errorf("u8 range [%d,%d], want [0,255]", u8.Qn(), u8.Qp())
+	}
+	s8 := Quantizer{Bits: 8, Step: 1, Signed: true}
+	if s8.Qn() != -128 || s8.Qp() != 127 {
+		t.Errorf("s8 range [%d,%d], want [-128,127]", s8.Qn(), s8.Qp())
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	q := Quantizer{Bits: 4, Step: 0.5}
+	if got := q.Quantize(100); got != 15 {
+		t.Errorf("over-range code = %d, want 15", got)
+	}
+	if got := q.Quantize(-100); got != 0 {
+		t.Errorf("under-range code = %d, want 0 (unsigned)", got)
+	}
+	if got := q.Quantize(1.0); got != 2 {
+		t.Errorf("1.0/0.5 = code %d, want 2", got)
+	}
+}
+
+func TestQuantizeZeroStep(t *testing.T) {
+	var q Quantizer
+	if q.Quantize(3) != 0 {
+		t.Error("zero-step quantizer must return code 0")
+	}
+}
+
+func TestCalibrateReconstructionError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	sample := make([]float32, 4096)
+	for i := range sample {
+		// Half-normal-ish post-ReLU distribution.
+		v := float32(math.Abs(rng.NormFloat64()))
+		sample[i] = v
+	}
+	for _, bits := range []int{4, 8} {
+		q := Calibrate(sample, bits, false)
+		if !q.Valid() {
+			t.Fatalf("calibrated quantizer invalid: %v", q)
+		}
+		var mse, energy float64
+		for _, v := range sample {
+			d := float64(v - q.FakeQuant(v))
+			mse += d * d
+			energy += float64(v) * float64(v)
+		}
+		rel := mse / energy
+		// 4-bit should reconstruct to within a few percent relative error,
+		// 8-bit much better.
+		limit := 0.02
+		if bits == 8 {
+			limit = 0.0005
+		}
+		if rel > limit {
+			t.Errorf("bits=%d relative MSE %.5f exceeds %.5f", bits, rel, limit)
+		}
+	}
+}
+
+func TestCalibrate8BitBeats4Bit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	sample := make([]float32, 2048)
+	for i := range sample {
+		sample[i] = float32(math.Abs(rng.NormFloat64())) * 3
+	}
+	errFor := func(bits int) float64 {
+		q := Calibrate(sample, bits, false)
+		var mse float64
+		for _, v := range sample {
+			d := float64(v - q.FakeQuant(v))
+			mse += d * d
+		}
+		return mse
+	}
+	if e8, e4 := errFor(8), errFor(4); e8 >= e4 {
+		t.Errorf("8-bit MSE %.6f should be below 4-bit MSE %.6f", e8, e4)
+	}
+}
+
+// Property: codes always stay within [Qn, Qp] and dequantize-quantize is a
+// fixed point.
+func TestQuickQuantizerInvariants(t *testing.T) {
+	f := func(x float32, stepRaw float32, signed bool) bool {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		step := float32(math.Abs(float64(stepRaw)))
+		if step < 1e-6 || step > 1e6 {
+			step = 0.25
+		}
+		q := Quantizer{Bits: 4, Step: step, Signed: signed}
+		c := q.Quantize(x)
+		if c < q.Qn() || c > q.Qp() {
+			return false
+		}
+		// Quantizing an on-grid value must be exact.
+		return q.Quantize(q.Dequantize(c)) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequantize(t *testing.T) {
+	in := Quantizer{Bits: 8, Step: 0.5}
+	out := Quantizer{Bits: 4, Step: 2}
+	scale := RequantScale(in, 1.0, out) // 0.5/2 = 0.25
+	if math.Abs(scale-0.25) > 1e-9 {
+		t.Fatalf("scale = %v, want 0.25", scale)
+	}
+	if got := Requantize(8, scale, out); got != 2 {
+		t.Errorf("requant(8) = %d, want 2", got)
+	}
+	if got := Requantize(-4, scale, out); got != 0 {
+		t.Errorf("requant(-4) = %d, want 0 (ReLU clamp)", got)
+	}
+	if got := Requantize(1000, scale, out); got != 15 {
+		t.Errorf("requant(1000) = %d, want 15 (saturate)", got)
+	}
+}
+
+func TestRoundToEvenBehaviour(t *testing.T) {
+	q := Quantizer{Bits: 8, Step: 1}
+	if got := q.Quantize(2.5); got != 2 {
+		t.Errorf("round-to-even(2.5) = %d, want 2", got)
+	}
+	if got := q.Quantize(3.5); got != 4 {
+		t.Errorf("round-to-even(3.5) = %d, want 4", got)
+	}
+}

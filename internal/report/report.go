@@ -1,0 +1,226 @@
+// Package report renders the evaluation artifacts: Table II (accuracy,
+// energy, latency, array and operation counts across systems) and the two
+// panels of Fig. 4 (layer-by-layer energy breakdown and latency for
+// ResNet-18 under NeuroSim, unroll, and unroll+CSE), as aligned text and
+// as TSV for plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table2Row is one row of Table II.
+type Table2Row struct {
+	Network  string
+	System   string
+	Sparsity float64 // NaN when not applicable
+
+	AccFP, Acc4, Acc8      float64 // top-1 (teacher agreement), NaN = n/a
+	Energy4UJ, Energy8UJ   float64
+	Latency4MS, Latency8MS float64
+	Arrays                 int
+	AddsUnrollK, AddsCSEK  float64 // thousands of DFG adds/subs, NaN = n/a
+}
+
+func cell(v float64, format string) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// RenderTable2 renders rows as an aligned text table with the same column
+// structure as the paper's Table II.
+func RenderTable2(rows []Table2Row) string {
+	header := []string{
+		"Network / System", "Spars.",
+		"FP", "Top-1 4b", "8b",
+		"E/inf 4b(uJ)", "8b(uJ)",
+		"Lat 4b(ms)", "8b(ms)",
+		"#Arrays", "#Adds unroll(K)", "+CSE(K)",
+	}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Network + " " + r.System,
+			cell(r.Sparsity, "%.2f"),
+			cell(r.AccFP, "%.1f"), cell(r.Acc4, "%.1f"), cell(r.Acc8, "%.1f"),
+			cell(r.Energy4UJ, "%.2f"), cell(r.Energy8UJ, "%.2f"),
+			cell(r.Latency4MS, "%.2f"), cell(r.Latency8MS, "%.2f"),
+			fmt.Sprintf("%d", r.Arrays),
+			cell(r.AddsUnrollK, "%.0f"), cell(r.AddsCSEK, "%.0f"),
+		})
+	}
+	return renderAligned(header, body)
+}
+
+// Table2TSV renders rows as tab-separated values.
+func Table2TSV(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("network\tsystem\tsparsity\tacc_fp\tacc_4b\tacc_8b\tenergy_4b_uJ\tenergy_8b_uJ\tlatency_4b_ms\tlatency_8b_ms\tarrays\tadds_unroll_k\tadds_cse_k\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\n",
+			r.Network, r.System,
+			cell(r.Sparsity, "%.2f"),
+			cell(r.AccFP, "%.1f"), cell(r.Acc4, "%.1f"), cell(r.Acc8, "%.1f"),
+			cell(r.Energy4UJ, "%.3f"), cell(r.Energy8UJ, "%.3f"),
+			cell(r.Latency4MS, "%.3f"), cell(r.Latency8MS, "%.3f"),
+			r.Arrays,
+			cell(r.AddsUnrollK, "%.1f"), cell(r.AddsCSEK, "%.1f"))
+	}
+	return b.String()
+}
+
+// Stacked holds per-layer, per-configuration, per-component values — the
+// structure of Fig. 4's stacked energy bars.
+type Stacked struct {
+	Title      string
+	Unit       string
+	Layers     []string      // x axis (20 conv layers for ResNet-18)
+	Configs    []string      // bar groups: NeuroSim, unroll, unroll+CSE
+	Components []string      // stack segments
+	Values     [][][]float64 // [layer][config][component]
+}
+
+// Totals returns per-layer per-config totals.
+func (s *Stacked) Totals() [][]float64 {
+	out := make([][]float64, len(s.Layers))
+	for i := range s.Layers {
+		out[i] = make([]float64, len(s.Configs))
+		for j := range s.Configs {
+			for _, v := range s.Values[i][j] {
+				out[i][j] += v
+			}
+		}
+	}
+	return out
+}
+
+// TSV renders the stacked data for plotting.
+func (s *Stacked) TSV() string {
+	var b strings.Builder
+	b.WriteString("layer\tconfig")
+	for _, c := range s.Components {
+		b.WriteString("\t" + c)
+	}
+	b.WriteString("\ttotal\n")
+	for i, l := range s.Layers {
+		for j, cfg := range s.Configs {
+			fmt.Fprintf(&b, "%s\t%s", l, cfg)
+			total := 0.0
+			for _, v := range s.Values[i][j] {
+				fmt.Fprintf(&b, "\t%.4g", v)
+				total += v
+			}
+			fmt.Fprintf(&b, "\t%.4g\n", total)
+		}
+	}
+	return b.String()
+}
+
+// Render prints per-layer grouped bars with component breakdown and an
+// ASCII magnitude bar, readable in a terminal.
+func (s *Stacked) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", s.Title, s.Unit)
+	totals := s.Totals()
+	maxV := 0.0
+	for i := range totals {
+		for j := range totals[i] {
+			if totals[i][j] > maxV {
+				maxV = totals[i][j]
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, l := range s.Layers {
+		fmt.Fprintf(&b, "%-14s", l)
+		for j, cfg := range s.Configs {
+			bar := int(math.Round(totals[i][j] / maxV * 30))
+			fmt.Fprintf(&b, " | %-10s %8.3f %s", cfg, totals[i][j], strings.Repeat("#", bar))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Lines is a per-layer line series (Fig. 4's latency panel).
+type Lines struct {
+	Title   string
+	Unit    string
+	Layers  []string
+	Configs []string
+	Values  [][]float64 // [layer][config]
+}
+
+// TSV renders the line series for plotting.
+func (l *Lines) TSV() string {
+	var b strings.Builder
+	b.WriteString("layer")
+	for _, c := range l.Configs {
+		b.WriteString("\t" + c)
+	}
+	b.WriteByte('\n')
+	for i, layer := range l.Layers {
+		b.WriteString(layer)
+		for j := range l.Configs {
+			fmt.Fprintf(&b, "\t%.4g", l.Values[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints the series as an aligned table.
+func (l *Lines) Render() string {
+	header := append([]string{"layer"}, l.Configs...)
+	var body [][]string
+	for i, layer := range l.Layers {
+		row := []string{layer}
+		for j := range l.Configs {
+			row = append(row, fmt.Sprintf("%.3f", l.Values[i][j]))
+		}
+		body = append(body, row)
+	}
+	return fmt.Sprintf("%s (%s)\n%s", l.Title, l.Unit, renderAligned(header, body))
+}
+
+func renderAligned(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

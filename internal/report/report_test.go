@@ -1,0 +1,100 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []Table2Row {
+	nan := math.NaN()
+	return []Table2Row{
+		{
+			Network: "ResNet18/ImageNet", System: "RTM-AP (unroll+CSE)", Sparsity: 0.8,
+			AccFP: 100, Acc4: 98.0, Acc8: 99.0,
+			Energy4UJ: 55.0, Energy8UJ: 78.6, Latency4MS: 2.46, Latency8MS: 4.10,
+			Arrays: 49, AddsUnrollK: 1499, AddsCSEK: 931,
+		},
+		{
+			Network: "ResNet18/ImageNet", System: "DNN+NeuroSim", Sparsity: nan,
+			AccFP: 100, Acc4: 91.0, Acc8: 92.0,
+			Energy4UJ: 104.9, Energy8UJ: 199.9, Latency4MS: 9.56, Latency8MS: 12.2,
+			Arrays: 41, AddsUnrollK: nan, AddsCSEK: nan,
+		},
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	out := RenderTable2(sampleRows())
+	for _, want := range []string{"RTM-AP", "DNN+NeuroSim", "49", "n/a", "931", "2.46"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2TSVColumns(t *testing.T) {
+	tsv := Table2TSV(sampleRows())
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	header := strings.Split(lines[0], "\t")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, "\t")); got != len(header) {
+			t.Errorf("row has %d columns, header has %d", got, len(header))
+		}
+	}
+}
+
+func stackedFixture() *Stacked {
+	return &Stacked{
+		Title: "energy", Unit: "uJ",
+		Layers:     []string{"L1", "L2"},
+		Configs:    []string{"a", "b"},
+		Components: []string{"x", "y"},
+		Values: [][][]float64{
+			{{1, 2}, {3, 4}},
+			{{5, 6}, {7, 8}},
+		},
+	}
+}
+
+func TestStackedTotals(t *testing.T) {
+	s := stackedFixture()
+	tot := s.Totals()
+	if tot[0][0] != 3 || tot[1][1] != 15 {
+		t.Errorf("totals %v", tot)
+	}
+}
+
+func TestStackedTSVAndRender(t *testing.T) {
+	s := stackedFixture()
+	tsv := s.TSV()
+	if !strings.Contains(tsv, "layer\tconfig\tx\ty\ttotal") {
+		t.Errorf("tsv header wrong:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "L2\tb\t7\t8\t15") {
+		t.Errorf("tsv missing row:\n%s", tsv)
+	}
+	render := s.Render()
+	if !strings.Contains(render, "L1") || !strings.Contains(render, "#") {
+		t.Errorf("render missing bars:\n%s", render)
+	}
+}
+
+func TestLinesTSVAndRender(t *testing.T) {
+	l := &Lines{
+		Title: "latency", Unit: "ms",
+		Layers:  []string{"L1", "L2"},
+		Configs: []string{"a", "b"},
+		Values:  [][]float64{{1, 2}, {3, 4}},
+	}
+	tsv := l.TSV()
+	if !strings.Contains(tsv, "layer\ta\tb") || !strings.Contains(tsv, "L2\t3\t4") {
+		t.Errorf("lines tsv wrong:\n%s", tsv)
+	}
+	if !strings.Contains(l.Render(), "latency (ms)") {
+		t.Error("render missing title")
+	}
+}

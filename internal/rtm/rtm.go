@@ -1,0 +1,163 @@
+// Package rtm models racetrack memory (RTM) at the device level: magnetic
+// nanowire tracks storing one bit per domain, access ports that can only
+// read/write the domain currently aligned with them, and the shift
+// operations that move domain walls to align a target domain (§II-C of the
+// paper). Tracks are grouped into domain-wall block clusters (DBCs) that
+// shift in lockstep; the CAM model builds each column of an AP from one
+// DBC so a whole column changes bit-plane with a single shift command.
+//
+// The package keeps full cost accounting: lifetime shift steps per DBC and
+// per-domain write counts per track (for the §V-C endurance analysis).
+package rtm
+
+import "fmt"
+
+// Track is a single magnetic nanowire with one access port.
+type Track struct {
+	domains []uint8  // one bit per domain
+	writes  []uint64 // per-domain write count (endurance accounting)
+}
+
+// NewTrack allocates a zeroed track with n domains.
+func NewTrack(n int) *Track {
+	if n <= 0 {
+		panic(fmt.Sprintf("rtm: track needs positive domain count, got %d", n))
+	}
+	return &Track{domains: make([]uint8, n), writes: make([]uint64, n)}
+}
+
+// Domains returns the number of domains of the track.
+func (t *Track) Domains() int { return len(t.domains) }
+
+// read returns the bit of domain pos (package-internal: alignment is
+// managed by the owning DBC).
+func (t *Track) read(pos int) uint8 { return t.domains[pos] }
+
+// write stores bit b at domain pos and bumps the endurance counter.
+func (t *Track) write(pos int, b uint8) {
+	t.domains[pos] = b & 1
+	t.writes[pos]++
+}
+
+// Writes returns the write count of domain pos.
+func (t *Track) Writes(pos int) uint64 { return t.writes[pos] }
+
+// MaxWrites returns the largest per-domain write count of the track.
+func (t *Track) MaxWrites() uint64 {
+	var m uint64
+	for _, w := range t.writes {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// DBC is a domain-wall block cluster: a group of tracks that share shift
+// circuitry and therefore always have the same domain aligned with their
+// access ports. One AP column = one DBC with one track per CAM row.
+type DBC struct {
+	tracks []*Track
+	pos    int    // domain currently aligned with the access ports
+	shifts uint64 // lifetime shift steps (cost accounting)
+}
+
+// NewDBC allocates a cluster of nTracks tracks with nDomains domains each.
+func NewDBC(nTracks, nDomains int) *DBC {
+	if nTracks <= 0 {
+		panic(fmt.Sprintf("rtm: DBC needs positive track count, got %d", nTracks))
+	}
+	d := &DBC{tracks: make([]*Track, nTracks)}
+	for i := range d.tracks {
+		d.tracks[i] = NewTrack(nDomains)
+	}
+	return d
+}
+
+// Tracks returns the number of tracks in the cluster.
+func (d *DBC) Tracks() int { return len(d.tracks) }
+
+// Domains returns the per-track domain count.
+func (d *DBC) Domains() int { return d.tracks[0].Domains() }
+
+// Pos returns the domain index currently aligned with the access ports.
+func (d *DBC) Pos() int { return d.pos }
+
+// Shifts returns the lifetime shift-step count of the cluster.
+func (d *DBC) Shifts() uint64 { return d.shifts }
+
+// ShiftTo aligns domain pos with the access ports and returns the number
+// of single-domain shift steps this took (|pos - previous|).
+func (d *DBC) ShiftTo(pos int) int {
+	if pos < 0 || pos >= d.Domains() {
+		panic(fmt.Sprintf("rtm: shift target %d outside [0,%d)", pos, d.Domains()))
+	}
+	steps := pos - d.pos
+	if steps < 0 {
+		steps = -steps
+	}
+	d.pos = pos
+	d.shifts += uint64(steps)
+	return steps
+}
+
+// Read returns the aligned bit of track i.
+func (d *DBC) Read(i int) uint8 { return d.tracks[i].read(d.pos) }
+
+// Write stores bit b into the aligned domain of track i.
+func (d *DBC) Write(i int, b uint8) { d.tracks[i].write(d.pos, b) }
+
+// ReadAt shifts to domain pos and reads track i, returning the bit and the
+// shift steps taken.
+func (d *DBC) ReadAt(i, pos int) (uint8, int) {
+	steps := d.ShiftTo(pos)
+	return d.Read(i), steps
+}
+
+// WriteAt shifts to domain pos and writes track i.
+func (d *DBC) WriteAt(i, pos int, b uint8) int {
+	steps := d.ShiftTo(pos)
+	d.Write(i, b)
+	return steps
+}
+
+// MaxTrackWrites returns the largest per-domain write count across all
+// tracks of the cluster — the endurance-limiting cell.
+func (d *DBC) MaxTrackWrites() uint64 {
+	var m uint64
+	for _, t := range d.tracks {
+		if w := t.MaxWrites(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// LoadWord stores an nBits-wide two's-complement value into track i at
+// domains [base, base+nBits), LSB first, restoring the previous alignment.
+// It is a test/setup convenience, not a modeled AP operation.
+func (d *DBC) LoadWord(i, base, nBits int, v int64) {
+	prev := d.pos
+	for k := 0; k < nBits; k++ {
+		d.ShiftTo(base + k)
+		d.Write(i, uint8((v>>uint(k))&1))
+	}
+	d.ShiftTo(prev)
+}
+
+// ReadWord reads an nBits-wide two's-complement value from track i at
+// domains [base, base+nBits), restoring the previous alignment.
+func (d *DBC) ReadWord(i, base, nBits int) int64 {
+	prev := d.pos
+	var v int64
+	for k := 0; k < nBits; k++ {
+		d.ShiftTo(base + k)
+		v |= int64(d.Read(i)) << uint(k)
+	}
+	// Sign-extend from bit nBits-1.
+	if nBits < 64 && v&(1<<uint(nBits-1)) != 0 {
+		v -= 1 << uint(nBits)
+	}
+	d.ShiftTo(prev)
+	return v
+}

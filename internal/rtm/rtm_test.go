@@ -1,0 +1,111 @@
+package rtm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackReadWrite(t *testing.T) {
+	d := NewDBC(2, 8)
+	d.WriteAt(0, 3, 1)
+	d.WriteAt(1, 5, 1)
+	if b, _ := d.ReadAt(0, 3); b != 1 {
+		t.Error("lost bit at track 0 domain 3")
+	}
+	if b, _ := d.ReadAt(0, 5); b != 0 {
+		t.Error("track isolation violated")
+	}
+	if b, _ := d.ReadAt(1, 5); b != 1 {
+		t.Error("lost bit at track 1 domain 5")
+	}
+}
+
+func TestShiftAccounting(t *testing.T) {
+	d := NewDBC(4, 16)
+	if steps := d.ShiftTo(10); steps != 10 {
+		t.Errorf("shift 0→10 took %d steps", steps)
+	}
+	if steps := d.ShiftTo(6); steps != 4 {
+		t.Errorf("shift 10→6 took %d steps", steps)
+	}
+	if d.Shifts() != 14 {
+		t.Errorf("lifetime shifts %d, want 14", d.Shifts())
+	}
+	if d.Pos() != 6 {
+		t.Errorf("pos %d, want 6", d.Pos())
+	}
+}
+
+func TestShiftBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range shift must panic")
+		}
+	}()
+	NewDBC(1, 8).ShiftTo(8)
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	d := NewDBC(3, 32)
+	cases := []int64{0, 1, -1, 5, -17, 127, -128}
+	for i, v := range cases {
+		d.LoadWord(i%3, (i/3)*8, 8, v)
+	}
+	for i, v := range cases {
+		if got := d.ReadWord(i%3, (i/3)*8, 8); got != v {
+			t.Errorf("round trip %d: got %d", v, got)
+		}
+	}
+}
+
+// Property: LoadWord/ReadWord round-trips any value representable in the
+// width, restores alignment, and never interferes across tracks.
+func TestQuickWordRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		d := NewDBC(4, 64)
+		type slot struct {
+			track, base, width int
+			v                  int64
+		}
+		var slots []slot
+		for tr := 0; tr < 4; tr++ {
+			base := 0
+			for base+9 < 64 {
+				w := 2 + rng.IntN(8)
+				half := int64(1) << uint(w-1)
+				slots = append(slots, slot{tr, base, w, rng.Int64N(2*half) - half})
+				base += w
+			}
+		}
+		for _, s := range slots {
+			d.LoadWord(s.track, s.base, s.width, s.v)
+		}
+		for _, s := range slots {
+			if d.ReadWord(s.track, s.base, s.width) != s.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnduranceCounters(t *testing.T) {
+	d := NewDBC(1, 4)
+	for i := 0; i < 7; i++ {
+		d.WriteAt(0, 2, uint8(i)&1)
+	}
+	if d.tracks[0].Writes(2) != 7 {
+		t.Errorf("write count %d, want 7", d.tracks[0].Writes(2))
+	}
+	if d.MaxTrackWrites() != 7 {
+		t.Errorf("max writes %d, want 7", d.MaxTrackWrites())
+	}
+	if d.tracks[0].Writes(1) != 0 {
+		t.Error("untouched domain has writes")
+	}
+}

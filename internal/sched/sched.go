@@ -1,0 +1,157 @@
+// Package sched provides the register-allocation layer of the compiler:
+// liveness analysis over slice DFGs, a physical column pool with reuse
+// (the operational allocator), and an explicit interference-graph greedy
+// coloring that mirrors the paper's framing of operand-to-column
+// assignment as a graph-coloring register-allocation problem (§IV-B). The
+// pool's high-water mark and the coloring's chromatic estimate agree on
+// chain-structured DFGs and are cross-checked in tests.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"rtmap/internal/dfg"
+)
+
+// Liveness computes, for every node of g, the index of its last consumer
+// in node order. Outputs (and negated aliases) are consumed by the
+// accumulation phase after all nodes, encoded as len(Nodes).
+func Liveness(g *dfg.Graph) []int {
+	last := make([]int, len(g.Nodes))
+	for i := range last {
+		last[i] = -1
+	}
+	for i, nd := range g.Nodes {
+		if nd.Kind == dfg.OpAdd || nd.Kind == dfg.OpSub {
+			last[nd.A] = i
+			last[nd.B] = i
+		}
+	}
+	for _, ref := range g.Outputs {
+		if !ref.Zero {
+			last[ref.Node] = len(g.Nodes)
+		}
+	}
+	return last
+}
+
+// ColumnPool hands out physical CAM columns and tracks the high-water
+// mark, which bounds the column budget a tile needs.
+type ColumnPool struct {
+	free      []int
+	inUse     map[int]bool
+	highWater int
+}
+
+// NewColumnPool returns a pool over the given physical column ids.
+func NewColumnPool(cols []int) *ColumnPool {
+	p := &ColumnPool{inUse: make(map[int]bool)}
+	p.free = append(p.free, cols...)
+	// Deterministic allocation order: lowest id first.
+	sort.Sort(sort.Reverse(sort.IntSlice(p.free)))
+	return p
+}
+
+// Get allocates a column.
+func (p *ColumnPool) Get() (int, error) {
+	if len(p.free) == 0 {
+		return 0, fmt.Errorf("sched: column pool exhausted (%d in use)", len(p.inUse))
+	}
+	c := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse[c] = true
+	if len(p.inUse) > p.highWater {
+		p.highWater = len(p.inUse)
+	}
+	return c, nil
+}
+
+// Put releases a column back to the pool.
+func (p *ColumnPool) Put(c int) {
+	if !p.inUse[c] {
+		panic(fmt.Sprintf("sched: releasing column %d that is not in use", c))
+	}
+	delete(p.inUse, c)
+	p.free = append(p.free, c)
+}
+
+// InUse returns the number of currently allocated columns.
+func (p *ColumnPool) InUse() int { return len(p.inUse) }
+
+// HighWater returns the peak simultaneous allocation.
+func (p *ColumnPool) HighWater() int { return p.highWater }
+
+// ColorDFG performs greedy interference-graph coloring of the op nodes of
+// g (inputs live in dedicated patch columns and are excluded): two op
+// values interfere when their live ranges overlap. It returns the color of
+// every op node (−1 for inputs) and the number of colors used — the
+// minimum temp-column estimate the paper's register-allocation step
+// produces.
+func ColorDFG(g *dfg.Graph) ([]int, int) {
+	last := Liveness(g)
+	n := len(g.Nodes)
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// Live range of op node i: [i, last[i]]. Greedy assignment in
+	// definition order (linear-scan flavored coloring; optimal on
+	// interval graphs, which these live ranges form).
+	type interval struct{ def, end, node int }
+	var ivs []interval
+	for i, nd := range g.Nodes {
+		if nd.Kind != dfg.OpAdd && nd.Kind != dfg.OpSub {
+			continue
+		}
+		if last[i] < 0 {
+			continue // dead code: no column needed
+		}
+		ivs = append(ivs, interval{def: i, end: last[i], node: i})
+	}
+	active := make(map[int]interval) // color → interval
+	maxColor := 0
+	for _, iv := range ivs {
+		// Expire intervals that ended strictly before this def.
+		for c, a := range active {
+			if a.end <= iv.def {
+				delete(active, c)
+			}
+		}
+		// Lowest free color.
+		color := 0
+		for {
+			if _, taken := active[color]; !taken {
+				break
+			}
+			color++
+		}
+		active[color] = iv
+		colors[iv.node] = color
+		if color+1 > maxColor {
+			maxColor = color + 1
+		}
+	}
+	return colors, maxColor
+}
+
+// VerifyColoring checks that no two op nodes with overlapping live ranges
+// share a color (used by property tests).
+func VerifyColoring(g *dfg.Graph, colors []int) error {
+	last := Liveness(g)
+	for i := range g.Nodes {
+		if colors[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < len(g.Nodes); j++ {
+			if colors[j] < 0 || colors[i] != colors[j] {
+				continue
+			}
+			// i defined before j: overlap iff i still live past j's def.
+			if last[i] > j {
+				return fmt.Errorf("sched: nodes %d and %d share color %d but overlap", i, j, colors[i])
+			}
+		}
+	}
+	return nil
+}

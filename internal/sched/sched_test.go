@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rtmap/internal/dfg"
+	"rtmap/internal/ternary"
+)
+
+func TestLivenessChain(t *testing.T) {
+	// ((x0+x1)+x2) → node ids: 0,1,2 inputs; 3=add(0,1); 4=add(3,2).
+	s := ternary.Slice{Cout: 1, K: 3, M: []int8{1, 1, 1}}
+	g := dfg.Build(s, dfg.Options{})
+	last := Liveness(g)
+	if last[3] != 4 {
+		t.Errorf("intermediate last use %d, want 4", last[3])
+	}
+	if last[4] != len(g.Nodes) {
+		t.Errorf("output last use %d, want %d (accumulation)", last[4], len(g.Nodes))
+	}
+}
+
+func TestColumnPoolReuse(t *testing.T) {
+	p := NewColumnPool([]int{10, 11, 12})
+	a, _ := p.Get()
+	b, _ := p.Get()
+	if a == b {
+		t.Fatal("pool returned duplicate column")
+	}
+	p.Put(a)
+	c, _ := p.Get()
+	if c != a {
+		t.Errorf("expected reuse of %d, got %d", a, c)
+	}
+	if p.HighWater() != 2 {
+		t.Errorf("high water %d, want 2", p.HighWater())
+	}
+}
+
+func TestColumnPoolExhaustion(t *testing.T) {
+	p := NewColumnPool([]int{1})
+	if _, err := p.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestColumnPoolDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double free must panic")
+		}
+	}()
+	p := NewColumnPool([]int{1})
+	c, _ := p.Get()
+	p.Put(c)
+	p.Put(c)
+}
+
+func TestColoringChainUsesOneColor(t *testing.T) {
+	// A pure chain can live in one column.
+	s := ternary.Slice{Cout: 1, K: 5, M: []int8{1, 1, 1, 1, 1}}
+	g := dfg.Build(s, dfg.Options{})
+	colors, n := ColorDFG(g)
+	if n != 1 {
+		t.Errorf("chain coloring used %d colors, want 1", n)
+	}
+	if err := VerifyColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringSharedSubexpressionsNeedMore(t *testing.T) {
+	// Two rows sharing a subexpression keep it live across both folds.
+	rng := rand.New(rand.NewPCG(3, 4))
+	w := ternary.Random(rng, 16, 1, 3, 3, 0.5)
+	g := dfg.Build(w.Slice(0), dfg.Options{CSE: true})
+	colors, n := ColorDFG(g)
+	if n < 1 {
+		t.Fatalf("no colors used")
+	}
+	if err := VerifyColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy interval coloring is always valid, over random slices.
+func TestQuickColoringValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+7))
+		w := ternary.Random(rng, 1+rng.IntN(20), 1, 1+rng.IntN(3), 1+rng.IntN(3), rng.Float64())
+		g := dfg.Build(w.Slice(0), dfg.Options{CSE: rng.IntN(2) == 0})
+		colors, _ := ColorDFG(g)
+		return VerifyColoring(g, colors) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+
+	"rtmap/internal/core"
+)
+
+// EnduranceReport is the §V-C write-endurance analysis: RTM sustains ~10^16
+// write cycles; the paper estimates that the busiest column is rewritten
+// roughly every 100 ns, for a lifetime of ≈31 years.
+type EnduranceReport struct {
+	// WorstLayer is the layer whose accumulator cells see the highest
+	// write pressure.
+	WorstLayer string
+	// WritesPerInference is the per-inference write count of the busiest
+	// cell (an accumulator bit domain).
+	WritesPerInference float64
+	// MeanRewriteIntervalNS is the average time between rewrites of that
+	// cell during continuous inference.
+	MeanRewriteIntervalNS float64
+	// LifetimeYears = endurance × interval.
+	LifetimeYears float64
+}
+
+const nsPerYear = 365.25 * 24 * 3600 * 1e9
+
+// Endurance estimates device lifetime under continuous inference.
+func Endurance(c *core.Compiled, rep *Report) EnduranceReport {
+	out := EnduranceReport{}
+	var worst float64
+	for _, plan := range c.Layers {
+		if plan.Class != core.ClassConv {
+			continue
+		}
+		// The busiest cells are accumulator bit domains: one expected
+		// write per accumulate pass that tags the row, plus the per-tile
+		// clear. Each strip accumulates its resident channels into the
+		// same physical accumulator columns across all tiles.
+		chansPerStrip := (plan.InCEffective() + plan.Strips - 1) / max(1, plan.Strips)
+		writes := float64(plan.Tiles) * (float64(chansPerStrip)*4*tagFraction + 1)
+		if writes > worst {
+			worst = writes
+			out.WorstLayer = plan.Name
+			out.WritesPerInference = writes
+		}
+	}
+	if worst == 0 || rep.TotalLatencyNS == 0 {
+		return out
+	}
+	out.MeanRewriteIntervalNS = rep.TotalLatencyNS / worst
+	out.LifetimeYears = c.Cfg.Par.EnduranceCycles * out.MeanRewriteIntervalNS / nsPerYear
+	if math.IsInf(out.LifetimeYears, 0) {
+		out.LifetimeYears = math.MaxFloat64
+	}
+	return out
+}

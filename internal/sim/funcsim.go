@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"rtmap/internal/ap"
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+// RunConv executes one compiled conv/linear layer functionally: every
+// (strip, tile, row-group) program runs on the word-level AP machine with
+// its im2col inputs, strip partials are reduced, and the accumulated OFM
+// (pre-requantization) is returned. Requires Config.KeepPrograms.
+//
+// The word-level machine is bit-exact with the pass-level CAM execution
+// (proved by the ap package's randomized equivalence tests), so this
+// output is exactly what the physical array would produce.
+func RunConv(c *core.Compiled, layerIdx int, in *tensor.Int) (*tensor.Int, error) {
+	plan := c.Layers[layerIdx]
+	if plan.Class != core.ClassConv {
+		return nil, fmt.Errorf("sim: layer %d (%s) is not conv-like", layerIdx, plan.Name)
+	}
+	if len(plan.StripPlans) == 0 {
+		return nil, fmt.Errorf("sim: layer %d compiled without KeepPrograms", layerIdx)
+	}
+	if in.Shape.N != 1 {
+		return nil, fmt.Errorf("sim: functional simulation runs batch 1, got %d", in.Shape.N)
+	}
+	lay := &c.Net.Layers[layerIdx]
+	spec := lay.ConvSpec()
+	out := tensor.NewInt(spec.OutShape(in.Shape))
+	p := plan.P
+	camRows := c.Cfg.Par.CAMRows
+
+	// im2col per input channel (K×P, row-major).
+	cols := make([][]int32, spec.Cin)
+	for ci := 0; ci < spec.Cin; ci++ {
+		cols[ci] = tensor.Im2ColChannel(in, 0, ci, spec)
+	}
+
+	// Tile row offsets.
+	tileLo := make([]int, len(plan.TileSizes))
+	off := 0
+	for t, ts := range plan.TileSizes {
+		tileLo[t] = off
+		off += ts
+	}
+
+	for _, sp := range plan.StripPlans {
+		if len(sp.Programs) != len(plan.TileSizes) {
+			return nil, fmt.Errorf("sim: layer %d: strip has %d programs, want %d",
+				layerIdx, len(sp.Programs), len(plan.TileSizes))
+		}
+		for t, tp := range sp.Programs {
+			for r0 := 0; r0 < p; r0 += camRows {
+				r1 := r0 + camRows
+				if r1 > p {
+					r1 = p
+				}
+				n := r1 - r0
+				m, err := ap.NewWordMachine(tp.Prog, n)
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]int64, n)
+				for virt, bind := range tp.InputBindings {
+					chLocal, k := bind[0], bind[1]
+					if chLocal >= len(sp.Channels) {
+						continue // plane slot unused by this strip's tail
+					}
+					global := sp.Channels[chLocal]
+					src := cols[global][k*p+r0 : k*p+r1]
+					for i, v := range src {
+						vals[i] = int64(v)
+					}
+					m.SetColumn(virt, vals)
+				}
+				if err := m.Run(); err != nil {
+					return nil, err
+				}
+				for o, accV := range tp.AccVirt {
+					co := tileLo[t] + o
+					acc := m.Column(accV)
+					base := out.Shape.Index(0, co, 0, 0)
+					for i := 0; i < n; i++ {
+						out.Data[base+r0+i] += int32(acc[i]) // inter-strip reduction
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForwardAP runs the full network functionally with every conv/linear
+// layer executed on the AP (RunConv) and all other layers on their exact
+// integer semantics — the same fused requantization the hardware applies.
+// The result must be bit-identical to model.ForwardInt; TestForwardAPExact
+// asserts this on randomized networks.
+func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
+	n := c.Net
+	codes := tensor.NewInt(tensor.Shape{N: 1, C: n.InputShape.C, H: n.InputShape.H, W: n.InputShape.W})
+	for i, v := range in.Data {
+		codes.Data[i] = n.InputQ.Quantize(v)
+	}
+	tr := &model.IntTrace{
+		Outputs:    make([]*tensor.Int, len(n.Layers)),
+		Scales:     make([]float64, len(n.Layers)),
+		InputCodes: codes,
+	}
+	getT := func(idx int) *tensor.Int {
+		if idx == model.InputRef {
+			return codes
+		}
+		return tr.Outputs[idx]
+	}
+	getS := func(idx int) float64 {
+		if idx == model.InputRef {
+			return float64(n.InputQ.Step)
+		}
+		return tr.Scales[idx]
+	}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		x := getT(l.Inputs[0])
+		s := getS(l.Inputs[0])
+		switch l.Kind {
+		case model.KindConv, model.KindLinear:
+			out, err := RunConv(c, i, x)
+			if err != nil {
+				return nil, err
+			}
+			tr.Outputs[i] = out
+			tr.Scales[i] = s * float64(l.WScale)
+		case model.KindMaxPool:
+			tr.Outputs[i] = tensor.MaxPoolInt(x, l.Pool)
+			tr.Scales[i] = s
+		case model.KindGlobalAvgPool:
+			tr.Outputs[i] = tensor.GlobalAvgPoolInt(x)
+			tr.Scales[i] = s
+		case model.KindActQuant:
+			out := tensor.NewInt(x.Shape)
+			scale := s / float64(l.Q.Step)
+			for j, cv := range x.Data {
+				out.Data[j] = model.RequantCode(cv, scale, l.Q, l.ReLU)
+			}
+			tr.Outputs[i] = out
+			tr.Scales[i] = float64(l.Q.Step)
+		case model.KindAdd:
+			out := x.Clone()
+			out.AddInt(getT(l.Inputs[1]))
+			tr.Outputs[i] = out
+			tr.Scales[i] = s
+		case model.KindFlatten:
+			tr.Outputs[i] = &tensor.Int{
+				Shape: tensor.Shape{N: x.Shape.N, C: x.Shape.C * x.Shape.H * x.Shape.W, H: 1, W: 1},
+				Data:  x.Data,
+			}
+			tr.Scales[i] = s
+		default:
+			return nil, fmt.Errorf("sim: unknown layer kind %v", l.Kind)
+		}
+	}
+	return tr, nil
+}

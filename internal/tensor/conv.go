@@ -1,0 +1,232 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution. Weights are supplied by the caller
+// in OIHW order (Cout, Cin, Fh, Fw); this package is agnostic to whether
+// they are ternary codes or dequantized floats.
+type ConvSpec struct {
+	Cin, Cout int
+	Fh, Fw    int
+	Stride    int
+	Pad       int
+}
+
+// OutShape returns the output shape of the convolution for input shape in.
+func (c ConvSpec) OutShape(in Shape) Shape {
+	return Shape{
+		N: in.N,
+		C: c.Cout,
+		H: ConvOutDim(in.H, c.Fh, c.Stride, c.Pad),
+		W: ConvOutDim(in.W, c.Fw, c.Stride, c.Pad),
+	}
+}
+
+func (c ConvSpec) check(in Shape) {
+	if in.C != c.Cin {
+		panic(fmt.Sprintf("tensor: conv expects %d input channels, got %d", c.Cin, in.C))
+	}
+	if c.Stride <= 0 {
+		panic("tensor: conv stride must be positive")
+	}
+}
+
+// ConvInt performs a direct integer convolution with int8 weights (OIHW,
+// length Cout·Cin·Fh·Fw). With ternary weights this is the pure
+// addition/subtraction computation that the AP executes; no multiplier is
+// semantically required. Zero padding is used.
+func ConvInt(in *Int, w []int8, spec ConvSpec) *Int {
+	spec.check(in.Shape)
+	if len(w) != spec.Cout*spec.Cin*spec.Fh*spec.Fw {
+		panic(fmt.Sprintf("tensor: weight length %d does not match spec %+v", len(w), spec))
+	}
+	out := NewInt(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+	for n := 0; n < is.N; n++ {
+		for co := 0; co < spec.Cout; co++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					var acc int32
+					for ci := 0; ci < spec.Cin; ci++ {
+						wBase := ((co*spec.Cin + ci) * spec.Fh) * spec.Fw
+						for kh := 0; kh < spec.Fh; kh++ {
+							ih := oh*spec.Stride + kh - spec.Pad
+							if ih < 0 || ih >= is.H {
+								continue
+							}
+							for kw := 0; kw < spec.Fw; kw++ {
+								iw := ow*spec.Stride + kw - spec.Pad
+								if iw < 0 || iw >= is.W {
+									continue
+								}
+								wv := w[wBase+kh*spec.Fw+kw]
+								if wv == 0 {
+									continue
+								}
+								x := in.Data[is.Index(n, ci, ih, iw)]
+								if wv > 0 {
+									acc += x
+								} else {
+									acc -= x
+								}
+							}
+						}
+					}
+					out.Data[os.Index(n, co, oh, ow)] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvFloat performs a direct float convolution with float32 weights (OIHW).
+// Zero padding is used.
+func ConvFloat(in *Float, w []float32, spec ConvSpec) *Float {
+	spec.check(in.Shape)
+	if len(w) != spec.Cout*spec.Cin*spec.Fh*spec.Fw {
+		panic(fmt.Sprintf("tensor: weight length %d does not match spec %+v", len(w), spec))
+	}
+	out := NewFloat(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+	for n := 0; n < is.N; n++ {
+		for co := 0; co < spec.Cout; co++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					var acc float32
+					for ci := 0; ci < spec.Cin; ci++ {
+						wBase := ((co*spec.Cin + ci) * spec.Fh) * spec.Fw
+						for kh := 0; kh < spec.Fh; kh++ {
+							ih := oh*spec.Stride + kh - spec.Pad
+							if ih < 0 || ih >= is.H {
+								continue
+							}
+							for kw := 0; kw < spec.Fw; kw++ {
+								iw := ow*spec.Stride + kw - spec.Pad
+								if iw < 0 || iw >= is.W {
+									continue
+								}
+								acc += w[wBase+kh*spec.Fw+kw] * in.Data[is.Index(n, ci, ih, iw)]
+							}
+						}
+					}
+					out.Data[os.Index(n, co, oh, ow)] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvFloatTernary performs a float convolution whose weights are ternary
+// codes scaled by alpha: w = alpha·t with t ∈ {−1,0,1}. It exploits
+// sparsity by iterating nonzero taps only and is the fast float reference
+// path for TWNs: out = alpha·(Σ_{t=+1} x − Σ_{t=−1} x).
+func ConvFloatTernary(in *Float, t []int8, alpha float32, spec ConvSpec) *Float {
+	spec.check(in.Shape)
+	out := NewFloat(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+	type tap struct {
+		kh, kw int
+		neg    bool
+	}
+	taps := make([][]tap, spec.Cout*spec.Cin)
+	for co := 0; co < spec.Cout; co++ {
+		for ci := 0; ci < spec.Cin; ci++ {
+			var ts []tap
+			wBase := ((co*spec.Cin + ci) * spec.Fh) * spec.Fw
+			for kh := 0; kh < spec.Fh; kh++ {
+				for kw := 0; kw < spec.Fw; kw++ {
+					switch t[wBase+kh*spec.Fw+kw] {
+					case 1:
+						ts = append(ts, tap{kh, kw, false})
+					case -1:
+						ts = append(ts, tap{kh, kw, true})
+					}
+				}
+			}
+			taps[co*spec.Cin+ci] = ts
+		}
+	}
+	for n := 0; n < is.N; n++ {
+		for co := 0; co < spec.Cout; co++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					var acc float32
+					for ci := 0; ci < spec.Cin; ci++ {
+						for _, tp := range taps[co*spec.Cin+ci] {
+							ih := oh*spec.Stride + tp.kh - spec.Pad
+							iw := ow*spec.Stride + tp.kw - spec.Pad
+							if ih < 0 || ih >= is.H || iw < 0 || iw >= is.W {
+								continue
+							}
+							v := in.Data[is.Index(n, ci, ih, iw)]
+							if tp.neg {
+								acc -= v
+							} else {
+								acc += v
+							}
+						}
+					}
+					out.Data[os.Index(n, co, oh, ow)] = acc * alpha
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvIntTernarySparse is a sparsity-aware variant of ConvInt used by the
+// reference path for large networks: it iterates only over the nonzero
+// weights of each filter. Results are identical to ConvInt.
+func ConvIntTernarySparse(in *Int, w []int8, spec ConvSpec) *Int {
+	spec.check(in.Shape)
+	out := NewInt(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+
+	// Pre-extract the nonzero taps of every (co, ci) filter slice.
+	type tap struct {
+		kh, kw int
+		sign   int32
+	}
+	taps := make([][]tap, spec.Cout*spec.Cin)
+	for co := 0; co < spec.Cout; co++ {
+		for ci := 0; ci < spec.Cin; ci++ {
+			var ts []tap
+			wBase := ((co*spec.Cin + ci) * spec.Fh) * spec.Fw
+			for kh := 0; kh < spec.Fh; kh++ {
+				for kw := 0; kw < spec.Fw; kw++ {
+					switch w[wBase+kh*spec.Fw+kw] {
+					case 1:
+						ts = append(ts, tap{kh, kw, 1})
+					case -1:
+						ts = append(ts, tap{kh, kw, -1})
+					}
+				}
+			}
+			taps[co*spec.Cin+ci] = ts
+		}
+	}
+
+	for n := 0; n < is.N; n++ {
+		for co := 0; co < spec.Cout; co++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					var acc int32
+					for ci := 0; ci < spec.Cin; ci++ {
+						for _, t := range taps[co*spec.Cin+ci] {
+							ih := oh*spec.Stride + t.kh - spec.Pad
+							iw := ow*spec.Stride + t.kw - spec.Pad
+							if ih < 0 || ih >= is.H || iw < 0 || iw >= is.W {
+								continue
+							}
+							acc += t.sign * in.Data[is.Index(n, ci, ih, iw)]
+						}
+					}
+					out.Data[os.Index(n, co, oh, ow)] = acc
+				}
+			}
+		}
+	}
+	return out
+}

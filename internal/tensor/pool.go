@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// PoolSpec describes a 2-D pooling window.
+type PoolSpec struct {
+	K      int // window size (K×K)
+	Stride int
+	Pad    int
+}
+
+// OutShape returns the pooled output shape for input shape in.
+func (p PoolSpec) OutShape(in Shape) Shape {
+	return Shape{
+		N: in.N,
+		C: in.C,
+		H: ConvOutDim(in.H, p.K, p.Stride, p.Pad),
+		W: ConvOutDim(in.W, p.K, p.Stride, p.Pad),
+	}
+}
+
+func (p PoolSpec) check() {
+	if p.K <= 0 || p.Stride <= 0 {
+		panic(fmt.Sprintf("tensor: invalid pool spec %+v", p))
+	}
+}
+
+// MaxPoolInt applies K×K max pooling. Padded positions are ignored (they
+// never win the max), matching framework semantics for ReLU-positive codes.
+func MaxPoolInt(in *Int, spec PoolSpec) *Int {
+	spec.check()
+	out := NewInt(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+	for n := 0; n < is.N; n++ {
+		for c := 0; c < is.C; c++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					first := true
+					var best int32
+					for kh := 0; kh < spec.K; kh++ {
+						ih := oh*spec.Stride + kh - spec.Pad
+						if ih < 0 || ih >= is.H {
+							continue
+						}
+						for kw := 0; kw < spec.K; kw++ {
+							iw := ow*spec.Stride + kw - spec.Pad
+							if iw < 0 || iw >= is.W {
+								continue
+							}
+							v := in.Data[is.Index(n, c, ih, iw)]
+							if first || v > best {
+								best, first = v, false
+							}
+						}
+					}
+					out.Data[os.Index(n, c, oh, ow)] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPoolFloat applies K×K max pooling on a float tensor.
+func MaxPoolFloat(in *Float, spec PoolSpec) *Float {
+	spec.check()
+	out := NewFloat(spec.OutShape(in.Shape))
+	is, os := in.Shape, out.Shape
+	for n := 0; n < is.N; n++ {
+		for c := 0; c < is.C; c++ {
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					first := true
+					var best float32
+					for kh := 0; kh < spec.K; kh++ {
+						ih := oh*spec.Stride + kh - spec.Pad
+						if ih < 0 || ih >= is.H {
+							continue
+						}
+						for kw := 0; kw < spec.K; kw++ {
+							iw := ow*spec.Stride + kw - spec.Pad
+							if iw < 0 || iw >= is.W {
+								continue
+							}
+							v := in.Data[is.Index(n, c, ih, iw)]
+							if first || v > best {
+								best, first = v, false
+							}
+						}
+					}
+					out.Data[os.Index(n, c, oh, ow)] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolInt reduces each channel to its mean, rounded to nearest
+// (ties away from zero). The AP realizes this as a sum in the accumulation
+// phase followed by a peripheral divide; rounding keeps the integer and
+// float paths aligned.
+func GlobalAvgPoolInt(in *Int) *Int {
+	is := in.Shape
+	out := NewInt(Shape{N: is.N, C: is.C, H: 1, W: 1})
+	area := int64(is.H * is.W)
+	for n := 0; n < is.N; n++ {
+		for c := 0; c < is.C; c++ {
+			var sum int64
+			for h := 0; h < is.H; h++ {
+				for w := 0; w < is.W; w++ {
+					sum += int64(in.Data[is.Index(n, c, h, w)])
+				}
+			}
+			// Round half away from zero.
+			var v int64
+			if sum >= 0 {
+				v = (sum + area/2) / area
+			} else {
+				v = (sum - area/2) / area
+			}
+			out.Data[out.Shape.Index(n, c, 0, 0)] = int32(v)
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolFloat reduces each channel to its mean.
+func GlobalAvgPoolFloat(in *Float) *Float {
+	is := in.Shape
+	out := NewFloat(Shape{N: is.N, C: is.C, H: 1, W: 1})
+	area := float32(is.H * is.W)
+	for n := 0; n < is.N; n++ {
+		for c := 0; c < is.C; c++ {
+			var sum float32
+			for h := 0; h < is.H; h++ {
+				for w := 0; w < is.W; w++ {
+					sum += in.Data[is.Index(n, c, h, w)]
+				}
+			}
+			out.Data[out.Shape.Index(n, c, 0, 0)] = sum / area
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package ternary
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomSparsityTarget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	for _, target := range []float64{0.8, 0.85, 0.9} {
+		w := Random(rng, 64, 64, 3, 3, target)
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := w.Sparsity()
+		if math.Abs(got-target) > 0.02 {
+			t.Errorf("sparsity %.3f, want ~%.2f", got, target)
+		}
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(rand.New(rand.NewPCG(1, 2)), 8, 4, 3, 3, 0.8)
+	b := Random(rand.New(rand.NewPCG(1, 2)), 8, 4, 3, 3, 0.8)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed must give identical weights")
+		}
+	}
+}
+
+func TestRandomNoDeadFilters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	w := Random(rng, 32, 1, 1, 1, 0.95) // aggressive sparsity, tiny filters
+	per := w.Cin * w.Fh * w.Fw
+	for co := 0; co < w.Cout; co++ {
+		alive := false
+		for _, v := range w.W[co*per : (co+1)*per] {
+			if v != 0 {
+				alive = true
+			}
+		}
+		if !alive {
+			t.Fatalf("filter %d is all zero", co)
+		}
+	}
+}
+
+func TestSliceExtraction(t *testing.T) {
+	w := New(2, 3, 2, 2)
+	// Mark w[co][ci][0][0] = distinctive values.
+	w.Set(0, 1, 0, 0, 1)
+	w.Set(1, 1, 1, 1, -1)
+	s := w.Slice(1)
+	if s.Cout != 2 || s.K != 4 {
+		t.Fatalf("slice dims %dx%d, want 2x4", s.Cout, s.K)
+	}
+	if s.At(0, 0) != 1 {
+		t.Errorf("slice[0][0] = %d, want 1", s.At(0, 0))
+	}
+	if s.At(1, 3) != -1 {
+		t.Errorf("slice[1][3] = %d, want -1", s.At(1, 3))
+	}
+	if s.NNZ() != 2 {
+		t.Errorf("slice nnz = %d, want 2", s.NNZ())
+	}
+}
+
+func TestSliceMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	w := Random(rng, 5, 4, 3, 3, 0.7)
+	for ci := 0; ci < w.Cin; ci++ {
+		s := w.Slice(ci)
+		for co := 0; co < w.Cout; co++ {
+			for kh := 0; kh < w.Fh; kh++ {
+				for kw := 0; kw < w.Fw; kw++ {
+					if s.At(co, kh*w.Fw+kw) != w.At(co, ci, kh, kw) {
+						t.Fatalf("slice mismatch at co=%d ci=%d kh=%d kw=%d", co, ci, kh, kw)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTernarizeTWNRule(t *testing.T) {
+	// mean|W| = (1+0.1+0.1+0.8+0.05+0.95)/6 = 0.5, Δ = 0.35.
+	fw := []float32{1.0, -0.1, 0.1, -0.8, 0.05, 0.95}
+	w, alpha := Ternarize(fw, 6, 1, 1, 1)
+	want := []int8{1, 0, 0, -1, 0, 1}
+	for i, v := range want {
+		if w.W[i] != v {
+			t.Errorf("ternarize[%d] = %d, want %d", i, w.W[i], v)
+		}
+	}
+	// alpha = mean(|1|, |0.8|, |0.95|) ≈ 0.9167
+	if math.Abs(float64(alpha)-0.91666) > 1e-3 {
+		t.Errorf("alpha = %v, want ~0.9167", alpha)
+	}
+}
+
+func TestTernarizeAllZero(t *testing.T) {
+	w, alpha := Ternarize(make([]float32, 4), 4, 1, 1, 1)
+	if w.NNZ() != 0 {
+		t.Error("zero input should ternarize to zero")
+	}
+	if alpha != 1 {
+		t.Errorf("alpha for empty support = %v, want 1", alpha)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	w := New(1, 1, 2, 2)
+	w.W = []int8{1, -1, 0, 1}
+	s := w.Statistics()
+	if s.NNZ != 3 || s.PosCount != 2 || s.NegCnt != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Sparsity-0.25) > 1e-12 {
+		t.Errorf("sparsity = %v, want 0.25", s.Sparsity)
+	}
+}
+
+func TestSetRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set must panic on |v| > 1")
+		}
+	}()
+	New(1, 1, 1, 1).Set(0, 0, 0, 0, 2)
+}
+
+// Property: ternarized weights are always valid and sign-consistent with
+// the source floats.
+func TestQuickTernarizeSignConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 16
+		fw := make([]float32, n)
+		for i := range fw {
+			fw[i] = float32(rng.NormFloat64())
+		}
+		w, _ := Ternarize(fw, n, 1, 1, 1)
+		if w.Validate() != nil {
+			return false
+		}
+		for i, v := range w.W {
+			if v == 1 && fw[i] <= 0 {
+				return false
+			}
+			if v == -1 && fw[i] >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

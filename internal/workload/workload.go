@@ -1,0 +1,145 @@
+// Package workload provides the evaluation harness: seeded synthetic
+// inputs standing in for CIFAR10/ImageNet samples, teacher labeling by the
+// full-precision reference network, and the top-1 agreement metric that
+// substitutes for dataset accuracy (see DESIGN.md §1 — the paper's
+// accuracy claim is "retains software accuracy", which is exactly the
+// agreement of an execution path with the FP reference).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+// Dataset is a seeded synthetic evaluation set.
+type Dataset struct {
+	Inputs []*tensor.Float
+	// Labels are teacher labels: argmax of the FP reference network.
+	Labels []int
+}
+
+// Inputs generates n synthetic images with the statistics the quantizers
+// were calibrated for: non-negative, roughly half-normal channel values
+// with mild spatial correlation (natural-image-like smoothness).
+func Inputs(shape tensor.Shape, n int, seed uint64) []*tensor.Float {
+	out := make([]*tensor.Float, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewPCG(seed, uint64(i)*0x9e3779b97f4a7c15+1))
+		img := tensor.NewFloat(shape)
+		for c := 0; c < shape.C; c++ {
+			// Low-frequency base plus pixel noise.
+			baseU := rng.Float64()
+			baseV := rng.Float64()
+			for h := 0; h < shape.H; h++ {
+				for w := 0; w < shape.W; w++ {
+					lowFreq := 0.25 * (math.Sin(baseU*6+float64(h)/7) + math.Cos(baseV*6+float64(w)/9))
+					v := math.Abs(0.4*rng.NormFloat64() + 0.5 + lowFreq)
+					img.Set(0, c, h, w, float32(v))
+				}
+			}
+		}
+		out[i] = img
+	}
+	return out
+}
+
+// Teacher labels the inputs with the full-precision reference path of net
+// (no fake quantization), producing the ground truth for agreement
+// measurements. Logits are centered by their per-class means over the
+// evaluation set before the argmax — synthetic random-ternary classifiers
+// otherwise develop a dominant class that would saturate the metric (real
+// trained networks have calibrated biases; centering plays that role).
+func Teacher(net *model.Network, inputs []*tensor.Float) (*Dataset, error) {
+	ds := &Dataset{Inputs: inputs}
+	var logits [][]float64
+	for _, in := range inputs {
+		outs, err := net.ForwardFloat(in, false)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(outs[net.Output()].Data))
+		for i, v := range outs[net.Output()].Data {
+			row[i] = float64(v)
+		}
+		logits = append(logits, row)
+	}
+	ds.Labels = centeredArgmax(logits)
+	return ds, nil
+}
+
+// centeredArgmax subtracts per-class means over the set, then takes the
+// argmax of every row.
+func centeredArgmax(logits [][]float64) []int {
+	if len(logits) == 0 {
+		return nil
+	}
+	classes := len(logits[0])
+	means := make([]float64, classes)
+	for _, row := range logits {
+		for c, v := range row {
+			means[c] += v
+		}
+	}
+	for c := range means {
+		means[c] /= float64(len(logits))
+	}
+	out := make([]int, len(logits))
+	for i, row := range logits {
+		best, bestC := math.Inf(-1), 0
+		for c, v := range row {
+			if d := v - means[c]; d > best {
+				best, bestC = d, c
+			}
+		}
+		out[i] = bestC
+	}
+	return out
+}
+
+// Forwarder produces logits for one input (any execution path: integer
+// reference, functional AP, ADC-noisy crossbar, ...).
+type Forwarder func(in *tensor.Float) (*tensor.Int, error)
+
+// Agreement runs the forwarder on the dataset and returns the top-1
+// agreement with the teacher labels, in percent. The forwarder's logits
+// receive the same per-class centering as the teacher's.
+func (ds *Dataset) Agreement(f Forwarder) (float64, error) {
+	if len(ds.Inputs) == 0 {
+		return 0, fmt.Errorf("workload: empty dataset")
+	}
+	var logits [][]float64
+	for _, in := range ds.Inputs {
+		out, err := f(in)
+		if err != nil {
+			return 0, err
+		}
+		row := make([]float64, len(out.Data))
+		for i, v := range out.Data {
+			row[i] = float64(v)
+		}
+		logits = append(logits, row)
+	}
+	preds := centeredArgmax(logits)
+	hits := 0
+	for i, p := range preds {
+		if p == ds.Labels[i] {
+			hits++
+		}
+	}
+	return 100 * float64(hits) / float64(len(ds.Inputs)), nil
+}
+
+// IntReference returns the forwarder of the quantized software reference.
+func IntReference(net *model.Network) Forwarder {
+	return func(in *tensor.Float) (*tensor.Int, error) {
+		tr, err := net.ForwardInt(in)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Logits(), nil
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+func TestInputsDeterministicAndPositive(t *testing.T) {
+	shape := tensor.Shape{N: 1, C: 3, H: 8, W: 8}
+	a := Inputs(shape, 3, 42)
+	b := Inputs(shape, 3, 42)
+	c := Inputs(shape, 3, 43)
+	if len(a) != 3 {
+		t.Fatalf("got %d inputs", len(a))
+	}
+	for i := range a {
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				t.Fatal("same seed must reproduce inputs")
+			}
+			if a[i].Data[j] < 0 {
+				t.Fatal("image values must be non-negative (post-ReLU statistics)")
+			}
+		}
+	}
+	same := true
+	for j := range a[0].Data {
+		if a[0].Data[j] != c[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must differ")
+	}
+}
+
+func TestTeacherAndAgreement(t *testing.T) {
+	net := model.TinyCNN(model.Config{ActBits: 8, Sparsity: 0.5, Seed: 6})
+	cal := Inputs(net.InputShape, 3, 7)
+	if err := model.Calibrate(net, cal); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Teacher(net, Inputs(net.InputShape, 25, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Labels) != 25 {
+		t.Fatalf("labels %d", len(ds.Labels))
+	}
+	// The 8-bit integer reference should agree with the FP teacher on a
+	// clear majority of inputs.
+	agree, err := ds.Agreement(IntReference(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree < 60 {
+		t.Errorf("8-bit agreement %.1f%% too low", agree)
+	}
+	// A constant-answer forwarder scores near chance (4 classes).
+	constant := func(in *tensor.Float) (*tensor.Int, error) {
+		out := tensor.NewInt(tensor.Shape{N: 1, C: 4, H: 1, W: 1})
+		out.Data[0] = 1
+		return out, nil
+	}
+	low, err := ds.Agreement(constant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= agree {
+		t.Errorf("constant forwarder (%.1f%%) should not beat the reference (%.1f%%)", low, agree)
+	}
+}
+
+func TestAgreementEmptyDataset(t *testing.T) {
+	ds := &Dataset{}
+	if _, err := ds.Agreement(nil); err == nil {
+		t.Error("empty dataset must error")
+	}
+}

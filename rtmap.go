@@ -1,0 +1,148 @@
+// Package rtmap is a full-stack reproduction of "Full-Stack Optimization
+// for CAM-Only DNN Inference" (de Lima, Khan, Carro, Castrillon —
+// DATE 2024): a compiler and simulator for ternary-weight DNN inference on
+// associative processors built from racetrack-memory CAMs, together with
+// the crossbar (DNN+NeuroSim-style) and DeepCAM-style baselines the paper
+// compares against.
+//
+// The public API wraps the internal packages:
+//
+//   - Build* construct the paper's model zoo (ternary weights at the
+//     evaluated sparsities, LSQ-style activation quantizers);
+//   - Compile runs the full compilation flow of Fig. 3a (unroll, constant
+//     folding, CSE, bitwidth annotation, column allocation, code
+//     generation, accelerator mapping);
+//   - Analyze prices a compiled network with the figures of merit of §V;
+//   - RunFunctional executes the compiled AP programs bit-exactly;
+//   - Table2 and Figure4 regenerate the paper's evaluation artifacts.
+package rtmap
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/energy"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+	"rtmap/internal/tensor"
+)
+
+// Re-exported core types. Aliases keep the internal packages private while
+// letting callers name the types they receive.
+type (
+	// Network is the ternary-weight network IR.
+	Network = model.Network
+	// ModelConfig parameterizes the model zoo builders.
+	ModelConfig = model.Config
+	// Compiled is a compiled network (mapping + programs + statistics).
+	Compiled = core.Compiled
+	// CompileConfig selects compiler options (CSE on/off, etc.).
+	CompileConfig = core.Config
+	// LayerPlan is the per-layer compilation result.
+	LayerPlan = core.LayerPlan
+	// Report is the analytic energy/latency analysis.
+	Report = sim.Report
+	// Params are the hardware figures of merit.
+	Params = energy.Params
+	// FloatTensor is an NCHW float32 tensor.
+	FloatTensor = tensor.Float
+	// IntTensor is an NCHW int32 code tensor.
+	IntTensor = tensor.Int
+	// IntTrace is a per-layer integer execution trace.
+	IntTrace = model.IntTrace
+	// OpCounts carries the Table II adds/subs metrics.
+	OpCounts = core.OpCounts
+)
+
+// BuildResNet18 constructs the ImageNet-scale ResNet-18 of Table II.
+func BuildResNet18(cfg ModelConfig) *Network { return model.ResNet18(cfg) }
+
+// BuildVGG9 constructs the CIFAR10-scale VGG-9 of Table II.
+func BuildVGG9(cfg ModelConfig) *Network { return model.VGG9(cfg) }
+
+// BuildVGG11 constructs the CIFAR10-scale VGG-11 of Table II.
+func BuildVGG11(cfg ModelConfig) *Network { return model.VGG11(cfg) }
+
+// BuildMiniResNet18 constructs ResNet-18 at a reduced input resolution
+// (identical weights and layer structure; used where full ImageNet
+// resolution would make functional simulation needlessly slow).
+func BuildMiniResNet18(cfg ModelConfig, h, w int) *Network {
+	return model.MiniResNet18(cfg, h, w)
+}
+
+// BuildTinyCNN constructs a small sequential network (tests, quickstart).
+func BuildTinyCNN(cfg ModelConfig) *Network { return model.TinyCNN(cfg) }
+
+// BuildTinyResNet constructs a small residual network.
+func BuildTinyResNet(cfg ModelConfig) *Network { return model.TinyResNet(cfg) }
+
+// DefaultModelConfig returns the headline model configuration
+// (4-bit activations, 0.8 sparsity).
+func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }
+
+// DefaultCompileConfig returns the paper's unroll+CSE compiler setup.
+func DefaultCompileConfig() CompileConfig { return core.DefaultConfig() }
+
+// DefaultParams returns the figures of merit of §V.
+func DefaultParams() Params { return energy.Default() }
+
+// Compile runs the full compilation flow on net.
+func Compile(net *Network, cfg CompileConfig) (*Compiled, error) {
+	return core.Compile(net, cfg)
+}
+
+// Analyze prices a compiled network on the RTM-AP cost model.
+func Analyze(c *Compiled) *Report { return sim.Analyze(c) }
+
+// CountOps computes the Table II "#Adds/Subs" metrics (unroll vs
+// unroll+CSE) at the arithmetic level.
+func CountOps(net *Network) (OpCounts, error) {
+	return core.CountOps(net, true)
+}
+
+// RunFunctional executes the compiled network's AP programs bit-exactly on
+// the word-level machine (requires CompileConfig.KeepPrograms) and returns
+// the integer trace; it must equal Network.ForwardInt exactly.
+func RunFunctional(c *Compiled, in *FloatTensor) (*IntTrace, error) {
+	return sim.ForwardAP(c, in)
+}
+
+// Calibrate fits all activation quantizers of net on calibration inputs.
+func Calibrate(net *Network, inputs []*FloatTensor) error {
+	return model.Calibrate(net, inputs)
+}
+
+// Verify compiles net with programs retained, runs both the AP functional
+// path and the software reference on the given inputs, and returns an
+// error if any layer output differs by a single bit — the paper's
+// "retaining software accuracy" property.
+func Verify(net *Network, cfg CompileConfig, inputs []*FloatTensor) error {
+	cfg.KeepPrograms = true
+	c, err := core.Compile(net, cfg)
+	if err != nil {
+		return err
+	}
+	for n, in := range inputs {
+		ref, err := net.ForwardInt(in)
+		if err != nil {
+			return err
+		}
+		got, err := sim.ForwardAP(c, in)
+		if err != nil {
+			return err
+		}
+		for i := range net.Layers {
+			if !got.Outputs[i].Equal(ref.Outputs[i]) {
+				return fmt.Errorf("rtmap: input %d: layer %d (%s) diverges from software reference",
+					n, i, net.Layers[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Endurance estimates the device lifetime under continuous inference
+// (§V-C: the paper estimates ≈31 years for ResNet-18).
+func Endurance(c *Compiled, rep *Report) sim.EnduranceReport {
+	return sim.Endurance(c, rep)
+}
