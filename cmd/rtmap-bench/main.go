@@ -35,6 +35,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
 		outDir    = flag.String("out", "", "directory for TSV artifacts")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
+		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
 	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance {
@@ -68,6 +69,7 @@ func main() {
 		if *netFilter != "" {
 			opt.Networks = []string{*netFilter}
 		}
+		opt.NoCache = *noCache
 		res, err := rtmap.Table2(opt)
 		if err != nil {
 			log.Fatal(err)
@@ -81,6 +83,7 @@ func main() {
 		opt := rtmap.DefaultFigure4Options()
 		opt.Seed = *seed
 		opt.Progress = progress
+		opt.NoCache = *noCache
 		res, err := rtmap.Figure4(opt)
 		if err != nil {
 			log.Fatal(err)
@@ -95,7 +98,7 @@ func main() {
 
 	if *cse {
 		progress("counting operations on all three networks")
-		avg, err := rtmap.CSEReductionAverage(*seed)
+		avg, err := rtmap.CSEReductionAverage(*seed, compileConfig(*noCache).Cache)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +108,7 @@ func main() {
 	if *movement {
 		net := rtmap.BuildResNet18(rtmap.DefaultModelConfig())
 		progress("compiling ResNet-18")
-		rtmShare, xbShare, err := rtmap.MovementComparison(net, rtmap.DefaultCompileConfig())
+		rtmShare, xbShare, err := rtmap.MovementComparison(net, compileConfig(*noCache))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,7 +119,7 @@ func main() {
 	if *endurance {
 		net := rtmap.BuildResNet18(rtmap.DefaultModelConfig())
 		progress("compiling ResNet-18")
-		comp, err := rtmap.Compile(net, rtmap.DefaultCompileConfig())
+		comp, err := rtmap.Compile(net, compileConfig(*noCache))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,4 +128,15 @@ func main() {
 		fmt.Printf("write endurance: busiest cell (%s) rewritten every %.0f ns on average → lifetime %.1f years (paper: ~100 ns, ~31 years)\n",
 			e.WorstLayer, e.MeanRewriteIntervalNS, e.LifetimeYears)
 	}
+
+	if !*noCache {
+		progress(rtmap.SharedCompileCache().String())
+	}
+}
+
+// compileConfig resolves the compile configuration for the direct
+// (cse/movement/endurance) paths; they reuse the shared cache unless
+// -no-cache is given.
+func compileConfig(noCache bool) rtmap.CompileConfig {
+	return rtmap.CompileConfigWithCache(nil, noCache)
 }

@@ -48,6 +48,8 @@ func main() {
 		sparsity  = flag.Float64("sparsity", 0.8, "ternary weight sparsity")
 		seed      = flag.Uint64("seed", 1, "weight seed")
 		noCSE     = flag.Bool("no-cse", false, "disable CSE (the `unroll` configuration)")
+		serial    = flag.Bool("serial", false, "disable the parallel lowering driver")
+		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
 
@@ -75,6 +77,10 @@ func main() {
 
 	cfg := rtmap.DefaultCompileConfig()
 	cfg.CSE = !*noCSE
+	cfg.Parallel = !*serial
+	if *noCache {
+		cfg.Cache = nil
+	}
 	comp, err := rtmap.Compile(net, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"rtmap/internal/core"
@@ -48,6 +49,13 @@ func rtmDump(name string, net *model.Network) {
 }
 
 func main() {
+	tiny := flag.Bool("tiny", false, "diagnose the tiny models instead of the Table II networks")
+	flag.Parse()
+	if *tiny {
+		rtmDump("TinyCNN", model.TinyCNN(model.DefaultConfig()))
+		rtmDump("TinyResNet", model.TinyResNet(model.DefaultConfig()))
+		return
+	}
 	for _, bits := range []int{4, 8} {
 		net := model.VGG9(model.Config{ActBits: bits, Sparsity: 0.85, Seed: 1})
 		r := xbar.Analyze(net, xbar.Default(), bits)

@@ -1,0 +1,53 @@
+package rtmap
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCmdSmoke builds every cmd/ binary and runs each one end-to-end on a
+// tiny model (or -h where the tool's real run would be slow), so a broken
+// flag surface or a panic in a main package fails the suite.
+func TestCmdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the command-line tools")
+	}
+	bin := t.TempDir()
+	tools := []string{"rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim"}
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "rtmap/cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	cases := []struct {
+		tool string
+		args []string
+		want string // substring expected in combined output
+	}{
+		{"rtmap-bench", []string{"-h"}, "table2"},
+		{"rtmap-compile", []string{"-model", "tinycnn"}, "tinycnn"},
+		{"rtmap-compile", []string{"-model", "tinycnn", "-no-cse", "-serial", "-no-cache"}, "arrays"},
+		{"rtmap-dfg", []string{"-eq1"}, "unroll+CSE"},
+		{"rtmap-diag", []string{"-tiny"}, "TinyCNN RTM"},
+		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1"}, "OK"},
+	}
+	for _, tc := range cases {
+		name := tc.tool + " " + strings.Join(tc.args, " ")
+		cmd := exec.Command(filepath.Join(bin, tc.tool), tc.args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			// -h exits 0 under the flag package; any other failure is real.
+			if ee, ok := err.(*exec.ExitError); !ok || len(tc.args) == 0 || tc.args[0] != "-h" || ee.ExitCode() != 0 {
+				t.Errorf("%s: %v\n%s", name, err, out)
+				continue
+			}
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s: output missing %q:\n%s", name, tc.want, out)
+		}
+	}
+}

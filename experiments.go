@@ -11,9 +11,10 @@ import (
 
 // CSEReduction reports the relative reduction of DFG adds/subs achieved by
 // CSE on one network (the paper: "the CSE optimization alone reduces the
-// number of additions by an average of 31%").
-func CSEReduction(net *Network) (float64, error) {
-	oc, err := core.CountOps(net, true)
+// number of additions by an average of 31%"). A non-nil cache memoizes the
+// per-layer counts; nil counts uncached.
+func CSEReduction(net *Network, cache *CompileCache) (float64, error) {
+	oc, err := core.CountOps(net, true, cache)
 	if err != nil {
 		return 0, err
 	}
@@ -25,7 +26,7 @@ func CSEReduction(net *Network) (float64, error) {
 
 // CSEReductionAverage averages CSEReduction over the paper's three
 // networks at their Table II sparsities.
-func CSEReductionAverage(seed uint64) (float64, error) {
+func CSEReductionAverage(seed uint64, cache *CompileCache) (float64, error) {
 	nets := []*Network{
 		model.ResNet18(model.Config{ActBits: 4, Sparsity: 0.8, Seed: seed}),
 		model.VGG9(model.Config{ActBits: 4, Sparsity: 0.85, Seed: seed}),
@@ -33,7 +34,7 @@ func CSEReductionAverage(seed uint64) (float64, error) {
 	}
 	total := 0.0
 	for _, n := range nets {
-		r, err := CSEReduction(n)
+		r, err := CSEReduction(n, cache)
 		if err != nil {
 			return 0, err
 		}

@@ -16,6 +16,13 @@ type Figure4Options struct {
 	ActBits  int     // the paper plots the 4-bit configuration
 	Sparsity float64 // 0.8 in the paper
 	Progress func(string)
+	// BuildNet overrides the network under comparison (the paper uses
+	// ResNet-18); tests substitute small models here.
+	BuildNet func(model.Config) *Network
+	// Cache overrides the compiled-artifact cache; nil uses the
+	// process-wide shared cache. NoCache disables caching for the run.
+	Cache   *CompileCache
+	NoCache bool
 }
 
 // DefaultFigure4Options mirrors the paper's Fig. 4 setup.
@@ -53,16 +60,20 @@ func Figure4(opt Figure4Options) (*Figure4Result, error) {
 	}
 
 	mc := model.Config{ActBits: opt.ActBits, Sparsity: opt.Sparsity, Seed: opt.Seed}
-	net := model.ResNet18(mc)
+	build := opt.BuildNet
+	if build == nil {
+		build = model.ResNet18
+	}
+	net := build(mc)
 
 	progress("compiling unroll+CSE")
-	cfgCSE := core.DefaultConfig()
+	cfgCSE := CompileConfigWithCache(opt.Cache, opt.NoCache)
 	compCSE, err := core.Compile(net, cfgCSE)
 	if err != nil {
 		return nil, err
 	}
 	progress("compiling unroll")
-	cfgUn := core.DefaultConfig()
+	cfgUn := cfgCSE
 	cfgUn.CSE = false
 	compUn, err := core.Compile(net, cfgUn)
 	if err != nil {

@@ -1,0 +1,3 @@
+module rtmap
+
+go 1.22

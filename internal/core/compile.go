@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rtmap/internal/codegen"
 	"rtmap/internal/dfg"
@@ -49,7 +50,59 @@ func activationOf(net *model.Network, idx int) (actInfo, error) {
 	return actInfo{}, fmt.Errorf("core: layer %d (%s) does not produce a defined activation format", idx, l.Name)
 }
 
+// parallelFor runs f(i) for every i in [0, n) on up to `workers`
+// goroutines (the calling goroutine included). Indices are handed out by
+// an atomic counter, so load balances dynamically; callers must make f
+// write results only into per-index slots to stay deterministic.
+func parallelFor(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+// workers returns the lowering worker-pool size for this configuration.
+func (cfg Config) workers() int {
+	if !cfg.Parallel {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Compile lowers the network onto the RTM-AP accelerator.
+//
+// The flow has three stages. A sequential mapping stage sizes the shared
+// array pool (Table II "#Arrays"). A per-layer lowering stage — pure:
+// each layer's result depends only on that layer's weights, shapes,
+// incoming activation format and the pool size — runs across a worker
+// pool when cfg.Parallel is set; lowering is deterministic and
+// order-independent, so the output is bit-identical to the serial path.
+// A final sequential allocation pass assembles the plans in layer order.
 func Compile(net *model.Network, cfg Config) (*Compiled, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -67,7 +120,7 @@ func Compile(net *model.Network, cfg Config) (*Compiled, error) {
 
 	comp := &Compiled{Net: net, Cfg: cfg}
 
-	// Array pool: the widest layer's row groups (Table II "#Arrays").
+	// Mapping stage. Array pool: the widest layer's row groups.
 	rows := cfg.Par.CAMRows
 	for i := range net.Layers {
 		l := &net.Layers[i]
@@ -83,91 +136,124 @@ func Compile(net *model.Network, cfg Config) (*Compiled, error) {
 		comp.PoolArrays = 1
 	}
 
-	inShape := func(i int) tensor.Shape {
-		idx := net.Layers[i].Inputs[0]
-		if idx == model.InputRef {
-			return net.InputShape
-		}
-		return shapes[idx]
-	}
+	// Lowering stage: independent per layer. When the layers alone
+	// saturate the cores, per-channel DFG construction inside each layer
+	// stays serial; when the network has fewer layers than cores, the
+	// leftover parallelism is applied within layers instead.
+	total := cfg.workers()
+	layerWorkers := min(total, len(net.Layers))
+	innerCfg := cfg
+	innerCfg.Parallel = cfg.Parallel && layerWorkers < total
+	plans := make([]*LayerPlan, len(net.Layers))
+	errs := make([]error, len(net.Layers))
+	parallelFor(len(net.Layers), layerWorkers, func(i int) {
+		plans[i], errs[i] = lowerLayer(net, shapes, i, innerCfg, comp.PoolArrays)
+	})
 
-	for i := range net.Layers {
-		l := &net.Layers[i]
-		is, os := inShape(i), shapes[i]
-		plan := &LayerPlan{
-			Index: i, Name: l.Name, Kind: l.Kind,
-			InC: is.C, InH: is.H, InW: is.W,
-			OutC: os.C, OutH: os.H, OutW: os.W,
-			P: os.H * os.W,
+	// Allocation pass: sequential, in layer order (also makes the first
+	// error deterministic).
+	for i := range plans {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: layer %d (%s): %w", i, net.Layers[i].Name, errs[i])
 		}
-		var err error
-		switch l.Kind {
-		case model.KindConv, model.KindLinear:
-			plan.Class = ClassConv
-			err = compileConv(net, l, plan, cfg, comp.PoolArrays)
-		case model.KindActQuant:
-			plan.Class = ClassQuant
-			plan.RequantElems = int64(plan.P) * int64(plan.OutC)
-			plan.ActBits = l.Q.Bits
-			plan.ActUnsigned = !l.Q.Signed || l.ReLU
-		case model.KindAdd:
-			plan.Class = ClassAdd
-			var ai actInfo
-			ai, err = activationOf(net, l.Inputs[0])
-			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
-			width := ai.Bits + 1
-			plan.RowGroups = (plan.P + rows - 1) / rows
-			plan.ElemOps = int64(plan.OutC)
-			plan.ElemBits = int64(plan.OutC) * int64(width)
-			plan.LoadMoveBits = 2 * int64(plan.OutC) * int64(plan.P) * int64(ai.Bits)
-			plan.LoadWriteBits = plan.LoadMoveBits
-		case model.KindMaxPool:
-			plan.Class = ClassPool
-			var ai actInfo
-			ai, err = activationOf(net, l.Inputs[0])
-			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
-			plan.RowGroups = (plan.P + rows - 1) / rows
-			win := int64(l.Pool.K * l.Pool.K)
-			plan.PoolCmpOps = 2 * int64(plan.OutC) * (win - 1)
-			plan.PoolCmpBits = plan.PoolCmpOps * int64(ai.Bits)
-			plan.LoadMoveBits = int64(is.C) * int64(is.H) * int64(is.W) * int64(ai.Bits)
-			plan.LoadWriteBits = int64(plan.OutC) * int64(plan.P) * win * int64(ai.Bits)
-		case model.KindGlobalAvgPool:
-			plan.Class = ClassGAP
-			var ai actInfo
-			ai, err = activationOf(net, l.Inputs[0])
-			plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
-			area := int64(is.H * is.W)
-			plan.RowGroups = 1
-			plan.ElemOps = int64(plan.OutC) * (area - 1)
-			sumBits := dfg.SignedBits(ai.Lo*area, ai.Hi*area)
-			plan.ElemBits = plan.ElemOps * int64(sumBits)
-			plan.RequantElems = int64(plan.OutC) // peripheral divide
-			plan.LoadMoveBits = int64(is.C) * area * int64(ai.Bits)
-			plan.LoadWriteBits = plan.LoadMoveBits
-		case model.KindFlatten:
-			plan.Class = ClassFree
-		default:
-			err = fmt.Errorf("core: unsupported layer kind %v", l.Kind)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: layer %d (%s): %w", i, l.Name, err)
-		}
-		comp.Layers = append(comp.Layers, plan)
+		comp.Layers = append(comp.Layers, plans[i])
 	}
 	return comp, nil
 }
 
+// lowerLayer builds the plan of layer i. It reads only immutable network
+// state (weights, shapes, quantizers), so calls for distinct layers are
+// safe to run concurrently.
+func lowerLayer(net *model.Network, shapes []tensor.Shape, i int, cfg Config, pool int) (*LayerPlan, error) {
+	rows := cfg.Par.CAMRows
+	l := &net.Layers[i]
+	is := net.InputShape
+	if idx := l.Inputs[0]; idx != model.InputRef {
+		is = shapes[idx]
+	}
+	os := shapes[i]
+	plan := &LayerPlan{
+		Index: i, Name: l.Name, Kind: l.Kind,
+		InC: is.C, InH: is.H, InW: is.W,
+		OutC: os.C, OutH: os.H, OutW: os.W,
+		P: os.H * os.W,
+	}
+	var err error
+	switch l.Kind {
+	case model.KindConv, model.KindLinear:
+		plan.Class = ClassConv
+		var ai actInfo
+		ai, err = activationOf(net, l.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Cache != nil {
+			key := convKey(l, plan, ai, cfg, pool)
+			if hit, ok := cfg.Cache.getPlan(key, i, l.Name); ok {
+				return hit, nil
+			}
+			if err = compileConv(l, plan, cfg, ai, pool); err == nil {
+				cfg.Cache.putPlan(key, plan)
+			}
+		} else {
+			err = compileConv(l, plan, cfg, ai, pool)
+		}
+	case model.KindActQuant:
+		plan.Class = ClassQuant
+		plan.RequantElems = int64(plan.P) * int64(plan.OutC)
+		plan.ActBits = l.Q.Bits
+		plan.ActUnsigned = !l.Q.Signed || l.ReLU
+	case model.KindAdd:
+		plan.Class = ClassAdd
+		var ai actInfo
+		ai, err = activationOf(net, l.Inputs[0])
+		plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+		width := ai.Bits + 1
+		plan.RowGroups = (plan.P + rows - 1) / rows
+		plan.ElemOps = int64(plan.OutC)
+		plan.ElemBits = int64(plan.OutC) * int64(width)
+		plan.LoadMoveBits = 2 * int64(plan.OutC) * int64(plan.P) * int64(ai.Bits)
+		plan.LoadWriteBits = plan.LoadMoveBits
+	case model.KindMaxPool:
+		plan.Class = ClassPool
+		var ai actInfo
+		ai, err = activationOf(net, l.Inputs[0])
+		plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+		plan.RowGroups = (plan.P + rows - 1) / rows
+		win := int64(l.Pool.K * l.Pool.K)
+		plan.PoolCmpOps = 2 * int64(plan.OutC) * (win - 1)
+		plan.PoolCmpBits = plan.PoolCmpOps * int64(ai.Bits)
+		plan.LoadMoveBits = int64(is.C) * int64(is.H) * int64(is.W) * int64(ai.Bits)
+		plan.LoadWriteBits = int64(plan.OutC) * int64(plan.P) * win * int64(ai.Bits)
+	case model.KindGlobalAvgPool:
+		plan.Class = ClassGAP
+		var ai actInfo
+		ai, err = activationOf(net, l.Inputs[0])
+		plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
+		area := int64(is.H * is.W)
+		plan.RowGroups = 1
+		plan.ElemOps = int64(plan.OutC) * (area - 1)
+		sumBits := dfg.SignedBits(ai.Lo*area, ai.Hi*area)
+		plan.ElemBits = plan.ElemOps * int64(sumBits)
+		plan.RequantElems = int64(plan.OutC) // peripheral divide
+		plan.LoadMoveBits = int64(is.C) * area * int64(ai.Bits)
+		plan.LoadWriteBits = plan.LoadMoveBits
+	case model.KindFlatten:
+		plan.Class = ClassFree
+	default:
+		err = fmt.Errorf("core: unsupported layer kind %v", l.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // compileConv plans and emits one conv/linear layer.
-func compileConv(net *model.Network, l *model.Layer, plan *LayerPlan, cfg Config, pool int) error {
+func compileConv(l *model.Layer, plan *LayerPlan, cfg Config, ai actInfo, pool int) error {
 	par := cfg.Par
 	w := l.W
 	k := w.Fh * w.Fw
-
-	ai, err := activationOf(net, l.Inputs[0])
-	if err != nil {
-		return err
-	}
 	plan.K = k
 	plan.ActBits, plan.ActUnsigned = ai.Bits, ai.Unsigned
 	plan.RowGroups = (plan.P + par.CAMRows - 1) / par.CAMRows
@@ -440,29 +526,7 @@ func planAndEmitConv(l *model.Layer, plan *LayerPlan, cfg Config, ai actInfo,
 			gph.AnnotateWidths(ai.Lo, ai.Hi)
 			graphs[c] = gph
 		}
-		if cfg.Parallel && cin > 1 {
-			var wg sync.WaitGroup
-			nw := runtime.GOMAXPROCS(0)
-			ch := make(chan int)
-			for i := 0; i < nw; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for c := range ch {
-						build(c)
-					}
-				}()
-			}
-			for c := 0; c < cin; c++ {
-				ch <- c
-			}
-			close(ch)
-			wg.Wait()
-		} else {
-			for c := 0; c < cin; c++ {
-				build(c)
-			}
-		}
+		parallelFor(cin, cfg.workers(), build)
 
 		for s := 0; s < strips; s++ {
 			chLo := s * capacity

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"rtmap/internal/dfg"
 	"rtmap/internal/model"
 )
@@ -22,10 +19,15 @@ type OpCounts struct {
 // CountOps computes the slice-DFG operation counts of every conv/linear
 // layer without emitting programs (full Cout slices, no output tiling — the
 // arithmetic-level metric of §IV-A; the executed, tiled counts live in
-// LayerPlan.AddSubOps).
-func CountOps(net *model.Network, parallel bool) (OpCounts, error) {
+// LayerPlan.AddSubOps). A non-nil cache memoizes per-layer results keyed
+// on the weight content, so repeated sweeps over one network are free.
+func CountOps(net *model.Network, parallel bool, cache *Cache) (OpCounts, error) {
 	if err := net.Validate(); err != nil {
 		return OpCounts{}, err
+	}
+	workers := 1
+	if parallel {
+		workers = Config{Parallel: true}.workers()
 	}
 	var oc OpCounts
 	for i := range net.Layers {
@@ -33,44 +35,39 @@ func CountOps(net *model.Network, parallel bool) (OpCounts, error) {
 		if l.Kind != model.KindConv && l.Kind != model.KindLinear {
 			continue
 		}
-		cin := l.W.Cin
-		un := make([]int, cin)
-		cs := make([]int, cin)
-		count := func(c int) {
-			s := l.W.Slice(c)
-			un[c] = dfg.Build(s, dfg.Options{}).NumOps()
-			cs[c] = dfg.Build(s, dfg.Options{CSE: true}).NumOps()
+		var v [2]int
+		ok := false
+		if cache != nil {
+			v, ok = cache.getOps(opsKey(l))
 		}
-		if parallel && cin > 1 {
-			var wg sync.WaitGroup
-			ch := make(chan int)
-			for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for c := range ch {
-						count(c)
-					}
-				}()
-			}
-			for c := 0; c < cin; c++ {
-				ch <- c
-			}
-			close(ch)
-			wg.Wait()
-		} else {
-			for c := 0; c < cin; c++ {
-				count(c)
+		if !ok {
+			v = countLayerOps(l, workers)
+			if cache != nil {
+				cache.putOps(opsKey(l), v)
 			}
 		}
-		layerUn, layerCSE := 0, 0
-		for c := 0; c < cin; c++ {
-			layerUn += un[c]
-			layerCSE += cs[c]
-		}
-		oc.Unroll += layerUn
-		oc.CSE += layerCSE
-		oc.PerLayer = append(oc.PerLayer, [2]int{layerUn, layerCSE})
+		oc.Unroll += v[0]
+		oc.CSE += v[1]
+		oc.PerLayer = append(oc.PerLayer, v)
 	}
 	return oc, nil
+}
+
+// countLayerOps builds the full-slice DFGs of one conv/linear layer under
+// both compiler configurations and returns (unroll, cse) op counts.
+func countLayerOps(l *model.Layer, workers int) [2]int {
+	cin := l.W.Cin
+	un := make([]int, cin)
+	cs := make([]int, cin)
+	parallelFor(cin, workers, func(c int) {
+		s := l.W.Slice(c)
+		un[c] = dfg.Build(s, dfg.Options{}).NumOps()
+		cs[c] = dfg.Build(s, dfg.Options{CSE: true}).NumOps()
+	})
+	var v [2]int
+	for c := 0; c < cin; c++ {
+		v[0] += un[c]
+		v[1] += cs[c]
+	}
+	return v
 }

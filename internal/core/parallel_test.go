@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rtmap/internal/model"
+)
+
+// truncateBefore cuts the network to the prefix preceding the first conv
+// layer of the given output width — a compilation "slice" that keeps the
+// full early-layer structure without the heavyweight deep layers. Any
+// topological prefix of a valid network is itself valid.
+func truncateBefore(t *testing.T, net *model.Network, cout int) *model.Network {
+	t.Helper()
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		if (l.Kind == model.KindConv || l.Kind == model.KindLinear) && l.W.Cout == cout {
+			net.Layers = net.Layers[:i]
+			break
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("truncated %s invalid: %v", net.Name, err)
+	}
+	return net
+}
+
+// assertBitIdentical compares two compilations structurally, plan by
+// plan — statistics, mappings, and (when kept) the emitted programs.
+func assertBitIdentical(t *testing.T, name string, serial, parallel *Compiled) {
+	t.Helper()
+	if serial.PoolArrays != parallel.PoolArrays {
+		t.Errorf("%s: pool arrays %d (serial) vs %d (parallel)", name, serial.PoolArrays, parallel.PoolArrays)
+	}
+	if len(serial.Layers) != len(parallel.Layers) {
+		t.Fatalf("%s: layer count %d vs %d", name, len(serial.Layers), len(parallel.Layers))
+	}
+	for i := range serial.Layers {
+		if !reflect.DeepEqual(serial.Layers[i], parallel.Layers[i]) {
+			t.Errorf("%s: layer %d (%s) diverges between serial and parallel lowering",
+				name, i, serial.Layers[i].Name)
+		}
+	}
+}
+
+func compileSerialAndParallel(t *testing.T, net *model.Network, keep bool) (*Compiled, *Compiled) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cache = nil // a shared cache would make the comparison trivial
+	cfg.KeepPrograms = keep
+	cfg.Parallel = false
+	serial, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	parallel, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// TestParallelDeterminismTiny asserts Parallel: true output is
+// bit-identical to the serial path, programs included, on the tiny
+// models (runs in -short mode).
+func TestParallelDeterminismTiny(t *testing.T) {
+	for _, build := range []func(model.Config) *model.Network{model.TinyCNN, model.TinyResNet} {
+		net := build(model.DefaultConfig())
+		serial, parallel := compileSerialAndParallel(t, net, true)
+		assertBitIdentical(t, net.Name, serial, parallel)
+	}
+}
+
+// TestParallelDeterminismSlices repeats the bit-identity check on
+// realistic slices of the paper's networks: the ResNet-18 and VGG-9
+// prefixes up to (excluding) the first 256-wide stage.
+func TestParallelDeterminismSlices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size layer slices")
+	}
+	mc := model.Config{ActBits: 4, Sparsity: 0.8, Seed: 1}
+	for _, build := range []func(model.Config) *model.Network{model.ResNet18, model.VGG9} {
+		net := truncateBefore(t, build(mc), 256)
+		serial, parallel := compileSerialAndParallel(t, net, true)
+		assertBitIdentical(t, net.Name, serial, parallel)
+	}
+}

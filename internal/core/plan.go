@@ -30,11 +30,21 @@ type Config struct {
 	// TileFloor is the minimum accumulator-tile size the planner accepts
 	// before it stops trading tile columns for input planes.
 	TileFloor int
-	// Parallel enables goroutine-parallel DFG construction.
+	// Parallel enables the goroutine-parallel lowering driver: layers are
+	// lowered across a worker pool sized by GOMAXPROCS; when the network
+	// has fewer layers than cores, per-channel DFG construction inside
+	// each layer parallelizes as well. Output is bit-identical to the
+	// serial path.
 	Parallel bool
+	// Cache, when non-nil, is consulted for content-addressed per-layer
+	// lowering results (keyed on weights, activation format, shapes, array
+	// pool and the relevant Config fields), so config sweeps over the same
+	// network reuse lowered layers. nil disables caching.
+	Cache *Cache
 }
 
-// DefaultConfig returns the paper's unroll+CSE configuration.
+// DefaultConfig returns the paper's unroll+CSE configuration, with the
+// parallel lowering driver and the process-wide artifact cache enabled.
 func DefaultConfig() Config {
 	return Config{
 		Par:        energy.Default(),
@@ -42,6 +52,7 @@ func DefaultConfig() Config {
 		TempBudget: 48,
 		TileFloor:  32,
 		Parallel:   true,
+		Cache:      SharedCache,
 	}
 }
 

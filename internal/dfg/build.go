@@ -83,20 +83,36 @@ func Build(s ternary.Slice, opt Options) *Graph {
 // define it as a new variable and substitute. This is the CSE step of
 // §IV-A; on the paper's Equation (1) it finds exactly the x6/x7/x8
 // decomposition (7 ops).
+//
+// The pair-occurrence counts are maintained incrementally: substituting a
+// definition touches only the rows that contain the chosen pair, so only
+// those rows' pair contributions are retracted and re-added, instead of
+// recounting every row on every iteration. The greedy selection (highest
+// count, ties broken toward the lexicographically smallest key) sees
+// exactly the counts a full recount would produce, so the extraction
+// order — and therefore the emitted DFG — is unchanged.
 func extractPairs(rows []lincomb, nextVar int, maxDefs int) []lincomb {
+	counts := make(map[pairKey]int)
+	count := func(row lincomb, delta int) {
+		for i := 0; i < len(row); i++ {
+			for j := i + 1; j < len(row); j++ {
+				key, _ := canonPair(row[i], row[j])
+				if c := counts[key] + delta; c > 0 {
+					counts[key] = c
+				} else {
+					delete(counts, key)
+				}
+			}
+		}
+	}
+	for _, row := range rows {
+		count(row, 1)
+	}
+
 	var defs []lincomb
 	for {
 		if maxDefs > 0 && len(defs) >= maxDefs {
 			return defs
-		}
-		counts := make(map[pairKey]int)
-		for _, row := range rows {
-			for i := 0; i < len(row); i++ {
-				for j := i + 1; j < len(row); j++ {
-					key, _ := canonPair(row[i], row[j])
-					counts[key]++
-				}
-			}
 		}
 		best := pairKey{}
 		bestCount := 1
@@ -135,6 +151,7 @@ func extractPairs(rows []lincomb, nextVar int, maxDefs int) []lincomb {
 			if i2 == -1 {
 				continue
 			}
+			count(row, -1)
 			var nr lincomb
 			for i, t := range row {
 				if i != i1 && i != i2 {
@@ -144,6 +161,7 @@ func extractPairs(rows []lincomb, nextVar int, maxDefs int) []lincomb {
 			nr = append(nr, term{v: dv, neg: flip})
 			nr.sort()
 			rows[r] = nr
+			count(nr, 1)
 		}
 	}
 }

@@ -1,0 +1,123 @@
+package dfg
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"rtmap/internal/ternary"
+)
+
+// referenceExtractPairs is the original full-recount implementation of the
+// greedy signed-pair extraction, kept verbatim as a specification oracle:
+// the shipping incremental-count version must choose the exact same
+// definition sequence.
+func referenceExtractPairs(rows []lincomb, nextVar int, maxDefs int) []lincomb {
+	var defs []lincomb
+	for {
+		if maxDefs > 0 && len(defs) >= maxDefs {
+			return defs
+		}
+		counts := make(map[pairKey]int)
+		for _, row := range rows {
+			for i := 0; i < len(row); i++ {
+				for j := i + 1; j < len(row); j++ {
+					key, _ := canonPair(row[i], row[j])
+					counts[key]++
+				}
+			}
+		}
+		best := pairKey{}
+		bestCount := 1
+		for k, c := range counts {
+			if c > bestCount ||
+				(c == bestCount && (k.v1 < best.v1 || (k.v1 == best.v1 && (k.v2 < best.v2 ||
+					(k.v2 == best.v2 && !k.s2 && best.s2))))) {
+				if c >= 2 {
+					best, bestCount = k, c
+				}
+			}
+		}
+		if bestCount < 2 {
+			return defs
+		}
+		def := lincomb{{v: best.v1, neg: false}, {v: best.v2, neg: best.s2}}
+		dv := nextVar
+		nextVar++
+		defs = append(defs, def)
+		for r, row := range rows {
+			i1, i2 := -1, -1
+			var flip bool
+			for i := 0; i < len(row) && i2 == -1; i++ {
+				for j := i + 1; j < len(row); j++ {
+					key, fl := canonPair(row[i], row[j])
+					if key == best {
+						i1, i2, flip = i, j, fl
+						break
+					}
+				}
+			}
+			if i2 == -1 {
+				continue
+			}
+			var nr lincomb
+			for i, t := range row {
+				if i != i1 && i != i2 {
+					nr = append(nr, t)
+				}
+			}
+			nr = append(nr, term{v: dv, neg: flip})
+			nr.sort()
+			rows[r] = nr
+		}
+	}
+}
+
+// sliceRows duplicates Build's row construction for the oracle test.
+func sliceRows(s ternary.Slice) []lincomb {
+	rows := make([]lincomb, s.Cout)
+	for o := 0; o < s.Cout; o++ {
+		for k := 0; k < s.K; k++ {
+			switch s.At(o, k) {
+			case 1:
+				rows[o] = append(rows[o], term{v: k, neg: false})
+			case -1:
+				rows[o] = append(rows[o], term{v: k, neg: true})
+			}
+		}
+	}
+	return rows
+}
+
+func copyRows(rows []lincomb) []lincomb {
+	out := make([]lincomb, len(rows))
+	for i, r := range rows {
+		out[i] = append(lincomb(nil), r...)
+	}
+	return out
+}
+
+func TestExtractPairsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 40; trial++ {
+		cout := 8 + rng.IntN(56)
+		sparsity := 0.3 + 0.6*rng.Float64()
+		w := ternary.Random(rng, cout, 1, 3, 3, sparsity)
+		s := w.Slice(0)
+		maxDefs := 0
+		if trial%3 == 1 {
+			maxDefs = 1 + rng.IntN(8)
+		}
+		rowsInc, rowsRef := sliceRows(s), sliceRows(s)
+		gotDefs := extractPairs(rowsInc, s.K, maxDefs)
+		wantDefs := referenceExtractPairs(rowsRef, s.K, maxDefs)
+		if !reflect.DeepEqual(gotDefs, wantDefs) {
+			t.Fatalf("trial %d (cout=%d sp=%.2f maxDefs=%d): defs diverge\n got %v\nwant %v",
+				trial, cout, sparsity, maxDefs, gotDefs, wantDefs)
+		}
+		if !reflect.DeepEqual(rowsInc, rowsRef) {
+			t.Fatalf("trial %d: substituted rows diverge\n got %v\nwant %v",
+				trial, rowsInc, rowsRef)
+		}
+	}
+}

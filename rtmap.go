@@ -52,7 +52,35 @@ type (
 	IntTrace = model.IntTrace
 	// OpCounts carries the Table II adds/subs metrics.
 	OpCounts = core.OpCounts
+	// CompileCache is a content-addressed store of per-layer compilation
+	// artifacts; config sweeps over the same network reuse lowered layers.
+	CompileCache = core.Cache
+	// CompileCacheStats is a snapshot of cache hit/miss counters.
+	CompileCacheStats = core.CacheStats
 )
+
+// NewCompileCache returns an empty compiled-artifact cache, for callers
+// that want reuse isolated from the process-wide default.
+func NewCompileCache() *CompileCache { return core.NewCache() }
+
+// SharedCompileCache returns the process-wide cache that
+// DefaultCompileConfig wires into every compile.
+func SharedCompileCache() *CompileCache { return core.SharedCache }
+
+// CompileConfigWithCache returns DefaultCompileConfig with the cache
+// precedence rule every sweep entry point shares: a non-nil cache
+// replaces the process-wide default, and noCache disables caching
+// outright (and wins over cache).
+func CompileConfigWithCache(cache *CompileCache, noCache bool) CompileConfig {
+	cfg := DefaultCompileConfig()
+	if cache != nil {
+		cfg.Cache = cache
+	}
+	if noCache {
+		cfg.Cache = nil
+	}
+	return cfg
+}
 
 // BuildResNet18 constructs the ImageNet-scale ResNet-18 of Table II.
 func BuildResNet18(cfg ModelConfig) *Network { return model.ResNet18(cfg) }
@@ -95,9 +123,10 @@ func Compile(net *Network, cfg CompileConfig) (*Compiled, error) {
 func Analyze(c *Compiled) *Report { return sim.Analyze(c) }
 
 // CountOps computes the Table II "#Adds/Subs" metrics (unroll vs
-// unroll+CSE) at the arithmetic level.
+// unroll+CSE) at the arithmetic level. Results are memoized per layer in
+// the shared compile cache.
 func CountOps(net *Network) (OpCounts, error) {
-	return core.CountOps(net, true)
+	return core.CountOps(net, true, core.SharedCache)
 }
 
 // RunFunctional executes the compiled network's AP programs bit-exactly on

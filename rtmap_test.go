@@ -90,7 +90,7 @@ func TestCSEReductionBand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size op counting")
 	}
-	avg, err := CSEReductionAverage(1)
+	avg, err := CSEReductionAverage(1, SharedCompileCache())
 	if err != nil {
 		t.Fatal(err)
 	}

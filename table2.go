@@ -30,6 +30,14 @@ type Table2Options struct {
 	Networks []string
 	// Progress, when non-nil, receives status lines.
 	Progress func(string)
+	// Cache overrides the compiled-artifact cache consulted by every
+	// compile of the run; nil uses the process-wide shared cache.
+	Cache *CompileCache
+	// NoCache disables artifact caching for the run entirely.
+	NoCache bool
+	// specs substitutes the network list (tests run the full Table II
+	// pipeline on small models through this seam).
+	specs []netSpec
 }
 
 // DefaultTable2Options mirrors the paper's table (accuracy columns on).
@@ -109,7 +117,11 @@ func Table2(opt Table2Options) (*Table2Result, error) {
 	}
 	res := &Table2Result{}
 
-	for _, spec := range table2Specs() {
+	specs := opt.specs
+	if specs == nil {
+		specs = table2Specs()
+	}
+	for _, spec := range specs {
 		if len(want) > 0 && !want[spec.key] {
 			continue
 		}
@@ -160,13 +172,14 @@ func rtmAPRow(spec netSpec, sparsity float64, opt Table2Options) (Table2Row, *Ne
 		AccFP:    nan(), Acc4: nan(), Acc8: nan(),
 	}
 	var net4 *Network
+	cfg := CompileConfigWithCache(opt.Cache, opt.NoCache)
 	for _, bits := range []int{4, 8} {
 		mc := model.Config{ActBits: bits, Sparsity: sparsity, Seed: opt.Seed}
 		net := spec.build(mc)
 		if bits == 4 {
 			net4 = net
 		}
-		comp, err := core.Compile(net, core.DefaultConfig())
+		comp, err := core.Compile(net, cfg)
 		if err != nil {
 			return row, nil, err
 		}
@@ -180,7 +193,7 @@ func rtmAPRow(spec netSpec, sparsity float64, opt Table2Options) (Table2Row, *Ne
 			row.Latency8MS = rep.LatencyMS()
 		}
 	}
-	oc, err := core.CountOps(net4, true)
+	oc, err := core.CountOps(net4, true, cfg.Cache)
 	if err != nil {
 		return row, nil, err
 	}
