@@ -8,12 +8,17 @@
 //	rtmap-bench -endurance         # §V-C: write-endurance lifetime
 //
 // Outputs are printed and, with -out DIR, also written as TSV files.
+// With -json, results are emitted as one machine-readable JSON document
+// on stdout (and, combined with -out, as BENCH_<section>.json files) for
+// the performance-trajectory tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -33,7 +38,8 @@ func main() {
 		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11)")
 		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
-		outDir    = flag.String("out", "", "directory for TSV artifacts")
+		outDir    = flag.String("out", "", "directory for TSV/JSON artifacts")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable results on stdout")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
@@ -60,6 +66,20 @@ func main() {
 		}
 		log.Printf("wrote %s", path)
 	}
+	// jsonDoc accumulates one section per key; emitted at the end when
+	// -json is set, and as BENCH_<section>.json per section with -out.
+	jsonDoc := map[string]any{}
+	addJSON := func(section string, v any) {
+		if !*jsonOut {
+			return
+		}
+		jsonDoc[section] = v
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		save("BENCH_"+section+".json", string(b)+"\n")
+	}
 
 	if *table2 {
 		opt := rtmap.DefaultTable2Options()
@@ -74,9 +94,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("\nTable II — accuracy, energy, latency, arrays, operations")
-		fmt.Print(res.Text())
+		if !*jsonOut {
+			fmt.Println("\nTable II — accuracy, energy, latency, arrays, operations")
+			fmt.Print(res.Text())
+		}
 		save("table2.tsv", res.TSV())
+		addJSON("table2", table2JSON(res))
 	}
 
 	if *fig4 {
@@ -88,12 +111,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println()
-		fmt.Print(res.Energy.Render())
-		fmt.Println()
-		fmt.Print(res.Latency.Render())
+		if !*jsonOut {
+			fmt.Println()
+			fmt.Print(res.Energy.Render())
+			fmt.Println()
+			fmt.Print(res.Latency.Render())
+		}
 		save("fig4_energy.tsv", res.Energy.TSV())
 		save("fig4_latency.tsv", res.Latency.TSV())
+		addJSON("fig4", map[string]any{"energy": res.Energy, "latency": res.Latency})
 	}
 
 	if *cse {
@@ -102,7 +128,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("average CSE add/sub reduction: %.1f%% (paper: 31%%)\n", avg*100)
+		if !*jsonOut {
+			fmt.Printf("average CSE add/sub reduction: %.1f%% (paper: 31%%)\n", avg*100)
+		}
+		addJSON("cse", map[string]any{"avg_reduction_pct": avg * 100, "paper_pct": 31.0})
 	}
 
 	if *movement {
@@ -112,8 +141,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("data-movement energy share: RTM-AP %.1f%% (paper: ~3%%), crossbar %.1f%% (paper: 41%%)\n",
-			rtmShare*100, xbShare*100)
+		if !*jsonOut {
+			fmt.Printf("data-movement energy share: RTM-AP %.1f%% (paper: ~3%%), crossbar %.1f%% (paper: 41%%)\n",
+				rtmShare*100, xbShare*100)
+		}
+		addJSON("movement", map[string]any{
+			"rtm_ap_share_pct": rtmShare * 100, "crossbar_share_pct": xbShare * 100,
+		})
 	}
 
 	if *endurance {
@@ -125,13 +159,59 @@ func main() {
 		}
 		rep := rtmap.Analyze(comp)
 		e := rtmap.Endurance(comp, rep)
-		fmt.Printf("write endurance: busiest cell (%s) rewritten every %.0f ns on average → lifetime %.1f years (paper: ~100 ns, ~31 years)\n",
-			e.WorstLayer, e.MeanRewriteIntervalNS, e.LifetimeYears)
+		if !*jsonOut {
+			fmt.Printf("write endurance: busiest cell (%s) rewritten every %.0f ns on average → lifetime %.1f years (paper: ~100 ns, ~31 years)\n",
+				e.WorstLayer, e.MeanRewriteIntervalNS, e.LifetimeYears)
+		}
+		addJSON("endurance", map[string]any{
+			"worst_layer":              e.WorstLayer,
+			"mean_rewrite_interval_ns": e.MeanRewriteIntervalNS,
+			"lifetime_years":           e.LifetimeYears,
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if !*noCache {
 		progress(rtmap.SharedCompileCache().String())
 	}
+}
+
+// table2JSON renders Table II rows as JSON-safe maps: the table uses NaN
+// for not-applicable cells, which encoding/json rejects, so those become
+// null.
+func table2JSON(res *rtmap.Table2Result) []map[string]any {
+	num := func(v float64) any {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return v
+	}
+	rows := make([]map[string]any, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = map[string]any{
+			"network":       r.Network,
+			"system":        r.System,
+			"sparsity":      num(r.Sparsity),
+			"acc_fp":        num(r.AccFP),
+			"acc_4b":        num(r.Acc4),
+			"acc_8b":        num(r.Acc8),
+			"energy_4b_uj":  num(r.Energy4UJ),
+			"energy_8b_uj":  num(r.Energy8UJ),
+			"latency_4b_ms": num(r.Latency4MS),
+			"latency_8b_ms": num(r.Latency8MS),
+			"arrays":        r.Arrays,
+			"adds_unroll_k": num(r.AddsUnrollK),
+			"adds_cse_k":    num(r.AddsCSEK),
+		}
+	}
+	return rows
 }
 
 // compileConfig resolves the compile configuration for the direct

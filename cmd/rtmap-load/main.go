@@ -1,0 +1,288 @@
+// Command rtmap-load is a load generator for rtmap-serve: it discovers
+// the model's input shape from /v1/models, pre-builds a pool of synthetic
+// request payloads, drives /v1/infer in closed-loop (fixed concurrency)
+// or open-loop (fixed arrival rate) mode, and reports throughput and
+// latency percentiles — the serving path's benchmark harness.
+//
+//	rtmap-load -url http://127.0.0.1:8080 -model tinycnn -duration 5s -concurrency 8
+//	rtmap-load -model tinycnn -rate 200 -duration 10s     # open loop, 200 req/s
+//	rtmap-load -model tinycnn -batch 4 -bit-exact -json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rtmap/internal/serve"
+	"rtmap/internal/tensor"
+	"rtmap/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-load: ")
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "rtmap-serve base URL")
+		modelName   = flag.String("model", "tinycnn", "model to load (see /v1/models)")
+		bits        = flag.Int("bits", 4, "activation precision")
+		sparsity    = flag.Float64("sparsity", 0.8, "weight sparsity")
+		seed        = flag.Uint64("seed", 1, "model weight seed (payload seed derives from it)")
+		duration    = flag.Duration("duration", 5*time.Second, "measurement duration")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		batch       = flag.Int("batch", 1, "inputs per request")
+		payloads    = flag.Int("payloads", 16, "distinct pre-built payloads cycled through")
+		bitExact    = flag.Bool("bit-exact", false, "request bit-exact AP execution instead of the software reference")
+		jsonOut     = flag.Bool("json", false, "emit the results as JSON")
+	)
+	flag.Parse()
+
+	shape, err := discoverShape(*url, *modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bodies := buildPayloads(payloadSpec{
+		model: *modelName, bits: *bits, sparsity: *sparsity, seed: *seed,
+		bitExact: *bitExact, batch: *batch, n: *payloads, shape: shape,
+	})
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+	inferURL := *url + "/v1/infer"
+
+	// Warm-up: admit (compile) the model and open connections before the
+	// measurement window.
+	if err := post(client, inferURL, bodies[0]); err != nil {
+		log.Fatalf("warm-up request: %v", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+	)
+	record := func(d time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs++
+			return
+		}
+		latencies = append(latencies, d)
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	if *rate > 0 {
+		openLoop(client, inferURL, bodies, *rate, deadline, record)
+	} else {
+		closedLoop(client, inferURL, bodies, *concurrency, deadline, record)
+	}
+	elapsed := time.Since(start)
+
+	report(reportInput{
+		model: *modelName, mode: mode(*rate), bitExact: *bitExact,
+		batch: *batch, latencies: latencies, errs: errs, elapsed: elapsed,
+	}, *jsonOut)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func mode(rate float64) string {
+	if rate > 0 {
+		return "open"
+	}
+	return "closed"
+}
+
+// discoverShape asks the server for the model's input shape, so the
+// generator needs no local model build and stays honest about what the
+// server actually serves.
+func discoverShape(baseURL, model string) (tensor.Shape, error) {
+	resp, err := http.Get(baseURL + "/v1/models")
+	if err != nil {
+		return tensor.Shape{}, fmt.Errorf("querying /v1/models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tensor.Shape{}, fmt.Errorf("/v1/models: HTTP %d", resp.StatusCode)
+	}
+	var list struct {
+		Available []struct {
+			Model     string `json:"model"`
+			InputNCHW [4]int `json:"input_nchw"`
+		} `json:"available"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return tensor.Shape{}, fmt.Errorf("decoding /v1/models: %w", err)
+	}
+	for _, m := range list.Available {
+		if m.Model == model {
+			s := m.InputNCHW
+			return tensor.Shape{N: s[0], C: s[1], H: s[2], W: s[3]}, nil
+		}
+	}
+	return tensor.Shape{}, fmt.Errorf("model %q not served at %s", model, baseURL)
+}
+
+type payloadSpec struct {
+	model    string
+	bits     int
+	sparsity float64
+	seed     uint64
+	bitExact bool
+	batch    int
+	n        int
+	shape    tensor.Shape
+}
+
+func buildPayloads(s payloadSpec) [][]byte {
+	if s.n < 1 {
+		s.n = 1
+	}
+	if s.batch < 1 {
+		s.batch = 1
+	}
+	data := workload.InputData(s.shape, s.n*s.batch, s.seed+1000)
+	bodies := make([][]byte, s.n)
+	for i := range bodies {
+		req := serve.InferRequest{
+			Model: s.model, ActBits: s.bits, Sparsity: &s.sparsity, Seed: s.seed,
+			BitExact: s.bitExact, Inputs: data[i*s.batch : (i+1)*s.batch],
+		}
+		b, err := json.Marshal(&req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+func post(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// closedLoop runs `workers` goroutines that each fire the next request as
+// soon as the previous one returns.
+func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
+	deadline time.Time, record func(time.Duration, error)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				err := post(client, url, bodies[i%len(bodies)])
+				record(time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// openLoop fires requests on a fixed schedule regardless of completions
+// (up to a bounded number in flight), which measures latency under a
+// target arrival rate rather than a target concurrency.
+func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
+	deadline time.Time, record func(time.Duration, error)) {
+	interval := time.Duration(float64(time.Second) / rate)
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; time.Now().Before(deadline); i++ {
+		<-tick.C
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := post(client, url, bodies[i%len(bodies)])
+			record(time.Since(t0), err)
+		}(i)
+	}
+	wg.Wait()
+}
+
+type reportInput struct {
+	model     string
+	mode      string
+	bitExact  bool
+	batch     int
+	latencies []time.Duration
+	errs      int
+	elapsed   time.Duration
+}
+
+func report(in reportInput, jsonOut bool) {
+	sort.Slice(in.latencies, func(i, j int) bool { return in.latencies[i] < in.latencies[j] })
+	n := len(in.latencies)
+	pct := func(p float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		i := int(p * float64(n-1))
+		return in.latencies[i].Seconds() * 1e3
+	}
+	var sum time.Duration
+	for _, d := range in.latencies {
+		sum += d
+	}
+	meanMS := 0.0
+	if n > 0 {
+		meanMS = sum.Seconds() * 1e3 / float64(n)
+	}
+	reqPerSec := float64(n) / in.elapsed.Seconds()
+	out := map[string]any{
+		"model":       in.model,
+		"mode":        in.mode,
+		"bit_exact":   in.bitExact,
+		"batch":       in.batch,
+		"requests":    n,
+		"errors":      in.errs,
+		"elapsed_s":   in.elapsed.Seconds(),
+		"req_per_s":   reqPerSec,
+		"infer_per_s": reqPerSec * float64(in.batch),
+		"latency_ms":  map[string]float64{"mean": meanMS, "p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1.0)},
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s (%s loop, batch %d, bit_exact=%v): %d requests, %d errors in %.2fs\n",
+		in.model, in.mode, in.batch, in.bitExact, n, in.errs, in.elapsed.Seconds())
+	fmt.Printf("throughput: %.1f req/s (%.1f inferences/s)\n", reqPerSec, reqPerSec*float64(in.batch))
+	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+		meanMS, pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+}

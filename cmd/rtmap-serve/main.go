@@ -1,0 +1,58 @@
+// Command rtmap-serve runs the batched multi-tenant inference server: an
+// HTTP/JSON front end over the compiler, the compiled-artifact cache, an
+// adaptive per-model micro-batcher, and a simulated fleet of AP devices
+// priced by the paper's cost model.
+//
+//	rtmap-serve                                  # defaults: :8080, 4 devices
+//	rtmap-serve -addr 127.0.0.1:0 -devices 8 -max-batch 16 -batch-window 1ms
+//
+// Endpoints: POST /v1/infer, GET /v1/models, GET /healthz, GET /metrics
+// (Prometheus text format). SIGINT/SIGTERM drain gracefully: in-flight
+// requests finish, queued batches execute, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-serve: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		devices   = flag.Int("devices", 4, "simulated AP devices in the fleet")
+		maxBatch  = flag.Int("max-batch", 8, "micro-batch size cap (1 disables coalescing)")
+		window    = flag.Duration("batch-window", 2*time.Millisecond, "max wait for follow-up requests when forming a batch")
+		maxModels = flag.Int("max-models", 4, "compiled models resident before LRU eviction")
+		queue     = flag.Int("queue", 64, "per-model and per-device queue capacity")
+		maxInputs = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
+		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	err := rtmap.Serve(ctx, rtmap.ServeOptions{
+		Addr:      *addr,
+		Devices:   *devices,
+		MaxBatch:  *maxBatch,
+		Window:    *window,
+		MaxModels: *maxModels,
+		Queue:     *queue,
+		MaxInputs: *maxInputs,
+		NoCache:   *noCache,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,11 +1,33 @@
 package rtmap
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"rtmap/internal/workload"
 )
+
+// buildTools compiles the given cmd/ binaries into a temp dir.
+func buildTools(t *testing.T, tools ...string) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "rtmap/cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return bin
+}
 
 // TestCmdSmoke builds every cmd/ binary and runs each one end-to-end on a
 // tiny model (or -h where the tool's real run would be slow), so a broken
@@ -14,14 +36,7 @@ func TestCmdSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the command-line tools")
 	}
-	bin := t.TempDir()
-	tools := []string{"rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim"}
-	for _, tool := range tools {
-		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "rtmap/cmd/"+tool).CombinedOutput()
-		if err != nil {
-			t.Fatalf("go build %s: %v\n%s", tool, err, out)
-		}
-	}
+	bin := buildTools(t, "rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim", "rtmap-load")
 
 	cases := []struct {
 		tool string
@@ -34,6 +49,8 @@ func TestCmdSmoke(t *testing.T) {
 		{"rtmap-dfg", []string{"-eq1"}, "unroll+CSE"},
 		{"rtmap-diag", []string{"-tiny"}, "TinyCNN RTM"},
 		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1"}, "OK"},
+		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1", "-json"}, `"ok": true`},
+		{"rtmap-load", []string{"-h"}, "closed-loop"},
 	}
 	for _, tc := range cases {
 		name := tc.tool + " " + strings.Join(tc.args, " ")
@@ -49,5 +66,138 @@ func TestCmdSmoke(t *testing.T) {
 		if !strings.Contains(string(out), tc.want) {
 			t.Errorf("%s: output missing %q:\n%s", name, tc.want, out)
 		}
+	}
+}
+
+// TestServeSmoke boots the real rtmap-serve binary on a random port,
+// checks /healthz, runs one bit-exact inference through /v1/infer and
+// compares it to RunFunctional, drives it briefly with the real
+// rtmap-load binary, and SIGTERMs it expecting a clean drain (exit 0).
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the serving binaries")
+	}
+	bin := buildTools(t, "rtmap-serve", "rtmap-load")
+
+	srv := exec.Command(filepath.Join(bin, "rtmap-serve"),
+		"-addr", "127.0.0.1:0", "-devices", "2", "-max-batch", "4", "-batch-window", "1ms")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The server logs "listening on HOST:PORT" once bound.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	linec := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				linec <- strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+		close(linec)
+	}()
+	select {
+	case a, ok := <-linec:
+		if !ok {
+			t.Fatal("rtmap-serve exited before binding")
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("rtmap-serve did not report its listen address")
+	}
+	// Drain the rest of stderr so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// One bit-exact inference must equal RunFunctional on the same
+	// network and input.
+	net := BuildTinyCNN(ModelConfig{ActBits: 4, Sparsity: 0.8, Seed: 1})
+	cfg := DefaultCompileConfig()
+	cfg.KeepPrograms = true
+	comp, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Inputs(net.InputShape, 1, 99)[0]
+	tr, err := RunFunctional(comp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"model": "tinycnn", "bit_exact": true, "inputs": [][]float32{in.Data},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/infer: %v", err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/infer: HTTP %d", post.StatusCode)
+	}
+	var infer struct {
+		Results []struct {
+			Logits []int32 `json:"logits"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(post.Body).Decode(&infer); err != nil {
+		t.Fatal(err)
+	}
+	if len(infer.Results) != 1 {
+		t.Fatalf("%d results", len(infer.Results))
+	}
+	want := tr.Logits().Data
+	if fmt.Sprint(infer.Results[0].Logits) != fmt.Sprint(want) {
+		t.Fatalf("served logits %v != RunFunctional %v", infer.Results[0].Logits, want)
+	}
+
+	// Drive it with the real load generator for a moment.
+	load := exec.Command(filepath.Join(bin, "rtmap-load"),
+		"-url", base, "-model", "tinycnn", "-duration", "300ms", "-concurrency", "2", "-json")
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtmap-load: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"req_per_s"`, `"p95"`, `"errors": 0`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("rtmap-load output missing %s:\n%s", want, out)
+		}
+	}
+
+	// Graceful drain: SIGTERM → exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rtmap-serve did not exit cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("rtmap-serve did not exit after SIGTERM")
 	}
 }

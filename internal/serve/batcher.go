@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rtmap/internal/tensor"
+)
+
+// errClosed reports a submit against a batcher whose model was evicted or
+// whose server is draining; callers re-resolve the model and retry.
+var errClosed = errors.New("serve: model evicted or server draining")
+
+// item is one queued inference: a single input sample plus the channel
+// its result is delivered on (buffered, so the executor never blocks on a
+// departed caller).
+type item struct {
+	in       *tensor.Float
+	bitExact bool
+	enq      time.Time
+	res      chan itemResult
+}
+
+type itemResult struct {
+	logits []int32
+	argmax int
+	info   BatchInfo
+	err    error
+}
+
+// batcher coalesces queued items for one model into micro-batches. The
+// first item of a batch opens a coalescing window; the batch dispatches
+// when it reaches MaxBatch items or the window expires, whichever comes
+// first — so an idle server adds at most Window of latency and a loaded
+// server batches at line rate (a backlogged queue fills batches without
+// ever arming the timer).
+//
+// The window is adaptive: dispatching a full batch halves the wait (down
+// to Window/8) because traffic is dense enough that waiting longer only
+// adds latency, while dispatching a singleton restores the configured
+// window to recover batching opportunity when traffic returns.
+type batcher struct {
+	e     *entry
+	fleet *Fleet
+	opts  BatchOptions
+
+	mu     sync.RWMutex // guards closed vs in-flight sends
+	closed bool
+	ch     chan *item
+	done   chan struct{}
+}
+
+func newBatcher(e *entry, fleet *Fleet, opts BatchOptions) *batcher {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 8
+	}
+	if opts.Window <= 0 {
+		opts.Window = 2 * time.Millisecond
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 64
+	}
+	b := &batcher{
+		e:     e,
+		fleet: fleet,
+		opts:  opts,
+		ch:    make(chan *item, opts.Queue),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit enqueues one item, blocking when the queue is full
+// (backpressure). The read lock is held across the send so close() cannot
+// close the channel under an in-flight sender.
+func (b *batcher) submit(it *item) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return errClosed
+	}
+	b.ch <- it
+	return nil
+}
+
+// close stops intake and waits for the dispatcher to hand every queued
+// item to the fleet. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	wait := b.opts.Window
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := []*item{first}
+		if b.opts.MaxBatch > 1 {
+			timer := time.NewTimer(wait)
+		fill:
+			for len(batch) < b.opts.MaxBatch {
+				select {
+				case it, ok := <-b.ch:
+					if !ok {
+						break fill // draining: dispatch what we have
+					}
+					batch = append(batch, it)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		switch {
+		case len(batch) == b.opts.MaxBatch:
+			wait = max(wait/2, b.opts.Window/8)
+		case len(batch) == 1:
+			wait = b.opts.Window
+		}
+		b.fleet.Submit(&apBatch{e: b.e, items: batch})
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rtmap/internal/core"
+	"rtmap/internal/tensor"
+	"rtmap/internal/workload"
+)
+
+// testEntry admits tinycnn through a private registry/fleet pair sized by
+// the given batch options.
+func testEntry(t *testing.T, fleet *Fleet, batch BatchOptions) *entry {
+	t.Helper()
+	reg := NewRegistry(core.DefaultConfig(), 2, fleet, batch)
+	t.Cleanup(reg.Close)
+	e, err := reg.Get(Spec{Model: "tinycnn", ActBits: 4, Sparsity: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func submitN(t *testing.T, e *entry, n int) []*item {
+	t.Helper()
+	sh, _ := ZooShape("tinycnn")
+	inputs := workload.Inputs(sh, n, 5)
+	items := make([]*item, n)
+	for i := range items {
+		items[i] = &item{in: inputs[i], enq: time.Now(), res: make(chan itemResult, 1)}
+		if err := e.batcher.submit(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return items
+}
+
+// A burst submitted faster than the window must coalesce into one batch.
+func TestBatcherCoalescesBurst(t *testing.T) {
+	fleet := NewFleet(1, 16, nil)
+	t.Cleanup(fleet.Close)
+	e := testEntry(t, fleet, BatchOptions{MaxBatch: 8, Window: 200 * time.Millisecond})
+
+	items := submitN(t, e, 4)
+	for i, it := range items {
+		res := <-it.res
+		if res.err != nil {
+			t.Fatalf("item %d: %v", i, res.err)
+		}
+		if res.info.Size != 4 {
+			t.Fatalf("item %d ran in a batch of %d, want 4 (coalesced)", i, res.info.Size)
+		}
+	}
+}
+
+// MaxBatch splits an oversized burst; nothing waits for the window once
+// the batch is full.
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	fleet := NewFleet(1, 16, nil)
+	t.Cleanup(fleet.Close)
+	e := testEntry(t, fleet, BatchOptions{MaxBatch: 2, Window: time.Hour})
+
+	start := time.Now()
+	items := submitN(t, e, 4)
+	for i, it := range items {
+		res := <-it.res
+		if res.err != nil {
+			t.Fatalf("item %d: %v", i, res.err)
+		}
+		if res.info.Size != 2 {
+			t.Fatalf("item %d: batch size %d, want 2", i, res.info.Size)
+		}
+	}
+	// With a 1h window, completion proves full batches dispatch eagerly.
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("full batches waited for the window")
+	}
+}
+
+// Closing a batcher drains queued items rather than dropping them, and
+// subsequent submits fail with errClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	fleet := NewFleet(1, 16, nil)
+	t.Cleanup(fleet.Close)
+	e := testEntry(t, fleet, BatchOptions{MaxBatch: 4, Window: time.Millisecond})
+
+	items := submitN(t, e, 3)
+	e.batcher.close()
+	for i, it := range items {
+		if res := <-it.res; res.err != nil {
+			t.Fatalf("drained item %d: %v", i, res.err)
+		}
+	}
+	sh, _ := ZooShape("tinycnn")
+	late := &item{in: tensor.NewFloat(sh), res: make(chan itemResult, 1)}
+	if err := e.batcher.submit(late); err != errClosed {
+		t.Fatalf("submit after close: %v, want errClosed", err)
+	}
+}
+
+// Concurrent submits against concurrent close must neither panic (send
+// on closed channel) nor deadlock — the RWMutex protocol under race.
+func TestBatcherCloseRace(t *testing.T) {
+	fleet := NewFleet(2, 64, nil)
+	t.Cleanup(fleet.Close)
+	e := testEntry(t, fleet, BatchOptions{MaxBatch: 4, Window: time.Millisecond, Queue: 8})
+
+	sh, _ := ZooShape("tinycnn")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				it := &item{in: tensor.NewFloat(sh), enq: time.Now(), res: make(chan itemResult, 1)}
+				if err := e.batcher.submit(it); err != nil {
+					return // closed underneath us: expected
+				}
+				<-it.res
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	e.batcher.close()
+	wg.Wait()
+}
+
+// Batches spread across devices by queue depth.
+func TestFleetSpreadsLoad(t *testing.T) {
+	fleet := NewFleet(3, 16, nil)
+	t.Cleanup(fleet.Close)
+	// MaxBatch 1: every item is its own batch, so 9 batches hit the fleet.
+	e := testEntry(t, fleet, BatchOptions{MaxBatch: 1})
+
+	items := submitN(t, e, 9)
+	devices := map[int]bool{}
+	for _, it := range items {
+		res := <-it.res
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		devices[res.info.Device] = true
+	}
+	if len(devices) < 2 {
+		t.Fatalf("9 single-item batches all ran on one device; want spread (got %v)", devices)
+	}
+	var total int64
+	for _, d := range fleet.Stats() {
+		total += d.Batches
+	}
+	if total != 9 {
+		t.Fatalf("fleet executed %d batches, want 9", total)
+	}
+}
+
+func TestRegistryUnknownModel(t *testing.T) {
+	fleet := NewFleet(1, 4, nil)
+	t.Cleanup(fleet.Close)
+	reg := NewRegistry(core.DefaultConfig(), 2, fleet, BatchOptions{})
+	t.Cleanup(reg.Close)
+	if _, err := reg.Get(Spec{Model: "missing"}); err == nil {
+		t.Fatal("unknown model admitted")
+	}
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+)
+
+// BatchInfo is the per-batch accounting attached to every result: which
+// simulated device ran the batch, how large it was, how long the item
+// waited in queues (wall time), and what the batch cost on the simulated
+// hardware (sim.AnalyzeBatch pipelined-load pricing).
+type BatchInfo struct {
+	Device int `json:"device"`
+	Size   int `json:"size"`
+	// QueueWallNS is the wall-clock time from enqueue to execution start.
+	QueueWallNS int64 `json:"queue_wall_ns"`
+	// SimLatencyNS is the simulated device latency of the whole batch;
+	// SimPerSampleNS is the amortized per-sample share.
+	SimLatencyNS   float64 `json:"sim_latency_ns"`
+	SimPerSampleNS float64 `json:"sim_per_sample_ns"`
+	SimEnergyPJ    float64 `json:"sim_energy_pj"`
+}
+
+// apBatch is one dispatched unit of work: a model entry plus the items
+// coalesced for it.
+type apBatch struct {
+	e     *entry
+	items []*item
+}
+
+// device is one simulated AP array pool. Batches assigned to it execute
+// serially on its goroutine (genuine queueing), and its simulated clock
+// accumulates the priced latency of everything it ran.
+type device struct {
+	id      int
+	ch      chan *apBatch
+	queued  int     // guarded by Fleet.mu
+	busyNS  float64 // guarded by Fleet.mu
+	batches int64   // guarded by Fleet.mu
+}
+
+// Fleet is the device-fleet scheduler: N simulated AP devices with
+// per-device queues. Submit places a batch on the device with the fewest
+// outstanding batches (ties to the least simulated busy time), blocking
+// when that device's queue is full.
+type Fleet struct {
+	metrics *Metrics
+
+	mu      sync.Mutex // guards device counters
+	devices []*device
+	wg      sync.WaitGroup
+
+	// closeMu orders Submit's channel sends against Close closing the
+	// device channels: senders hold the read side across the send, so
+	// Close (write side) cannot close a channel under an in-flight send.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewFleet starts n device goroutines with per-device queues of depth
+// queueCap.
+func NewFleet(n, queueCap int, m *Metrics) *Fleet {
+	if n <= 0 {
+		n = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	f := &Fleet{metrics: m}
+	for i := 0; i < n; i++ {
+		d := &device{id: i, ch: make(chan *apBatch, queueCap)}
+		f.devices = append(f.devices, d)
+		f.wg.Add(1)
+		go f.run(d)
+	}
+	return f
+}
+
+// Submit schedules the batch on the least-loaded device. Batches
+// arriving after Close (an evicted model's batcher draining late) fail
+// their items with errClosed instead of executing.
+func (f *Fleet) Submit(b *apBatch) {
+	f.closeMu.RLock()
+	defer f.closeMu.RUnlock()
+	if f.closed {
+		fail(b, errClosed)
+		return
+	}
+	f.mu.Lock()
+	d := f.devices[0]
+	for _, c := range f.devices[1:] {
+		// Fewest outstanding batches; ties go to the device with the
+		// least accumulated simulated busy time, so the simulated load
+		// spreads across the fleet even when real execution outpaces
+		// arrivals and queues never form.
+		if c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
+			d = c
+		}
+	}
+	d.queued++
+	f.mu.Unlock()
+	d.ch <- b
+}
+
+func fail(b *apBatch, err error) {
+	for _, it := range b.items {
+		it.res <- itemResult{err: err}
+	}
+}
+
+func (f *Fleet) run(d *device) {
+	defer f.wg.Done()
+	for b := range d.ch {
+		f.execBatch(d, b)
+		f.mu.Lock()
+		d.queued--
+		f.mu.Unlock()
+	}
+}
+
+// execBatch runs every item of the batch on this device and prices the
+// batch on the simulated hardware. Bit-exact items replay the compiled AP
+// programs (sim.ForwardAP); reference items run the quantized software
+// reference — both paths produce identical logits.
+func (f *Fleet) execBatch(d *device, b *apBatch) {
+	start := time.Now()
+	br := sim.AnalyzeBatch(b.e.report, len(b.items))
+	f.mu.Lock()
+	d.busyNS += br.LatencyNS
+	d.batches++
+	f.mu.Unlock()
+
+	for _, it := range b.items {
+		res := itemResult{info: BatchInfo{
+			Device:         d.id,
+			Size:           len(b.items),
+			QueueWallNS:    start.Sub(it.enq).Nanoseconds(),
+			SimLatencyNS:   br.LatencyNS,
+			SimPerSampleNS: br.PerSampleNS(),
+			SimEnergyPJ:    br.EnergyPJ,
+		}}
+		tr, err := forwardItem(b.e, it)
+		if err != nil {
+			res.err = err
+		} else {
+			lg := tr.Logits()
+			res.logits = append([]int32(nil), lg.Data...)
+			res.argmax = lg.ArgmaxInt()[0]
+		}
+		it.res <- res
+	}
+	if f.metrics != nil {
+		f.metrics.ObserveBatch(len(b.items), br.LatencyNS, br.EnergyPJ)
+	}
+}
+
+func forwardItem(e *entry, it *item) (*model.IntTrace, error) {
+	if it.bitExact {
+		return sim.ForwardAP(e.comp, it.in)
+	}
+	return e.net.ForwardInt(it.in)
+}
+
+// DeviceStat is a snapshot of one simulated device for /metrics.
+type DeviceStat struct {
+	ID        int
+	Queued    int
+	Batches   int64
+	SimBusyNS float64
+}
+
+// Stats snapshots every device.
+func (f *Fleet) Stats() []DeviceStat {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]DeviceStat, len(f.devices))
+	for i, d := range f.devices {
+		out[i] = DeviceStat{ID: d.id, Queued: d.queued, Batches: d.batches, SimBusyNS: d.busyNS}
+	}
+	return out
+}
+
+// Close stops intake, fails late submits, and waits for every device to
+// drain its queue. Call after all batchers are closed; taking the write
+// lock waits out any Submit still blocked on a full device queue.
+func (f *Fleet) Close() {
+	f.closeMu.Lock()
+	if f.closed {
+		f.closeMu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, d := range f.devices {
+		close(d.ch)
+	}
+	f.closeMu.Unlock()
+	f.wg.Wait()
+}

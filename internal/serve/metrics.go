@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request wall-time
+// histogram — Prometheus classic-histogram layout, le="+Inf" implied.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Metrics accumulates the serving counters exposed at /metrics in
+// Prometheus text exposition format. Hand-rolled: the module carries no
+// dependencies, and the format is a few lines of text.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests   int64 // HTTP inference requests
+	inferences int64 // individual samples served
+	errors     int64 // failed requests
+
+	batches      int64
+	batchSizeSum int64
+	simLatencyNS float64
+	simEnergyPJ  float64
+
+	latCounts []int64 // cumulative-style on render; stored per-bucket
+	latSum    float64
+	latCount  int64
+}
+
+func NewMetrics() *Metrics {
+	return &Metrics{latCounts: make([]int64, len(latencyBuckets)+1)}
+}
+
+// ObserveRequest records one finished /v1/infer request.
+func (m *Metrics) ObserveRequest(wall time.Duration, samples int, failed bool) {
+	s := wall.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	m.inferences += int64(samples)
+	if failed {
+		m.errors++
+	}
+	i := len(latencyBuckets)
+	for j, ub := range latencyBuckets {
+		if s <= ub {
+			i = j
+			break
+		}
+	}
+	m.latCounts[i]++
+	m.latSum += s
+	m.latCount++
+}
+
+// ObserveBatch records one batch dispatched to a device.
+func (m *Metrics) ObserveBatch(size int, simNS, simPJ float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchSizeSum += int64(size)
+	m.simLatencyNS += simNS
+	m.simEnergyPJ += simPJ
+}
+
+// WritePrometheus renders the counters. extra, when non-nil, appends
+// caller-owned series (gauges that live outside Metrics).
+func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
+	m.mu.Lock()
+	snap := struct {
+		requests, inferences, errors, batches, batchSizeSum int64
+		simLatencyNS, simEnergyPJ                           float64
+		latSum                                              float64
+		latCount                                            int64
+	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
+		m.simLatencyNS, m.simEnergyPJ, m.latSum, m.latCount}
+	counts := append([]int64(nil), m.latCounts...)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE rtmap_requests_total counter\nrtmap_requests_total %d\n", snap.requests)
+	fmt.Fprintf(w, "# TYPE rtmap_inferences_total counter\nrtmap_inferences_total %d\n", snap.inferences)
+	fmt.Fprintf(w, "# TYPE rtmap_request_errors_total counter\nrtmap_request_errors_total %d\n", snap.errors)
+	fmt.Fprintf(w, "# TYPE rtmap_batches_total counter\nrtmap_batches_total %d\n", snap.batches)
+	fmt.Fprintf(w, "# TYPE rtmap_batched_samples_total counter\nrtmap_batched_samples_total %d\n", snap.batchSizeSum)
+	fmt.Fprintf(w, "# TYPE rtmap_sim_device_ns_total counter\nrtmap_sim_device_ns_total %g\n", snap.simLatencyNS)
+	fmt.Fprintf(w, "# TYPE rtmap_sim_energy_pj_total counter\nrtmap_sim_energy_pj_total %g\n", snap.simEnergyPJ)
+
+	fmt.Fprintf(w, "# TYPE rtmap_request_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "rtmap_request_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "rtmap_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "rtmap_request_seconds_sum %g\n", snap.latSum)
+	fmt.Fprintf(w, "rtmap_request_seconds_count %d\n", snap.latCount)
+
+	if extra != nil {
+		extra(w)
+	}
+}

@@ -1,0 +1,309 @@
+// Package serve is the traffic-facing layer of the stack: a concurrent
+// HTTP/JSON inference server over the compiler and simulator. It keeps a
+// registry of compiled models (compiled on demand through the
+// content-addressed artifact cache, evicted by LRU), coalesces queued
+// requests per model in an adaptive micro-batcher, and dispatches batches
+// onto a simulated fleet of AP devices whose per-batch cost is priced by
+// the internal/sim cost model. Inference itself runs either bit-exactly
+// (sim.ForwardAP replays the emitted AP programs) or on the quantized
+// software reference (model.ForwardInt) — the two are proved
+// bit-identical, so the mode trades verification strength for speed, not
+// accuracy.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+	"rtmap/internal/tensor"
+)
+
+// Spec identifies one model variant: a zoo entry plus the build
+// parameters that change its weights or activation grid.
+type Spec struct {
+	Model    string
+	ActBits  int
+	Sparsity float64
+	Seed     uint64
+}
+
+// Key is the canonical registry key of the spec.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s?bits=%d&sparsity=%g&seed=%d", s.Model, s.ActBits, s.Sparsity, s.Seed)
+}
+
+// zooEntry is one servable model architecture. Input shapes are recorded
+// statically so /v1/models can report them without building weights.
+type zooEntry struct {
+	build func(model.Config) *model.Network
+	shape tensor.Shape
+}
+
+// zoo lists the servable architectures (the paper's model zoo plus the
+// small test networks).
+var zoo = map[string]zooEntry{
+	"tinycnn":    {model.TinyCNN, tensor.Shape{N: 1, C: 2, H: 8, W: 8}},
+	"tinyresnet": {model.TinyResNet, tensor.Shape{N: 1, C: 3, H: 8, W: 8}},
+	"vgg9":       {model.VGG9, tensor.Shape{N: 1, C: 3, H: 32, W: 32}},
+	"vgg11":      {model.VGG11, tensor.Shape{N: 1, C: 3, H: 32, W: 32}},
+	"resnet18":   {model.ResNet18, tensor.Shape{N: 1, C: 3, H: 224, W: 224}},
+	"miniresnet18": {func(c model.Config) *model.Network { return model.MiniResNet18(c, 32, 32) },
+		tensor.Shape{N: 1, C: 3, H: 32, W: 32}},
+}
+
+// ZooModels returns the servable architecture names, sorted.
+func ZooModels() []string {
+	out := make([]string, 0, len(zoo))
+	for name := range zoo {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ZooShape returns the input shape of a zoo architecture.
+func ZooShape(name string) (tensor.Shape, bool) {
+	z, ok := zoo[name]
+	return z.shape, ok
+}
+
+// entry is one resident registry slot: a model variant, its compiled
+// artifact, the analytic per-inference report the batch cost model prices
+// from, and the micro-batcher feeding the device fleet.
+type entry struct {
+	spec Spec
+	key  string
+
+	// Written once inside Registry.admit and read by Get callers through
+	// the sync.Once happens-before edge. Loaded/evictLocked, which race
+	// with an in-progress admit, read comp/report/batcher only under the
+	// owning registry's mu (admit publishes them under the same lock).
+	once   sync.Once
+	net    *model.Network
+	comp   *core.Compiled
+	report *sim.Report
+	err    error
+
+	batcher *batcher
+
+	// Guarded by the owning registry's mu.
+	lastUsed int64
+	evicted  bool
+}
+
+// Registry resolves Specs to compiled models. Compilation happens on
+// demand (deduplicated per key by sync.Once) through the configured
+// core.Config — with the shared artifact cache wired in, re-admitting an
+// evicted model reuses its lowered layers. Resident entries beyond
+// MaxModels are evicted least-recently-used; an evicted entry's batcher
+// drains its queued work before shutting down, so in-flight requests
+// complete.
+type Registry struct {
+	compile   core.Config
+	maxModels int
+	fleet     *Fleet
+	batch     BatchOptions
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[string]*entry
+	closed  bool
+}
+
+// BatchOptions are the micro-batcher knobs shared by every model entry.
+type BatchOptions struct {
+	MaxBatch int           // batch size cap (1 disables coalescing)
+	Window   time.Duration // max wait for follow-up requests after the first
+	Queue    int           // per-model pending-request queue capacity
+}
+
+// NewRegistry returns an empty registry. The compile config is forced to
+// retain programs (bit-exact mode replays them).
+func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOptions) *Registry {
+	compile.KeepPrograms = true
+	if maxModels <= 0 {
+		maxModels = 4
+	}
+	return &Registry{
+		compile:   compile,
+		maxModels: maxModels,
+		fleet:     fleet,
+		batch:     batch,
+		entries:   map[string]*entry{},
+	}
+}
+
+// Get resolves spec to a ready entry, compiling it on first use and
+// bumping its LRU stamp. The compile itself runs outside the registry
+// lock, so a slow model admission does not stall traffic to resident
+// models.
+func (r *Registry) Get(spec Spec) (*entry, error) {
+	if _, ok := zoo[spec.Model]; !ok {
+		return nil, fmt.Errorf("serve: unknown model %q (available: %v)", spec.Model, ZooModels())
+	}
+	key := spec.Key()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errClosed
+	}
+	e, ok := r.entries[key]
+	if !ok {
+		e = &entry{spec: spec, key: key}
+		r.entries[key] = e
+		r.evictLocked(e)
+	}
+	r.seq++
+	e.lastUsed = r.seq
+	r.mu.Unlock()
+
+	e.once.Do(func() { r.admit(e) })
+	if e.err != nil {
+		r.mu.Lock()
+		if r.entries[key] == e {
+			delete(r.entries, key) // failed admissions don't occupy a slot
+		}
+		r.mu.Unlock()
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// admit builds and compiles the entry's network and attaches its batcher.
+func (r *Registry) admit(e *entry) {
+	cfg := model.Config{ActBits: e.spec.ActBits, Sparsity: e.spec.Sparsity, Seed: e.spec.Seed}
+	net := zoo[e.spec.Model].build(cfg)
+	comp, err := core.Compile(net, r.compile)
+	if err != nil {
+		e.err = fmt.Errorf("serve: compiling %s: %w", e.key, err)
+		return
+	}
+	e.net = net
+	e.comp = comp
+	e.report = sim.Analyze(comp)
+	b := newBatcher(e, r.fleet, r.batch)
+
+	// Publish the batcher under the lock (Loaded/evictLocked may be
+	// looking at this entry concurrently). An eviction that raced with
+	// this compile leaves the entry out of the map; close the batcher so
+	// queued submits fail fast and callers retry into a fresh slot.
+	r.mu.Lock()
+	e.batcher = b
+	evicted := e.evicted || r.closed
+	r.mu.Unlock()
+	if evicted {
+		b.close()
+	}
+}
+
+// evictLocked drops least-recently-used entries (never `keep`) until the
+// registry fits maxModels. Called with r.mu held.
+func (r *Registry) evictLocked(keep *entry) {
+	for len(r.entries) > r.maxModels {
+		var victim *entry
+		for _, e := range r.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.entries, victim.key)
+		victim.evicted = true
+		if victim.batcher != nil {
+			// Close off-lock: close drains the victim's queue, which can
+			// block until its in-flight batches dispatch.
+			go victim.batcher.close()
+		}
+	}
+}
+
+// LoadedInfo describes one resident model for /v1/models.
+type LoadedInfo struct {
+	Key      string  `json:"key"`
+	Model    string  `json:"model"`
+	ActBits  int     `json:"act_bits"`
+	Sparsity float64 `json:"sparsity"`
+	Seed     uint64  `json:"seed"`
+	Arrays   int     `json:"arrays"`
+	// PerInferNS is the analytic single-inference latency (ns) of the
+	// model on the simulated device.
+	PerInferNS float64 `json:"sim_latency_ns"`
+}
+
+// Loaded snapshots the resident entries, most recently used first. The
+// compiled fields are read under r.mu: admit publishes the batcher under
+// the same lock after writing them, so a non-nil batcher means comp and
+// report are visible.
+func (r *Registry) Loaded() []LoadedInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []LoadedInfo
+	var used []int64
+	for _, e := range r.entries {
+		if e.batcher == nil { // still compiling
+			continue
+		}
+		out = append(out, LoadedInfo{
+			Key: e.key, Model: e.spec.Model, ActBits: e.spec.ActBits,
+			Sparsity: e.spec.Sparsity, Seed: e.spec.Seed,
+			Arrays: e.comp.PoolArrays, PerInferNS: e.report.TotalLatencyNS,
+		})
+		used = append(used, e.lastUsed)
+	}
+	sort.Sort(&byRecency{out, used})
+	return out
+}
+
+// byRecency sorts LoadedInfo rows by descending lastUsed stamp.
+type byRecency struct {
+	info []LoadedInfo
+	used []int64
+}
+
+func (s *byRecency) Len() int           { return len(s.info) }
+func (s *byRecency) Less(i, j int) bool { return s.used[i] > s.used[j] }
+func (s *byRecency) Swap(i, j int) {
+	s.info[i], s.info[j] = s.info[j], s.info[i]
+	s.used[i], s.used[j] = s.used[j], s.used[i]
+}
+
+// Len returns the number of resident entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Close marks the registry draining and closes every batcher, blocking
+// until all queued work has been handed to the fleet. Batcher pointers
+// are snapshotted under r.mu; an admission still compiling has a nil
+// batcher here and self-closes when it observes r.closed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	bs := make([]*batcher, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.batcher != nil {
+			bs = append(bs, e.batcher)
+		}
+	}
+	r.mu.Unlock()
+	for _, b := range bs {
+		b.close()
+	}
+}

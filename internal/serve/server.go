@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"rtmap/internal/core"
+	"rtmap/internal/tensor"
+)
+
+// Options configures a Server. Zero values select the documented
+// defaults.
+type Options struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Devices is the size of the simulated AP device fleet.
+	Devices int
+	// MaxBatch caps micro-batch size; Window bounds how long the batcher
+	// waits for follow-up requests after the first (see batcher docs for
+	// the adaptive shrink rule).
+	MaxBatch int
+	Window   time.Duration
+	// MaxModels bounds the compiled-model registry (LRU eviction beyond).
+	MaxModels int
+	// Queue is the per-model and per-device queue capacity.
+	Queue int
+	// Cache overrides the compiled-artifact cache consulted by model
+	// admissions; nil uses the process-wide shared cache, and NoCache
+	// disables artifact caching outright.
+	Cache   *core.Cache
+	NoCache bool
+	// MaxInputs caps the number of samples one /v1/infer request may
+	// carry (default 64).
+	MaxInputs int
+	// Logf receives serving log lines; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:8080"
+	}
+	if o.Devices <= 0 {
+		o.Devices = 4
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.MaxModels <= 0 {
+		o.MaxModels = 4
+	}
+	if o.Queue <= 0 {
+		o.Queue = 64
+	}
+	if o.MaxInputs <= 0 {
+		o.MaxInputs = 64
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Server is the batched multi-tenant inference server: HTTP handlers on
+// top of the model registry, the per-model micro-batchers, and the
+// simulated device fleet.
+type Server struct {
+	opts     Options
+	metrics  *Metrics
+	fleet    *Fleet
+	reg      *Registry
+	mux      *http.ServeMux
+	http     *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+}
+
+// New constructs a Server (not yet listening).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	m := NewMetrics()
+	fleet := NewFleet(opts.Devices, opts.Queue, m)
+	compile := core.DefaultConfig()
+	if opts.Cache != nil {
+		compile.Cache = opts.Cache
+	}
+	if opts.NoCache {
+		compile.Cache = nil
+	}
+	reg := NewRegistry(compile, opts.MaxModels, fleet,
+		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue})
+
+	s := &Server{opts: opts, metrics: m, fleet: fleet, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler exposes the route table (httptest servers, embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model registry (load generators warm models up
+// front; tests inspect residency).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Listen binds the configured address and returns the resolved one.
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve blocks serving HTTP on the bound listener until Shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if _, err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	s.opts.Logf("listening on %s", s.ln.Addr())
+	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains gracefully: new work is refused, in-flight HTTP
+// requests finish (their queued items still execute on the fleet), then
+// the batchers and the device fleet wind down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	s.reg.Close()
+	s.fleet.Close()
+	return err
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	httpJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// modelsResponse lists the servable zoo and the resident compiled models.
+type modelsResponse struct {
+	Available []availableModel `json:"available"`
+	Loaded    []LoadedInfo     `json:"loaded"`
+}
+
+type availableModel struct {
+	Model     string `json:"model"`
+	InputNCHW [4]int `json:"input_nchw"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := modelsResponse{Loaded: s.reg.Loaded()}
+	for _, name := range ZooModels() {
+		sh, _ := ZooShape(name)
+		resp.Available = append(resp.Available, availableModel{
+			Model: name, InputNCHW: [4]int{sh.N, sh.C, sh.H, sh.W},
+		})
+	}
+	httpJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, func(w io.Writer) {
+		fmt.Fprintf(w, "# TYPE rtmap_models_loaded gauge\nrtmap_models_loaded %d\n", s.reg.Len())
+		stats := s.fleet.Stats() // one snapshot: the three series stay consistent
+		fmt.Fprintf(w, "# TYPE rtmap_device_queue_depth gauge\n")
+		for _, d := range stats {
+			fmt.Fprintf(w, "rtmap_device_queue_depth{device=\"%d\"} %d\n", d.ID, d.Queued)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_device_batches_total counter\n")
+		for _, d := range stats {
+			fmt.Fprintf(w, "rtmap_device_batches_total{device=\"%d\"} %d\n", d.ID, d.Batches)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_device_sim_busy_ns_total counter\n")
+		for _, d := range stats {
+			fmt.Fprintf(w, "rtmap_device_sim_busy_ns_total{device=\"%d\"} %g\n", d.ID, d.SimBusyNS)
+		}
+	})
+}
+
+// InferRequest is the /v1/infer wire format. Each element of Inputs is
+// one sample: the input tensor flattened in NCHW order (N=1). Omitted
+// build parameters take the paper's defaults (4-bit activations, 0.8
+// sparsity, seed 1).
+type InferRequest struct {
+	Model    string   `json:"model"`
+	ActBits  int      `json:"act_bits,omitempty"`
+	Sparsity *float64 `json:"sparsity,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	// BitExact replays the compiled AP programs on the word-level machine
+	// (slow, bit-exact); otherwise the quantized software reference runs
+	// (fast, proved bit-identical).
+	BitExact bool        `json:"bit_exact,omitempty"`
+	Inputs   [][]float32 `json:"inputs"`
+}
+
+// InferResult is the per-sample response entry.
+type InferResult struct {
+	Logits []int32   `json:"logits"`
+	Argmax int       `json:"argmax"`
+	Batch  BatchInfo `json:"batch"`
+}
+
+// InferResponse is the /v1/infer response body.
+type InferResponse struct {
+	Model   string        `json:"model"`
+	Key     string        `json:"key"`
+	Results []InferResult `json:"results"`
+	WallMS  float64       `json:"wall_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	fail := func(code int, format string, args ...any) {
+		s.metrics.ObserveRequest(time.Since(start), 0, true)
+		httpJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	}
+	var req InferRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		fail(http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Inputs) == 0 {
+		fail(http.StatusBadRequest, "no inputs")
+		return
+	}
+	if len(req.Inputs) > s.opts.MaxInputs {
+		fail(http.StatusBadRequest, "request carries %d inputs, limit %d", len(req.Inputs), s.opts.MaxInputs)
+		return
+	}
+	spec := Spec{Model: req.Model, ActBits: req.ActBits, Sparsity: 0.8, Seed: req.Seed}
+	if spec.ActBits == 0 {
+		spec.ActBits = 4
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if req.Sparsity != nil {
+		spec.Sparsity = *req.Sparsity
+	}
+	if spec.ActBits < 2 || spec.ActBits > 8 || spec.Sparsity < 0 || spec.Sparsity >= 1 {
+		fail(http.StatusBadRequest, "build parameters out of range (act_bits 2..8, sparsity [0,1))")
+		return
+	}
+
+	e, err := s.reg.Get(spec)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if _, known := ZooShape(spec.Model); !known {
+			code = http.StatusNotFound
+		}
+		fail(code, "%v", err)
+		return
+	}
+
+	shape := e.net.InputShape
+	items := make([]*item, len(req.Inputs))
+	for i, vals := range req.Inputs {
+		if len(vals) != shape.Elems() {
+			fail(http.StatusBadRequest, "input %d: %d values, %s wants %d (NCHW %v)",
+				i, len(vals), spec.Model, shape.Elems(), shape)
+			return
+		}
+		t := tensor.NewFloat(shape)
+		copy(t.Data, vals)
+		items[i] = &item{in: t, bitExact: req.BitExact, enq: time.Now(), res: make(chan itemResult, 1)}
+	}
+
+	// Submit with eviction retry: a concurrently evicted entry refuses
+	// intake, so re-resolve the model (recompiling if needed) and go on
+	// from the first unsubmitted item.
+	const maxReadmits = 4
+	for i, readmits := 0, 0; i < len(items); {
+		err := e.batcher.submit(items[i])
+		if err == nil {
+			i++
+			continue
+		}
+		if readmits++; readmits > maxReadmits {
+			fail(http.StatusServiceUnavailable, "model thrashing: evicted %d times during one request", readmits)
+			return
+		}
+		if e, err = s.reg.Get(spec); err != nil {
+			fail(http.StatusServiceUnavailable, "model evicted and re-admission failed: %v", err)
+			return
+		}
+	}
+
+	resp := InferResponse{Model: spec.Model, Key: e.key, Results: make([]InferResult, len(items))}
+	for i, it := range items {
+		res := <-it.res
+		if res.err != nil {
+			fail(http.StatusInternalServerError, "input %d: %v", i, res.err)
+			return
+		}
+		resp.Results[i] = InferResult{Logits: res.logits, Argmax: res.argmax, Batch: res.info}
+	}
+	resp.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	s.metrics.ObserveRequest(time.Since(start), len(items), false)
+	httpJSON(w, http.StatusOK, resp)
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,47 @@
+package sim
+
+// BatchReport prices a batch of b identical inferences dispatched
+// back-to-back to one device (the serving layer's unit of work).
+type BatchReport struct {
+	Batch int
+	// FirstNS is the full fill+compute latency of the first sample —
+	// identical to Report.TotalLatencyNS.
+	FirstNS float64
+	// MarginalNS is the steady-state latency each further sample adds.
+	// With the network's weights resident in the arrays, the only
+	// per-sample work is streaming activations in and computing; the next
+	// sample's input loading overlaps the current sample's compute layer
+	// by layer, so each layer contributes max(compute, load) rather than
+	// compute+load.
+	MarginalNS float64
+	// LatencyNS is the simulated completion time of the whole batch:
+	// FirstNS + (Batch-1)·MarginalNS.
+	LatencyNS float64
+	// EnergyPJ scales linearly: pipelining hides time, not switching
+	// activity.
+	EnergyPJ float64
+}
+
+// PerSampleNS returns the amortized per-sample latency of the batch.
+func (b BatchReport) PerSampleNS() float64 {
+	if b.Batch <= 0 {
+		return 0
+	}
+	return b.LatencyNS / float64(b.Batch)
+}
+
+// AnalyzeBatch extends a single-inference Report to a batch of b samples
+// under the pipelined-load model above. b < 1 is treated as 1.
+func AnalyzeBatch(rep *Report, b int) BatchReport {
+	if b < 1 {
+		b = 1
+	}
+	br := BatchReport{Batch: b, FirstNS: rep.TotalLatencyNS}
+	for _, lr := range rep.Layers {
+		busy := lr.ComputeNS + lr.ReduceNS + lr.RequantNS
+		br.MarginalNS += max(busy, lr.LoadNS)
+	}
+	br.LatencyNS = br.FirstNS + float64(b-1)*br.MarginalNS
+	br.EnergyPJ = float64(b) * rep.Total.TotalPJ()
+	return br
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+)
+
+func analyzedTiny(t *testing.T) *Report {
+	t.Helper()
+	net := model.TinyCNN(model.Config{ActBits: 4, Sparsity: 0.5, Seed: 3})
+	comp, err := core.Compile(net, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(comp)
+}
+
+func TestAnalyzeBatch(t *testing.T) {
+	rep := analyzedTiny(t)
+
+	one := AnalyzeBatch(rep, 1)
+	if one.LatencyNS != rep.TotalLatencyNS {
+		t.Fatalf("batch of 1 costs %g ns, single-inference report says %g", one.LatencyNS, rep.TotalLatencyNS)
+	}
+	if one.EnergyPJ != rep.Total.TotalPJ() {
+		t.Fatalf("batch of 1 energy %g, report %g", one.EnergyPJ, rep.Total.TotalPJ())
+	}
+
+	// Marginal latency must be positive but no more than a full
+	// serialized inference (pipelining can only help).
+	if one.MarginalNS <= 0 || one.MarginalNS > rep.TotalLatencyNS {
+		t.Fatalf("marginal %g ns outside (0, %g]", one.MarginalNS, rep.TotalLatencyNS)
+	}
+
+	// Linearity in the marginal term, and strict monotonicity.
+	prev := one
+	for _, b := range []int{2, 4, 16} {
+		br := AnalyzeBatch(rep, b)
+		want := one.FirstNS + float64(b-1)*one.MarginalNS
+		if diff := br.LatencyNS - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("batch %d latency %g, want %g", b, br.LatencyNS, want)
+		}
+		if br.LatencyNS <= prev.LatencyNS {
+			t.Fatalf("batch %d not slower than batch %d", b, prev.Batch)
+		}
+		if br.EnergyPJ != float64(b)*one.EnergyPJ {
+			t.Fatalf("batch %d energy %g, want linear %g", b, br.EnergyPJ, float64(b)*one.EnergyPJ)
+		}
+		// Amortized per-sample latency must improve with batch size.
+		if br.PerSampleNS() >= prev.PerSampleNS() {
+			t.Fatalf("batch %d per-sample %g ns did not improve on %g", b, br.PerSampleNS(), prev.PerSampleNS())
+		}
+		prev = br
+	}
+
+	if got := AnalyzeBatch(rep, 0); got.LatencyNS != one.LatencyNS {
+		t.Fatalf("batch 0 should clamp to 1")
+	}
+}

@@ -47,6 +47,20 @@ func Inputs(shape tensor.Shape, n int, seed uint64) []*tensor.Float {
 	return out
 }
 
+// InputData generates n synthetic samples as flattened NCHW value slices
+// — the request-payload form the serving layer's /v1/infer endpoint and
+// the rtmap-load generator exchange. Sample i equals Inputs(shape, n,
+// seed)[i].Data, so payloads round-trip bit-identically into tensors on
+// the server side.
+func InputData(shape tensor.Shape, n int, seed uint64) [][]float32 {
+	ins := Inputs(shape, n, seed)
+	out := make([][]float32, n)
+	for i, t := range ins {
+		out[i] = t.Data
+	}
+	return out
+}
+
 // Teacher labels the inputs with the full-precision reference path of net
 // (no fake quantization), producing the ground truth for agreement
 // measurements. Logits are centered by their per-class means over the

@@ -74,6 +74,64 @@ func TestTeacherAndAgreement(t *testing.T) {
 	}
 }
 
+// Dataset labels are a pure function of (network weights, input seed):
+// rebuilding everything from the same seeds reproduces the labels
+// bit-for-bit, and changing the input seed actually changes the set.
+func TestDatasetLabelDeterminism(t *testing.T) {
+	build := func(inputSeed uint64) *Dataset {
+		net := model.TinyCNN(model.Config{ActBits: 4, Sparsity: 0.5, Seed: 11})
+		if err := model.Calibrate(net, Inputs(net.InputShape, 3, 70)); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Teacher(net, Inputs(net.InputShape, 20, inputSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := build(5), build(5)
+	if len(a.Labels) != 20 || len(b.Labels) != 20 {
+		t.Fatalf("label counts %d/%d", len(a.Labels), len(b.Labels))
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d: %d vs %d — teacher labeling not deterministic", i, a.Labels[i], b.Labels[i])
+		}
+	}
+	c := build(6)
+	same := true
+	for i := range a.Labels {
+		if a.Labels[i] != c.Labels[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("20 labels identical across different input seeds; teacher ignores the inputs?")
+	}
+}
+
+// InputData must be the exact flattened form of Inputs — the payload a
+// load generator posts must reconstruct bit-identically server-side.
+func TestInputDataMatchesInputs(t *testing.T) {
+	shape := tensor.Shape{N: 1, C: 2, H: 8, W: 8}
+	flat := InputData(shape, 3, 42)
+	ref := Inputs(shape, 3, 42)
+	if len(flat) != 3 {
+		t.Fatalf("got %d payloads", len(flat))
+	}
+	for i := range flat {
+		if len(flat[i]) != shape.Elems() {
+			t.Fatalf("payload %d has %d values, want %d", i, len(flat[i]), shape.Elems())
+		}
+		for j := range flat[i] {
+			if flat[i][j] != ref[i].Data[j] {
+				t.Fatalf("payload %d value %d diverges from Inputs", i, j)
+			}
+		}
+	}
+}
+
 func TestAgreementEmptyDataset(t *testing.T) {
 	ds := &Dataset{}
 	if _, err := ds.Agreement(nil); err == nil {

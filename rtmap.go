@@ -18,11 +18,13 @@
 package rtmap
 
 import (
+	"context"
 	"fmt"
 
 	"rtmap/internal/core"
 	"rtmap/internal/energy"
 	"rtmap/internal/model"
+	"rtmap/internal/serve"
 	"rtmap/internal/sim"
 	"rtmap/internal/tensor"
 )
@@ -152,19 +154,31 @@ func Verify(net *Network, cfg CompileConfig, inputs []*FloatTensor) error {
 		return err
 	}
 	for n, in := range inputs {
-		ref, err := net.ForwardInt(in)
-		if err != nil {
-			return err
+		if err := VerifyInput(c, in); err != nil {
+			return fmt.Errorf("rtmap: input %d: %w", n, err)
 		}
-		got, err := sim.ForwardAP(c, in)
-		if err != nil {
-			return err
-		}
-		for i := range net.Layers {
-			if !got.Outputs[i].Equal(ref.Outputs[i]) {
-				return fmt.Errorf("rtmap: input %d: layer %d (%s) diverges from software reference",
-					n, i, net.Layers[i].Name)
-			}
+	}
+	return nil
+}
+
+// VerifyInput checks one input against the software reference on an
+// already-compiled network (CompileConfig.KeepPrograms required): it runs
+// the AP functional path and reports the first layer whose output differs
+// by a single bit. Callers that verify many inputs compile once and call
+// this per input (rtmap-sim's per-input verdicts work this way).
+func VerifyInput(c *Compiled, in *FloatTensor) error {
+	ref, err := c.Net.ForwardInt(in)
+	if err != nil {
+		return err
+	}
+	got, err := sim.ForwardAP(c, in)
+	if err != nil {
+		return err
+	}
+	for i := range c.Net.Layers {
+		if !got.Outputs[i].Equal(ref.Outputs[i]) {
+			return fmt.Errorf("layer %d (%s) diverges from software reference",
+				i, c.Net.Layers[i].Name)
 		}
 	}
 	return nil
@@ -174,4 +188,48 @@ func Verify(net *Network, cfg CompileConfig, inputs []*FloatTensor) error {
 // (§V-C: the paper estimates ≈31 years for ResNet-18).
 func Endurance(c *Compiled, rep *Report) sim.EnduranceReport {
 	return sim.Endurance(c, rep)
+}
+
+// AnalyzeBatch prices a batch of b back-to-back inferences of an analyzed
+// network on one device under the pipelined-load model (the serving
+// layer's unit of dispatch): the first sample pays the full latency, each
+// further sample only max(compute, load) per layer, and energy scales
+// linearly.
+func AnalyzeBatch(rep *Report, b int) BatchReport { return sim.AnalyzeBatch(rep, b) }
+
+// Serving layer: a concurrent HTTP/JSON inference server over the
+// compiler and the simulated AP device fleet (internal/serve).
+type (
+	// ServeOptions configures the inference server (listen address,
+	// device-fleet size, micro-batching knobs, registry capacity).
+	ServeOptions = serve.Options
+	// InferenceServer is the batched multi-tenant inference server.
+	InferenceServer = serve.Server
+	// BatchReport is the simulated cost of a batch dispatch.
+	BatchReport = sim.BatchReport
+)
+
+// NewInferenceServer constructs an inference server (not yet listening).
+// Use Listen/Serve to run it, Handler() to embed it, and Shutdown for a
+// graceful drain.
+func NewInferenceServer(opts ServeOptions) *InferenceServer { return serve.New(opts) }
+
+// Serve runs the inference server until ctx is cancelled, then drains it
+// gracefully (in-flight requests finish before the fleet winds down).
+func Serve(ctx context.Context, opts ServeOptions) error {
+	s := serve.New(opts)
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		if err := s.Shutdown(context.Background()); err != nil {
+			return err
+		}
+		return <-errc
+	}
 }
