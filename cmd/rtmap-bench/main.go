@@ -6,6 +6,8 @@
 //	rtmap-bench -cse               # §V-A: average CSE reduction
 //	rtmap-bench -movement          # §V-C: data-movement energy shares
 //	rtmap-bench -endurance         # §V-C: write-endurance lifetime
+//	rtmap-bench -shards 8          # pipeline-sharding throughput frontier
+//	rtmap-bench -shards 6 -net tinycnn -json -out DIR   # BENCH_shards.json
 //
 // Outputs are printed and, with -out DIR, also written as TSV files.
 // With -json, results are emitted as one machine-readable JSON document
@@ -35,7 +37,8 @@ func main() {
 		cse       = flag.Bool("cse", false, "report average CSE add/sub reduction (§V-A)")
 		movement  = flag.Bool("movement", false, "report data-movement energy shares (§V-C)")
 		endurance = flag.Bool("endurance", false, "report write-endurance lifetime (§V-C)")
-		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11)")
+		shards    = flag.Int("shards", 0, "sweep pipeline sharding from 1 to N stages and report the stage-count/throughput frontier")
+		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11); also selects the -shards model (default resnet18; tiny models allowed)")
 		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
 		outDir    = flag.String("out", "", "directory for TSV/JSON artifacts")
@@ -44,7 +47,7 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
-	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance {
+	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -170,6 +173,29 @@ func main() {
 		})
 	}
 
+	if *shards > 0 {
+		name := *netFilter
+		if name == "" {
+			name = "resnet18"
+		}
+		progress(fmt.Sprintf("compiling %s for the shard sweep", name))
+		rows, err := shardSweep(name, *seed, *shards, compileConfig(*noCache))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("\nPipeline-sharding frontier — %s (steady-state throughput vs stage count)\n", name)
+			fmt.Printf("%-7s %-14s %-16s %-14s %-12s %s\n",
+				"stages", "bottleneck_ms", "infer/s(steady)", "fill_ms", "xfer_kbit", "speedup")
+			for _, r := range rows {
+				fmt.Printf("%-7d %-14.4f %-16.1f %-14.4f %-12.1f %.2fx\n",
+					r.Stages, r.BottleneckNS/1e6, r.SteadyInfersPerSec,
+					r.FillNS/1e6, float64(r.XferBits)/1e3, r.Speedup)
+			}
+		}
+		addJSON("shards", map[string]any{"network": name, "frontier": rows})
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -215,8 +241,83 @@ func table2JSON(res *rtmap.Table2Result) []map[string]any {
 }
 
 // compileConfig resolves the compile configuration for the direct
-// (cse/movement/endurance) paths; they reuse the shared cache unless
-// -no-cache is given.
+// (cse/movement/endurance/shards) paths; they reuse the shared cache
+// unless -no-cache is given.
 func compileConfig(noCache bool) rtmap.CompileConfig {
 	return rtmap.CompileConfigWithCache(nil, noCache)
+}
+
+// shardRow is one point of the stage-count/throughput frontier.
+type shardRow struct {
+	Stages             int     `json:"stages"`
+	BottleneckNS       float64 `json:"bottleneck_ns"`
+	SteadyInfersPerSec float64 `json:"steady_infer_per_s"`
+	FillNS             float64 `json:"fill_ns"`
+	XferBits           int64   `json:"xfer_bits"`
+	// Speedup is steady-state throughput relative to the unsharded
+	// (one-stage) pipeline.
+	Speedup float64 `json:"speedup_vs_unsharded"`
+}
+
+// shardSweep compiles the named network once and prices its pipeline
+// sharding at every stage count from 1 to maxK.
+func shardSweep(name string, seed uint64, maxK int, cfg rtmap.CompileConfig) ([]shardRow, error) {
+	mcfg := rtmap.DefaultModelConfig()
+	mcfg.Seed = seed
+	var net *rtmap.Network
+	switch name {
+	case "resnet18":
+		net = rtmap.BuildResNet18(mcfg)
+	case "miniresnet18":
+		net = rtmap.BuildMiniResNet18(mcfg, 32, 32)
+	case "vgg9":
+		net = rtmap.BuildVGG9(mcfg)
+	case "vgg11":
+		net = rtmap.BuildVGG11(mcfg)
+	case "tinycnn":
+		net = rtmap.BuildTinyCNN(mcfg)
+	case "tinyresnet":
+		net = rtmap.BuildTinyResNet(mcfg)
+	default:
+		return nil, fmt.Errorf("unknown network %q for -shards", name)
+	}
+	comp, err := rtmap.Compile(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := rtmap.Analyze(comp)
+	var rows []shardRow
+	var base float64
+	for k := 1; k <= maxK; k++ {
+		sp, err := rtmap.Partition(comp, rep, k)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := rtmap.AnalyzePipeline(comp, rep, sp)
+		if err != nil {
+			return nil, err
+		}
+		var xfer int64
+		for _, st := range sp.Stages {
+			xfer += st.XferBits
+		}
+		row := shardRow{
+			Stages:             len(sp.Stages),
+			BottleneckNS:       pr.BottleneckNS,
+			SteadyInfersPerSec: pr.SteadyInfersPerSec(),
+			FillNS:             pr.FillNS,
+			XferBits:           xfer,
+		}
+		if k == 1 {
+			base = pr.BottleneckNS
+		}
+		if pr.BottleneckNS > 0 {
+			row.Speedup = base / pr.BottleneckNS
+		}
+		rows = append(rows, row)
+		if len(sp.Stages) < k {
+			break // clamped: the network has no more layers to split
+		}
+	}
+	return rows, nil
 }

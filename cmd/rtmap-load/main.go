@@ -43,6 +43,8 @@ func main() {
 		payloads    = flag.Int("payloads", 16, "distinct pre-built payloads cycled through")
 		bitExact    = flag.Bool("bit-exact", false, "request bit-exact AP execution instead of the software reference")
 		jsonOut     = flag.Bool("json", false, "emit the results as JSON")
+		outFile     = flag.String("out", "", "also write the JSON report to this file (BENCH_*.json artifact feed)")
+		inspect     = flag.Bool("inspect", false, "print one response's batch accounting (device path, pipeline stages, simulated cost) before the run")
 	)
 	flag.Parse()
 
@@ -66,6 +68,11 @@ func main() {
 	// measurement window.
 	if err := post(client, inferURL, bodies[0]); err != nil {
 		log.Fatalf("warm-up request: %v", err)
+	}
+	if *inspect {
+		if err := inspectOnce(client, inferURL, bodies[0]); err != nil {
+			log.Fatalf("inspect request: %v", err)
+		}
 	}
 
 	var (
@@ -95,7 +102,7 @@ func main() {
 	report(reportInput{
 		model: *modelName, mode: mode(*rate), bitExact: *bitExact,
 		batch: *batch, latencies: latencies, errs: errs, elapsed: elapsed,
-	}, *jsonOut)
+	}, *jsonOut, *outFile)
 	if errs > 0 {
 		os.Exit(1)
 	}
@@ -241,7 +248,37 @@ type reportInput struct {
 	elapsed   time.Duration
 }
 
-func report(in reportInput, jsonOut bool) {
+// inspectOnce fires one request and prints the server's batch accounting
+// for its first sample: the simulated device (or, for sharded models,
+// the pipeline stage count and device path) and the simulated cost.
+func inspectOnce(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var out serve.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.Results) == 0 {
+		return fmt.Errorf("response carries no results")
+	}
+	b := out.Results[0].Batch
+	if b.Stages > 0 {
+		log.Printf("batch accounting: %d pipeline stages via devices %v, coalesced size %d, sim %.1f ns (%.1f ns/sample), %.1f pJ",
+			b.Stages, b.Path, b.Size, b.SimLatencyNS, b.SimPerSampleNS, b.SimEnergyPJ)
+	} else {
+		log.Printf("batch accounting: device %d, coalesced size %d, sim %.1f ns (%.1f ns/sample), %.1f pJ",
+			b.Device, b.Size, b.SimLatencyNS, b.SimPerSampleNS, b.SimEnergyPJ)
+	}
+	return nil
+}
+
+func report(in reportInput, jsonOut bool, outFile string) {
 	sort.Slice(in.latencies, func(i, j int) bool { return in.latencies[i] < in.latencies[j] })
 	n := len(in.latencies)
 	pct := func(p float64) float64 {
@@ -271,6 +308,16 @@ func report(in reportInput, jsonOut bool) {
 		"req_per_s":   reqPerSec,
 		"infer_per_s": reqPerSec * float64(in.batch),
 		"latency_ms":  map[string]float64{"mean": meanMS, "p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1.0)},
+	}
+	if outFile != "" {
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(outFile, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", outFile)
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)

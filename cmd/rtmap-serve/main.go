@@ -5,6 +5,7 @@
 //
 //	rtmap-serve                                  # defaults: :8080, 4 devices
 //	rtmap-serve -addr 127.0.0.1:0 -devices 8 -max-batch 16 -batch-window 1ms
+//	rtmap-serve -devices 4 -shard-stages 4       # pipeline-parallel layer sharding
 //
 // Endpoints: POST /v1/infer, GET /v1/models, GET /healthz, GET /metrics
 // (Prometheus text format). SIGINT/SIGTERM drain gracefully: in-flight
@@ -31,6 +32,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 8, "micro-batch size cap (1 disables coalescing)")
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "max wait for follow-up requests when forming a batch")
 		maxModels = flag.Int("max-models", 4, "compiled models resident before LRU eviction")
+		shards    = flag.Int("shard-stages", 0, "serve each model as a pipeline of N layer-range stages pinned to distinct devices (0/1 = whole-model dispatch; clamped to -devices)")
 		queue     = flag.Int("queue", 64, "per-model and per-device queue capacity")
 		maxInputs = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
@@ -41,15 +43,16 @@ func main() {
 	defer stop()
 
 	err := rtmap.Serve(ctx, rtmap.ServeOptions{
-		Addr:      *addr,
-		Devices:   *devices,
-		MaxBatch:  *maxBatch,
-		Window:    *window,
-		MaxModels: *maxModels,
-		Queue:     *queue,
-		MaxInputs: *maxInputs,
-		NoCache:   *noCache,
-		Logf:      log.Printf,
+		Addr:        *addr,
+		Devices:     *devices,
+		MaxBatch:    *maxBatch,
+		Window:      *window,
+		MaxModels:   *maxModels,
+		ShardStages: *shards,
+		Queue:       *queue,
+		MaxInputs:   *maxInputs,
+		NoCache:     *noCache,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -44,6 +44,8 @@ func TestCmdSmoke(t *testing.T) {
 		want string // substring expected in combined output
 	}{
 		{"rtmap-bench", []string{"-h"}, "table2"},
+		{"rtmap-bench", []string{"-shards", "3", "-net", "tinycnn", "-q"}, "Pipeline-sharding frontier"},
+		{"rtmap-bench", []string{"-shards", "3", "-net", "tinycnn", "-q", "-json"}, `"steady_infer_per_s"`},
 		{"rtmap-compile", []string{"-model", "tinycnn"}, "tinycnn"},
 		{"rtmap-compile", []string{"-model", "tinycnn", "-no-cse", "-serial", "-no-cache"}, "arrays"},
 		{"rtmap-dfg", []string{"-eq1"}, "unroll+CSE"},
@@ -80,7 +82,8 @@ func TestServeSmoke(t *testing.T) {
 	bin := buildTools(t, "rtmap-serve", "rtmap-load")
 
 	srv := exec.Command(filepath.Join(bin, "rtmap-serve"),
-		"-addr", "127.0.0.1:0", "-devices", "2", "-max-batch", "4", "-batch-window", "1ms")
+		"-addr", "127.0.0.1:0", "-devices", "2", "-max-batch", "4", "-batch-window", "1ms",
+		"-shard-stages", "2")
 	stderr, err := srv.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -173,14 +176,15 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("served logits %v != RunFunctional %v", infer.Results[0].Logits, want)
 	}
 
-	// Drive it with the real load generator for a moment.
+	// Drive it with the real load generator for a moment; -inspect prints
+	// the pipeline path the sharded server reports.
 	load := exec.Command(filepath.Join(bin, "rtmap-load"),
-		"-url", base, "-model", "tinycnn", "-duration", "300ms", "-concurrency", "2", "-json")
+		"-url", base, "-model", "tinycnn", "-duration", "300ms", "-concurrency", "2", "-json", "-inspect")
 	out, err := load.CombinedOutput()
 	if err != nil {
 		t.Fatalf("rtmap-load: %v\n%s", err, out)
 	}
-	for _, want := range []string{`"req_per_s"`, `"p95"`, `"errors": 0`} {
+	for _, want := range []string{`"req_per_s"`, `"p95"`, `"errors": 0`, "pipeline stages via devices"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("rtmap-load output missing %s:\n%s", want, out)
 		}

@@ -1,18 +1,3 @@
-// Package ap implements the associative processor: the LUT-driven
-// bulk-bitwise execution model of §II-B/III of the paper. Every arithmetic
-// operation is decomposed into ordered (masked search, tagged write) pass
-// pairs per bit position; Table I of the paper lists the pass tables for
-// 1-bit in-place and out-of-place addition and subtraction.
-//
-// Rather than hard-coding the tables, this package *generates* them from
-// boolean functions (the paper's §IV-C "LUT generation" step): given a
-// truth table and a declaration of which output roles persist in searched
-// columns, Generate derives the needed passes (rows whose outputs differ
-// from the pre-state) and orders them so that no tagged-and-written row can
-// be re-matched by a later pass. The generated tables reproduce Table I,
-// including its run order, for the in-place adder and both subtractors;
-// for the out-of-place adder the paper's printed table has two rows'
-// comments swapped (011/110 — see TestPaperTableIAdderErratum).
 package ap
 
 import (

@@ -1,0 +1,8 @@
+// Package arch models the hierarchical organization of the accelerator
+// (Fig. 2a/b of the paper): banks composed of tiles, tiles composed of
+// APs, with a tile buffer and intercommunication network per tile and a
+// global buffer at the top. It provides the geometry bookkeeping (how many
+// APs a layer needs, which ones it gets) and the interconnect cost model
+// (1 pJ/bit with distance-dependent hop factors) used by the accumulation
+// phase's inter-AP adder tree.
+package arch

@@ -1,15 +1,3 @@
-// Package cam models the RTM-based CAM array at the heart of each
-// associative processor (Fig. 2c/d of the paper): a grid of rows × columns
-// where every cell is a racetrack nanowire, every column is one DBC (so a
-// single shift command changes the bit-plane of a whole column), and the
-// two primitives are the masked parallel search (all rows compared against
-// a key on selected columns, match results latched in the tag register)
-// and the tagged parallel write (a data pattern written into all tagged
-// rows on selected columns).
-//
-// The array keeps exact cost accounting — search/write passes, cells
-// touched, shift steps, energy and cycles — using the figures of merit in
-// internal/energy.
 package cam
 
 import (

@@ -1,10 +1,3 @@
-// Package codegen lowers annotated slice DFGs onto the AP ISA: it lays
-// out input planes, accumulators, carry and temporaries over the 256 CAM
-// columns, selects in-place vs out-of-place operation forms (§IV-C —
-// chains of temporaries run in place at a shared chain width, which keeps
-// stored values sign-extended and every LUT step sound), fuses negated
-// outputs into accumulate-with-subtract, and emits one straight-line AP
-// program per (output tile × resident channel set).
 package codegen
 
 import (

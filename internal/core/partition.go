@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rtmap/internal/model"
+)
+
+// StageRange is one contiguous stage of a sharded plan: the layer index
+// range [Lo, Hi) it executes, the per-layer cost it was balanced on, and
+// the activation tensors that must cross its outgoing boundary.
+type StageRange struct {
+	Lo, Hi int
+	// CostNS is the sum of the per-layer costs handed to Partition.
+	CostNS float64
+	// XferRefs lists, for every stage but the last, the producer indices
+	// (model.InputRef for the network input) of the tensors live across
+	// the outgoing boundary: produced before Hi and consumed at or after
+	// Hi. A later stage may only read tensors its predecessor shipped, so
+	// this set is exactly the inter-stage traffic — including tensors that
+	// merely pass through a stage on their way to a residual add further
+	// down.
+	XferRefs []int
+	// XferBits is the total payload of XferRefs on the interconnect
+	// (element count × the producer's output bit width).
+	XferBits int64
+}
+
+// Layers returns the number of layers in the stage.
+func (s StageRange) Layers() int { return s.Hi - s.Lo }
+
+// ShardPlan partitions a compiled network into contiguous pipeline
+// stages. Stage boundaries always land between layers, so every stage is
+// a well-formed sub-network once its XferRefs are resident.
+type ShardPlan struct {
+	Stages []StageRange
+	// Requested is the stage count asked for before clamping to the layer
+	// count (a stage must hold at least one layer).
+	Requested int
+}
+
+// BottleneckNS returns the largest per-stage cost — the quantity
+// Partition minimizes.
+func (sp *ShardPlan) BottleneckNS() float64 {
+	var m float64
+	for _, s := range sp.Stages {
+		if s.CostNS > m {
+			m = s.CostNS
+		}
+	}
+	return m
+}
+
+// Partition splits a compiled plan into (up to) k contiguous stages,
+// minimizing the bottleneck stage cost over the given per-layer costs —
+// the classic linear-partition problem, solved exactly by dynamic
+// programming (layer counts are small). costNS is typically the
+// per-layer LatencyNS of a sim analysis; any non-negative cost works.
+//
+// k < 1 is treated as 1 and k > len(costNS) is clamped down (every stage
+// executes at least one layer), so a caller asking for more stages than
+// the network has layers gets one layer per stage.
+func Partition(c *Compiled, k int, costNS []float64) (*ShardPlan, error) {
+	n := len(c.Layers)
+	if n == 0 {
+		return nil, fmt.Errorf("core: cannot partition an empty plan")
+	}
+	if len(costNS) != n {
+		return nil, fmt.Errorf("core: %d per-layer costs for %d layers", len(costNS), n)
+	}
+	for i, v := range costNS {
+		if v < 0 {
+			return nil, fmt.Errorf("core: layer %d has negative cost %g", i, v)
+		}
+	}
+	requested := k
+	if k < 1 {
+		k = 1
+		requested = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	prefix := make([]float64, n+1)
+	for i, v := range costNS {
+		prefix[i+1] = prefix[i] + v
+	}
+	bounds := balanceBoundaries(prefix, k)
+	sp := &ShardPlan{Requested: requested}
+	for s := 0; s < k; s++ {
+		st := StageRange{Lo: bounds[s], Hi: bounds[s+1]}
+		st.CostNS = prefix[st.Hi] - prefix[st.Lo]
+		if s < k-1 {
+			st.XferRefs = liveAcross(c.Net, st.Hi)
+			for _, ref := range st.XferRefs {
+				st.XferBits += tensorBits(c, ref)
+			}
+		}
+		sp.Stages = append(sp.Stages, st)
+	}
+	return sp, nil
+}
+
+// balanceBoundaries returns k+1 boundary indices (0 … n) minimizing the
+// maximum stage cost, each stage non-empty, given the cost prefix sums
+// (len n+1). dp[s][j] is the best bottleneck for the first j layers in s
+// stages; ties resolve to the earliest split so the result is
+// deterministic.
+func balanceBoundaries(prefix []float64, k int) []int {
+	n := len(prefix) - 1
+	const inf = 1e300
+	dp := make([][]float64, k+1)
+	cut := make([][]int, k+1)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		cut[s] = make([]int, n+1)
+		for j := range dp[s] {
+			dp[s][j] = inf
+		}
+	}
+	for j := 1; j <= n; j++ {
+		dp[1][j] = prefix[j]
+	}
+	for s := 2; s <= k; s++ {
+		for j := s; j <= n; j++ {
+			for i := s - 1; i < j; i++ {
+				tail := prefix[j] - prefix[i]
+				b := max(dp[s-1][i], tail)
+				if b < dp[s][j] {
+					dp[s][j] = b
+					cut[s][j] = i
+				}
+			}
+		}
+	}
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	for s := k; s >= 2; s-- {
+		bounds[s-1] = cut[s][bounds[s]]
+	}
+	return bounds
+}
+
+// liveAcross returns the sorted producer refs live across the boundary
+// before layer b: tensors produced at index < b (or the network input)
+// consumed by any layer at index >= b.
+func liveAcross(net *model.Network, b int) []int {
+	seen := map[int]bool{}
+	var refs []int
+	for j := b; j < len(net.Layers); j++ {
+		for _, in := range net.Layers[j].Inputs {
+			if in < b && !seen[in] {
+				seen[in] = true
+				refs = append(refs, in)
+			}
+		}
+	}
+	sort.Ints(refs) // producer-index order: a stable wire order
+	return refs
+}
+
+// tensorBits prices one boundary tensor: element count times the
+// producer's output width. Conv/linear outputs are pre-requantization
+// partial sums (AccWidth); quant outputs carry the quantizer's code
+// width; pooling and flatten preserve their input width; residual adds
+// widen by one carry bit.
+func tensorBits(c *Compiled, ref int) int64 {
+	if ref == model.InputRef {
+		sh := c.Net.InputShape
+		return int64(sh.C*sh.H*sh.W) * int64(c.Net.InputQ.Bits)
+	}
+	plan := c.Layers[ref]
+	elems := int64(plan.OutC * plan.OutH * plan.OutW)
+	return elems * int64(outWidth(c, ref))
+}
+
+// outWidth resolves the output bit width of layer idx (or the network
+// input) by walking producer chains through width-preserving layers.
+func outWidth(c *Compiled, idx int) int {
+	if idx == model.InputRef {
+		return c.Net.InputQ.Bits
+	}
+	plan := c.Layers[idx]
+	lay := &c.Net.Layers[idx]
+	switch plan.Class {
+	case ClassConv:
+		return plan.AccWidth
+	case ClassQuant:
+		return lay.Q.Bits
+	case ClassAdd:
+		return outWidth(c, lay.Inputs[0]) + 1
+	default: // pool, gap, flatten: width-preserving
+		return outWidth(c, lay.Inputs[0])
+	}
+}

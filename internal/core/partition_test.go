@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtmap/internal/model"
+)
+
+// bruteBottleneck enumerates every contiguous k-way partition of costs
+// and returns the smallest achievable maximum stage cost.
+func bruteBottleneck(costs []float64, k int) float64 {
+	n := len(costs)
+	best := math.Inf(1)
+	var rec func(start, stages int, worst float64)
+	rec = func(start, stages int, worst float64) {
+		if stages == 1 {
+			var sum float64
+			for _, v := range costs[start:] {
+				sum += v
+			}
+			if m := math.Max(worst, sum); m < best {
+				best = m
+			}
+			return
+		}
+		var sum float64
+		for end := start + 1; end <= n-stages+1; end++ {
+			sum += costs[end-1]
+			rec(end, stages-1, math.Max(worst, sum))
+		}
+	}
+	rec(0, k, 0)
+	return best
+}
+
+func TestPartitionMatchesBruteForceOptimum(t *testing.T) {
+	c := compileTiny(t, true, false)
+	n := len(c.Layers)
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = float64((i*7)%13) + 0.25 // deterministic, uneven
+	}
+	for k := 1; k <= n; k++ {
+		sp, err := Partition(c, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteBottleneck(costs, k)
+		if got := sp.BottleneckNS(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("k=%d: bottleneck %g, brute-force optimum %g", k, got, want)
+		}
+	}
+}
+
+func TestPartitionContiguityAndCosts(t *testing.T) {
+	c := compileTiny(t, true, false)
+	costs := make([]float64, len(c.Layers))
+	for i := range costs {
+		costs[i] = float64(i + 1)
+	}
+	sp, err := Partition(c, 3, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(sp.Stages))
+	}
+	next := 0
+	for si, st := range sp.Stages {
+		if st.Lo != next || st.Hi <= st.Lo {
+			t.Fatalf("stage %d: range [%d,%d) not contiguous from %d", si, st.Lo, st.Hi, next)
+		}
+		var sum float64
+		for _, v := range costs[st.Lo:st.Hi] {
+			sum += v
+		}
+		if math.Abs(sum-st.CostNS) > 1e-9 {
+			t.Errorf("stage %d: CostNS %g, layer sum %g", si, st.CostNS, sum)
+		}
+		next = st.Hi
+	}
+	if next != len(c.Layers) {
+		t.Fatalf("stages cover [0,%d), want [0,%d)", next, len(c.Layers))
+	}
+	if sp.Stages[len(sp.Stages)-1].XferRefs != nil {
+		t.Error("last stage must have no outgoing transfers")
+	}
+}
+
+func TestPartitionClampsStageCount(t *testing.T) {
+	c := compileTiny(t, true, false)
+	n := len(c.Layers)
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1
+	}
+	sp, err := Partition(c, n+50, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Stages) != n {
+		t.Errorf("k=%d: got %d stages, want clamp to layer count %d", n+50, len(sp.Stages), n)
+	}
+	if sp.Requested != n+50 {
+		t.Errorf("Requested %d, want %d", sp.Requested, n+50)
+	}
+	for si, st := range sp.Stages {
+		if st.Layers() != 1 {
+			t.Errorf("stage %d: %d layers, want exactly 1", si, st.Layers())
+		}
+	}
+	if sp, err = Partition(c, 0, costs); err != nil || len(sp.Stages) != 1 {
+		t.Errorf("k=0: stages=%d err=%v, want single stage", len(sp.Stages), err)
+	}
+}
+
+// Every boundary's XferRefs must be exactly the live set: tensors
+// produced before the boundary with a consumer at or after it. TinyResNet
+// exercises skip connections that pass over a boundary.
+func TestPartitionTransferLiveSets(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := Compile(model.TinyResNet(model.DefaultConfig()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, len(c.Layers))
+	for i := range costs {
+		costs[i] = 1
+	}
+	for k := 2; k <= 6; k++ {
+		sp, err := Partition(c, k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, st := range sp.Stages[:len(sp.Stages)-1] {
+			want := map[int]bool{}
+			for j := st.Hi; j < len(c.Net.Layers); j++ {
+				for _, in := range c.Net.Layers[j].Inputs {
+					if in < st.Hi {
+						want[in] = true
+					}
+				}
+			}
+			got := map[int]bool{}
+			for _, r := range st.XferRefs {
+				if got[r] {
+					t.Errorf("k=%d stage %d: duplicate ref %d", k, si, r)
+				}
+				got[r] = true
+				if st.XferBits <= 0 {
+					t.Errorf("k=%d stage %d: non-empty transfer set with %d bits", k, si, st.XferBits)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d stage %d: refs %v, want set %v", k, si, st.XferRefs, want)
+			}
+			for r := range want {
+				if !got[r] {
+					t.Errorf("k=%d stage %d: missing live ref %d", k, si, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadCosts(t *testing.T) {
+	c := compileTiny(t, true, false)
+	if _, err := Partition(c, 2, make([]float64, len(c.Layers)+1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := make([]float64, len(c.Layers))
+	bad[0] = -1
+	if _, err := Partition(c, 2, bad); err == nil {
+		t.Error("negative cost accepted")
+	}
+}

@@ -1,11 +1,3 @@
-// Package core is the compiler driver — the paper's primary contribution
-// (Fig. 3a): it takes a trained ternary network and produces, per layer,
-// the complete mapping and instruction-level plan for the RTM-AP
-// accelerator: im2col row/column mapping, channel-to-domain packing,
-// output-channel tiling under the 256-column budget, per-channel slice
-// DFGs (unroll + constant folding, optional CSE), bitwidth annotation,
-// column allocation, in-/out-of-place selection, and the accumulation
-// phase (local accumulate, inter-strip adder tree, fused requantize).
 package core
 
 import (

@@ -1,0 +1,13 @@
+// Package deepcam models the DeepCAM baseline [4] of Table II: a fully
+// CAM-based inference accelerator that approximates dot products by
+// hashing weights and activations into binary signatures and measuring
+// match-line discharge timing (a Hamming-distance readout) on large
+// (512×1024) CAM arrays with variable hash lengths.
+//
+// The paper compares against DeepCAM only at whole-network granularity and
+// notes two caveats it reproduces here: (a) extremely low energy on small
+// VGG-style networks, and (b) poor scaling — both accuracy and energy
+// efficiency — on deeper networks like ResNet-18, because the
+// random-projection approximation error compounds with depth and larger
+// fan-ins demand longer hashes.
+package deepcam

@@ -1,0 +1,8 @@
+// Package dfg implements the data-flow-graph level of the compilation flow
+// (Fig. 3 of the paper): ternary weight slices are unrolled and
+// constant-folded into add/subtract expression DAGs, redundant additions
+// are removed by common-subexpression elimination over signed input pairs
+// (reproducing the paper's Equation (1): 19 accumulate operations reduced
+// to 7 adds/subs), and every node is annotated with the minimum integer
+// bitwidth that provably avoids overflow ("custom integer types").
+package dfg

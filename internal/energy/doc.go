@@ -1,0 +1,10 @@
+// Package energy centralizes the figures of merit that drive the analytic
+// performance/energy model, taken from the paper's experimental setup
+// (§V): the 45 nm 256×256 RTM TCAM of Gnawali et al. [12] (search delay
+// under 200 ps, ≈3 fJ per bit searched), 64 domains per nanowire [9],
+// 1 pJ/bit for internal data movement at tile/bank/global level [14], and
+// the 8-cycle in-place / 10-cycle out-of-place LUT operations whose 0.8 ns
+// and 1 ns durations (§V-C) pin the cycle time at 100 ps.
+//
+// All energies are expressed in picojoules and all times in nanoseconds.
+package energy

@@ -1,0 +1,6 @@
+// Package model defines the network intermediate representation consumed by
+// the RTM-AP compiler: a DAG of layers with ternary weights and explicit
+// activation-quantization points, plus reference float and integer
+// inference paths, the paper's model zoo (VGG-9, VGG-11, ResNet-18) and a
+// compact JSON serialization standing in for the ONNX import of Fig. 3a.
+package model

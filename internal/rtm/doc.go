@@ -1,0 +1,11 @@
+// Package rtm models racetrack memory (RTM) at the device level: magnetic
+// nanowire tracks storing one bit per domain, access ports that can only
+// read/write the domain currently aligned with them, and the shift
+// operations that move domain walls to align a target domain (§II-C of the
+// paper). Tracks are grouped into domain-wall block clusters (DBCs) that
+// shift in lockstep; the CAM model builds each column of an AP from one
+// DBC so a whole column changes bit-plane with a single shift command.
+//
+// The package keeps full cost accounting: lifetime shift steps per DBC and
+// per-domain write counts per track (for the §V-C endurance analysis).
+package rtm

@@ -1,0 +1,8 @@
+// Package sched provides the register-allocation layer of the compiler:
+// liveness analysis over slice DFGs, a physical column pool with reuse
+// (the operational allocator), and an explicit interference-graph greedy
+// coloring that mirrors the paper's framing of operand-to-column
+// assignment as a graph-coloring register-allocation problem (§IV-B). The
+// pool's high-water mark and the coloring's chromatic estimate agree on
+// chain-structured DFGs and are cross-checked in tests.
+package sched

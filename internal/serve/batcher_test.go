@@ -14,7 +14,7 @@ import (
 // the given batch options.
 func testEntry(t *testing.T, fleet *Fleet, batch BatchOptions) *entry {
 	t.Helper()
-	reg := NewRegistry(core.DefaultConfig(), 2, fleet, batch)
+	reg := NewRegistry(core.DefaultConfig(), 2, fleet, batch, 0)
 	t.Cleanup(reg.Close)
 	e, err := reg.Get(Spec{Model: "tinycnn", ActBits: 4, Sparsity: 0.8, Seed: 1})
 	if err != nil {
@@ -158,7 +158,7 @@ func TestFleetSpreadsLoad(t *testing.T) {
 func TestRegistryUnknownModel(t *testing.T) {
 	fleet := NewFleet(1, 4, nil)
 	t.Cleanup(fleet.Close)
-	reg := NewRegistry(core.DefaultConfig(), 2, fleet, BatchOptions{})
+	reg := NewRegistry(core.DefaultConfig(), 2, fleet, BatchOptions{}, 0)
 	t.Cleanup(reg.Close)
 	if _, err := reg.Get(Spec{Model: "missing"}); err == nil {
 		t.Fatal("unknown model admitted")

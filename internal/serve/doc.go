@@ -1,0 +1,22 @@
+// Package serve is the traffic-facing layer of the stack: a concurrent
+// HTTP/JSON inference server over the compiler and simulator. It keeps a
+// registry of compiled models (compiled on demand through the
+// content-addressed artifact cache, evicted by LRU), coalesces queued
+// requests per model in an adaptive micro-batcher, and dispatches batches
+// onto a simulated fleet of AP devices whose per-batch cost is priced by
+// the internal/sim cost model. Inference itself runs either bit-exactly
+// (sim.ForwardAP replays the emitted AP programs) or on the quantized
+// software reference (model.ForwardInt) — the two are proved
+// bit-identical, so the mode trades verification strength for speed, not
+// accuracy.
+//
+// With Options.ShardStages > 1 the scheduler switches from whole-model
+// dispatch to pipeline-parallel sharding: each admitted model is split
+// into contiguous layer-range stages (core.Partition, balanced on the
+// analytic per-layer latency), every stage is pinned to a distinct fleet
+// device, and micro-batches stream device to device through the stages —
+// so one large model occupies several simulated APs concurrently instead
+// of serializing on one. Stage costs (including inter-stage activation
+// transfers) are priced by sim.AnalyzePipeline, and the sharded
+// functional path stays bit-identical to single-device execution.
+package serve

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -11,24 +12,39 @@ import (
 // BatchInfo is the per-batch accounting attached to every result: which
 // simulated device ran the batch, how large it was, how long the item
 // waited in queues (wall time), and what the batch cost on the simulated
-// hardware (sim.AnalyzeBatch pipelined-load pricing).
+// hardware (sim.AnalyzeBatch pipelined-load pricing; for sharded models,
+// the sum of the per-stage sim.AnalyzeStageBatch prices).
 type BatchInfo struct {
 	Device int `json:"device"`
 	Size   int `json:"size"`
-	// QueueWallNS is the wall-clock time from enqueue to execution start.
+	// QueueWallNS is the wall-clock time from enqueue to execution start
+	// (for sharded models: to the start of the first stage).
 	QueueWallNS int64 `json:"queue_wall_ns"`
 	// SimLatencyNS is the simulated device latency of the whole batch;
 	// SimPerSampleNS is the amortized per-sample share.
 	SimLatencyNS   float64 `json:"sim_latency_ns"`
 	SimPerSampleNS float64 `json:"sim_per_sample_ns"`
 	SimEnergyPJ    float64 `json:"sim_energy_pj"`
+	// Stages and Path report pipeline-sharded execution: the stage count
+	// and the device each stage ran on. Absent for unsharded models.
+	Stages int   `json:"stages,omitempty"`
+	Path   []int `json:"path,omitempty"`
 }
 
 // apBatch is one dispatched unit of work: a model entry plus the items
-// coalesced for it.
+// coalesced for it. Sharded batches traverse the fleet stage by stage,
+// carrying their per-item pipeline state.
 type apBatch struct {
 	e     *entry
 	items []*item
+
+	// Pipeline state (sharded entries only).
+	stage   int
+	runs    []*sim.ShardRun
+	path    []int
+	simNS   float64
+	simPJ   float64
+	started time.Time // execution start of stage 0
 }
 
 // device is one simulated AP array pool. Batches assigned to it execute
@@ -45,17 +61,22 @@ type device struct {
 // Fleet is the device-fleet scheduler: N simulated AP devices with
 // per-device queues. Submit places a batch on the device with the fewest
 // outstanding batches (ties to the least simulated busy time), blocking
-// when that device's queue is full.
+// when that device's queue is full — except for sharded models, whose
+// batches go to the device their first stage is pinned to and then hop
+// device to device through the stage pipeline.
 type Fleet struct {
 	metrics *Metrics
 
-	mu      sync.Mutex // guards device counters
+	mu      sync.Mutex // guards device counters and pending
+	cond    *sync.Cond // signalled when pending drops
+	pending int        // batches admitted but not yet retired
 	devices []*device
 	wg      sync.WaitGroup
 
 	// closeMu orders Submit's channel sends against Close closing the
 	// device channels: senders hold the read side across the send, so
-	// Close (write side) cannot close a channel under an in-flight send.
+	// Close (write side) cannot observe a drained fleet under an
+	// in-flight send.
 	closeMu sync.RWMutex
 	closed  bool
 }
@@ -70,6 +91,7 @@ func NewFleet(n, queueCap int, m *Metrics) *Fleet {
 		queueCap = 64
 	}
 	f := &Fleet{metrics: m}
+	f.cond = sync.NewCond(&f.mu)
 	for i := 0; i < n; i++ {
 		d := &device{id: i, ch: make(chan *apBatch, queueCap)}
 		f.devices = append(f.devices, d)
@@ -79,9 +101,37 @@ func NewFleet(n, queueCap int, m *Metrics) *Fleet {
 	return f
 }
 
-// Submit schedules the batch on the least-loaded device. Batches
-// arriving after Close (an evicted model's batcher draining late) fail
-// their items with errClosed instead of executing.
+// NumDevices returns the fleet size.
+func (f *Fleet) NumDevices() int { return len(f.devices) }
+
+// PinStages assigns k pipeline stages to k distinct devices, least
+// loaded first (requires k <= NumDevices; the registry clamps). Distinct
+// devices keep each model's stage graph acyclic, so a stage never
+// forwards to a device earlier in its own pipeline.
+func (f *Fleet) PinStages(k int) []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	order := make([]int, len(f.devices))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := f.devices[order[a]], f.devices[order[b]]
+		if da.queued != db.queued {
+			return da.queued < db.queued
+		}
+		return da.busyNS < db.busyNS
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// Submit schedules the batch: sharded models go to their stage-0 pinned
+// device, everything else to the least-loaded device. Batches arriving
+// after Close (an evicted model's batcher draining late) fail their
+// items with errClosed instead of executing.
 func (f *Fleet) Submit(b *apBatch) {
 	f.closeMu.RLock()
 	defer f.closeMu.RUnlock()
@@ -91,18 +141,37 @@ func (f *Fleet) Submit(b *apBatch) {
 	}
 	f.mu.Lock()
 	d := f.devices[0]
-	for _, c := range f.devices[1:] {
-		// Fewest outstanding batches; ties go to the device with the
-		// least accumulated simulated busy time, so the simulated load
-		// spreads across the fleet even when real execution outpaces
-		// arrivals and queues never form.
-		if c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
-			d = c
+	if b.e.shard != nil {
+		d = f.devices[b.e.stageDevs[0]]
+	} else {
+		for _, c := range f.devices[1:] {
+			// Fewest outstanding batches; ties go to the device with the
+			// least accumulated simulated busy time, so the simulated load
+			// spreads across the fleet even when real execution outpaces
+			// arrivals and queues never form.
+			if c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
+				d = c
+			}
 		}
 	}
 	d.queued++
+	f.pending++
 	f.mu.Unlock()
 	d.ch <- b
+}
+
+// forward hands a sharded batch to its next stage's device. The pending
+// count is bumped before this batch's current execution retires, so the
+// fleet never looks drained with a hop in flight; the send runs on its
+// own goroutine so a device goroutine never blocks on another device's
+// full queue (queues of different models may point at each other).
+func (f *Fleet) forward(dev int, b *apBatch) {
+	d := f.devices[dev]
+	f.mu.Lock()
+	d.queued++
+	f.pending++
+	f.mu.Unlock()
+	go func() { d.ch <- b }()
 }
 
 func fail(b *apBatch, err error) {
@@ -117,6 +186,8 @@ func (f *Fleet) run(d *device) {
 		f.execBatch(d, b)
 		f.mu.Lock()
 		d.queued--
+		f.pending--
+		f.cond.Broadcast()
 		f.mu.Unlock()
 	}
 }
@@ -126,6 +197,10 @@ func (f *Fleet) run(d *device) {
 // programs (sim.ForwardAP); reference items run the quantized software
 // reference — both paths produce identical logits.
 func (f *Fleet) execBatch(d *device, b *apBatch) {
+	if b.e.shard != nil {
+		f.execStage(d, b)
+		return
+	}
 	start := time.Now()
 	br := sim.AnalyzeBatch(b.e.report, len(b.items))
 	f.mu.Lock()
@@ -157,6 +232,74 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	}
 }
 
+// execStage runs one pipeline stage of a sharded batch on this device:
+// every item advances one stage of its ShardRun, the stage is priced by
+// the pipeline cost model, and the batch either hops to the next stage's
+// device or delivers its results.
+func (f *Fleet) execStage(d *device, b *apBatch) {
+	if b.stage == 0 {
+		b.started = time.Now()
+		b.runs = make([]*sim.ShardRun, len(b.items))
+		for i, it := range b.items {
+			run, err := sim.NewShardRun(b.e.comp, b.e.shard, it.in)
+			if err != nil {
+				it.res <- itemResult{err: err}
+				continue
+			}
+			b.runs[i] = run
+		}
+	}
+
+	br := sim.AnalyzeStageBatch(b.e.pipeline, b.stage, len(b.items))
+	f.mu.Lock()
+	d.busyNS += br.LatencyNS
+	d.batches++
+	f.mu.Unlock()
+	b.simNS += br.LatencyNS
+	b.simPJ += br.EnergyPJ
+	b.path = append(b.path, d.id)
+
+	for i, it := range b.items {
+		if b.runs[i] == nil {
+			continue // failed at an earlier stage; result already delivered
+		}
+		if err := b.runs[i].Step(it.bitExact); err != nil {
+			it.res <- itemResult{err: err}
+			b.runs[i] = nil
+		}
+	}
+
+	if b.stage < len(b.e.shard.Stages)-1 {
+		b.stage++
+		f.forward(b.e.stageDevs[b.stage], b)
+		return
+	}
+
+	for i, it := range b.items {
+		if b.runs[i] == nil {
+			continue
+		}
+		lg := b.runs[i].Logits()
+		it.res <- itemResult{
+			logits: append([]int32(nil), lg.Data...),
+			argmax: lg.ArgmaxInt()[0],
+			info: BatchInfo{
+				Device:         d.id,
+				Size:           len(b.items),
+				QueueWallNS:    b.started.Sub(it.enq).Nanoseconds(),
+				SimLatencyNS:   b.simNS,
+				SimPerSampleNS: b.simNS / float64(len(b.items)),
+				SimEnergyPJ:    b.simPJ,
+				Stages:         len(b.e.shard.Stages),
+				Path:           b.path,
+			},
+		}
+	}
+	if f.metrics != nil {
+		f.metrics.ObserveBatch(len(b.items), b.simNS, b.simPJ)
+	}
+}
+
 func forwardItem(e *entry, it *item) (*model.IntTrace, error) {
 	if it.bitExact {
 		return sim.ForwardAP(e.comp, it.in)
@@ -183,9 +326,10 @@ func (f *Fleet) Stats() []DeviceStat {
 	return out
 }
 
-// Close stops intake, fails late submits, and waits for every device to
-// drain its queue. Call after all batchers are closed; taking the write
-// lock waits out any Submit still blocked on a full device queue.
+// Close stops intake, fails late submits, waits for every admitted batch
+// (including in-flight pipeline hops) to retire, then stops the device
+// goroutines. Call after all batchers are closed; taking the write lock
+// waits out any Submit still blocked on a full device queue.
 func (f *Fleet) Close() {
 	f.closeMu.Lock()
 	if f.closed {
@@ -193,9 +337,19 @@ func (f *Fleet) Close() {
 		return
 	}
 	f.closed = true
+	f.closeMu.Unlock()
+
+	// Device loops stay alive until the pipeline is empty: a sharded
+	// batch between stages holds pending > 0, so its next hop still finds
+	// an open channel.
+	f.mu.Lock()
+	for f.pending > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+
 	for _, d := range f.devices {
 		close(d.ch)
 	}
-	f.closeMu.Unlock()
 	f.wg.Wait()
 }

@@ -1,14 +1,3 @@
-// Package serve is the traffic-facing layer of the stack: a concurrent
-// HTTP/JSON inference server over the compiler and simulator. It keeps a
-// registry of compiled models (compiled on demand through the
-// content-addressed artifact cache, evicted by LRU), coalesces queued
-// requests per model in an adaptive micro-batcher, and dispatches batches
-// onto a simulated fleet of AP devices whose per-batch cost is priced by
-// the internal/sim cost model. Inference itself runs either bit-exactly
-// (sim.ForwardAP replays the emitted AP programs) or on the quantized
-// software reference (model.ForwardInt) — the two are proved
-// bit-identical, so the mode trades verification strength for speed, not
-// accuracy.
 package serve
 
 import (
@@ -89,6 +78,14 @@ type entry struct {
 	report *sim.Report
 	err    error
 
+	// Pipeline sharding (Registry.shardStages > 1 and a multi-device
+	// fleet): the layer-range shard plan, its pipeline pricing, and the
+	// fleet device each stage is pinned to. nil/empty for unsharded
+	// entries.
+	shard     *core.ShardPlan
+	pipeline  *sim.PipelineReport
+	stageDevs []int
+
 	batcher *batcher
 
 	// Guarded by the owning registry's mu.
@@ -104,10 +101,11 @@ type entry struct {
 // drains its queued work before shutting down, so in-flight requests
 // complete.
 type Registry struct {
-	compile   core.Config
-	maxModels int
-	fleet     *Fleet
-	batch     BatchOptions
+	compile     core.Config
+	maxModels   int
+	fleet       *Fleet
+	batch       BatchOptions
+	shardStages int
 
 	mu      sync.Mutex
 	seq     int64
@@ -123,18 +121,22 @@ type BatchOptions struct {
 }
 
 // NewRegistry returns an empty registry. The compile config is forced to
-// retain programs (bit-exact mode replays them).
-func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOptions) *Registry {
+// retain programs (bit-exact mode replays them). shardStages > 1 admits
+// every model as a layer-range pipeline of that many stages (clamped to
+// the fleet size and the model's layer count), each stage pinned to a
+// fleet device; <= 1 keeps whole-model dispatch.
+func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOptions, shardStages int) *Registry {
 	compile.KeepPrograms = true
 	if maxModels <= 0 {
 		maxModels = 4
 	}
 	return &Registry{
-		compile:   compile,
-		maxModels: maxModels,
-		fleet:     fleet,
-		batch:     batch,
-		entries:   map[string]*entry{},
+		compile:     compile,
+		maxModels:   maxModels,
+		fleet:       fleet,
+		batch:       batch,
+		shardStages: shardStages,
+		entries:     map[string]*entry{},
 	}
 }
 
@@ -187,6 +189,10 @@ func (r *Registry) admit(e *entry) {
 	e.net = net
 	e.comp = comp
 	e.report = sim.Analyze(comp)
+	if err := r.shardEntry(e); err != nil {
+		e.err = fmt.Errorf("serve: sharding %s: %w", e.key, err)
+		return
+	}
 	b := newBatcher(e, r.fleet, r.batch)
 
 	// Publish the batcher under the lock (Loaded/evictLocked may be
@@ -200,6 +206,40 @@ func (r *Registry) admit(e *entry) {
 	if evicted {
 		b.close()
 	}
+}
+
+// shardEntry partitions a freshly compiled entry into pipeline stages
+// when the registry runs in sharded mode. The stage count clamps to the
+// fleet size (distinct devices keep the stage graph acyclic) and to the
+// layer count; a clamp down to one stage leaves the entry on the plain
+// whole-model dispatch path.
+func (r *Registry) shardEntry(e *entry) error {
+	k := r.shardStages
+	if k > r.fleet.NumDevices() {
+		k = r.fleet.NumDevices()
+	}
+	if k > len(e.comp.Layers) {
+		k = len(e.comp.Layers)
+	}
+	if k <= 1 {
+		return nil
+	}
+	costs := make([]float64, len(e.report.Layers))
+	for i, lr := range e.report.Layers {
+		costs[i] = lr.LatencyNS
+	}
+	sp, err := core.Partition(e.comp, k, costs)
+	if err != nil {
+		return err
+	}
+	pr, err := sim.AnalyzePipeline(e.comp, e.report, sp)
+	if err != nil {
+		return err
+	}
+	e.shard = sp
+	e.pipeline = pr
+	e.stageDevs = r.fleet.PinStages(len(sp.Stages))
+	return nil
 }
 
 // evictLocked drops least-recently-used entries (never `keep`) until the
@@ -239,6 +279,12 @@ type LoadedInfo struct {
 	// PerInferNS is the analytic single-inference latency (ns) of the
 	// model on the simulated device.
 	PerInferNS float64 `json:"sim_latency_ns"`
+	// Stages, StageDevices and BottleneckNS report pipeline sharding:
+	// stage count, the device each stage is pinned to, and the simulated
+	// steady-state inter-sample interval. Absent for unsharded models.
+	Stages       int     `json:"stages,omitempty"`
+	StageDevices []int   `json:"stage_devices,omitempty"`
+	BottleneckNS float64 `json:"sim_bottleneck_ns,omitempty"`
 }
 
 // Loaded snapshots the resident entries, most recently used first. The
@@ -254,11 +300,17 @@ func (r *Registry) Loaded() []LoadedInfo {
 		if e.batcher == nil { // still compiling
 			continue
 		}
-		out = append(out, LoadedInfo{
+		info := LoadedInfo{
 			Key: e.key, Model: e.spec.Model, ActBits: e.spec.ActBits,
 			Sparsity: e.spec.Sparsity, Seed: e.spec.Seed,
 			Arrays: e.comp.PoolArrays, PerInferNS: e.report.TotalLatencyNS,
-		})
+		}
+		if e.shard != nil {
+			info.Stages = len(e.shard.Stages)
+			info.StageDevices = append([]int(nil), e.stageDevs...)
+			info.BottleneckNS = e.pipeline.BottleneckNS
+		}
+		out = append(out, info)
 		used = append(used, e.lastUsed)
 	}
 	sort.Sort(&byRecency{out, used})

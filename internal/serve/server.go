@@ -29,6 +29,12 @@ type Options struct {
 	Window   time.Duration
 	// MaxModels bounds the compiled-model registry (LRU eviction beyond).
 	MaxModels int
+	// ShardStages > 1 serves every model as a layer-range pipeline of
+	// that many stages (clamped to Devices and the model's layer count):
+	// each stage is pinned to a fleet device and micro-batches stream
+	// through the stages instead of whole batches dispatching to one
+	// device. <= 1 keeps whole-model dispatch.
+	ShardStages int
 	// Queue is the per-model and per-device queue capacity.
 	Queue int
 	// Cache overrides the compiled-artifact cache consulted by model
@@ -98,7 +104,8 @@ func New(opts Options) *Server {
 		compile.Cache = nil
 	}
 	reg := NewRegistry(compile, opts.MaxModels, fleet,
-		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue})
+		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue},
+		opts.ShardStages)
 
 	s := &Server{opts: opts, metrics: m, fleet: fleet, reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -197,6 +204,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE rtmap_device_sim_busy_ns_total counter\n")
 		for _, d := range stats {
 			fmt.Fprintf(w, "rtmap_device_sim_busy_ns_total{device=\"%d\"} %g\n", d.ID, d.SimBusyNS)
+		}
+		loaded := s.reg.Loaded()
+		fmt.Fprintf(w, "# TYPE rtmap_model_stages gauge\n")
+		for _, m := range loaded {
+			stages := m.Stages
+			if stages == 0 {
+				stages = 1
+			}
+			fmt.Fprintf(w, "rtmap_model_stages{model=%q} %d\n", m.Key, stages)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_model_sim_bottleneck_ns gauge\n")
+		for _, m := range loaded {
+			if m.Stages > 0 {
+				fmt.Fprintf(w, "rtmap_model_sim_bottleneck_ns{model=%q} %g\n", m.Key, m.BottleneckNS)
+			}
 		}
 	})
 }

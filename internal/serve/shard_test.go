@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/sim"
+	"rtmap/internal/workload"
+)
+
+// Sharded serving is only worth having if it stays bit-exact: logits
+// streamed through the stage pipeline must equal the single-device
+// RunFunctional path, in both execution modes, and the batch accounting
+// must show the batch actually traversed distinct pinned devices.
+func TestShardedInferBitExact(t *testing.T) {
+	_, ts := testServer(t, Options{Devices: 3, ShardStages: 3, MaxBatch: 4, Window: 5 * time.Millisecond})
+
+	net := model.TinyResNet(model.Config{ActBits: 4, Sparsity: 0.8, Seed: 1})
+	cfg := core.DefaultConfig()
+	cfg.KeepPrograms = true
+	comp, err := core.Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	inputs := workload.Inputs(net.InputShape, n, 9)
+
+	req := InferRequest{Model: "tinyresnet", BitExact: true}
+	for _, in := range inputs {
+		req.Inputs = append(req.Inputs, in.Data)
+	}
+	out, resp := postInfer(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	for i, in := range inputs {
+		tr, err := sim.ForwardAP(comp, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.Logits()
+		got := out.Results[i].Logits
+		if len(got) != len(want.Data) {
+			t.Fatalf("input %d: %d logits, want %d", i, len(got), len(want.Data))
+		}
+		for j := range got {
+			if got[j] != want.Data[j] {
+				t.Fatalf("input %d logit %d: sharded serve %d, RunFunctional %d", i, j, got[j], want.Data[j])
+			}
+		}
+		b := out.Results[i].Batch
+		if b.Stages != 3 {
+			t.Fatalf("input %d: %d stages, want 3", i, b.Stages)
+		}
+		if len(b.Path) != 3 {
+			t.Fatalf("input %d: device path %v, want 3 hops", i, b.Path)
+		}
+		seen := map[int]bool{}
+		for _, d := range b.Path {
+			if seen[d] {
+				t.Fatalf("input %d: device %d repeated in path %v (stages must pin to distinct devices)", i, d, b.Path)
+			}
+			seen[d] = true
+		}
+		if b.SimLatencyNS <= 0 || b.SimEnergyPJ <= 0 {
+			t.Fatalf("input %d: implausible pipeline pricing %+v", i, b)
+		}
+	}
+
+	// Reference mode through the same pipeline serves identical logits.
+	req.BitExact = false
+	ref, resp := postInfer(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	for i := range ref.Results {
+		for j, v := range ref.Results[i].Logits {
+			if v != out.Results[i].Logits[j] {
+				t.Fatalf("input %d logit %d: reference %d != bit-exact %d", i, j, v, out.Results[i].Logits[j])
+			}
+		}
+	}
+}
+
+// ShardStages clamps to the fleet size: a single-device fleet falls back
+// to whole-model dispatch (no stages reported), and /v1/models reports
+// the pipeline layout of sharded residents.
+func TestShardStagesClampAndModelListing(t *testing.T) {
+	_, ts1 := testServer(t, Options{Devices: 1, ShardStages: 4})
+	sh, _ := ZooShape("tinycnn")
+	in := workload.InputData(sh, 1, 3)
+	out, resp := postInfer(t, ts1.URL, InferRequest{Model: "tinycnn", Inputs: in})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if b := out.Results[0].Batch; b.Stages != 0 || len(b.Path) != 0 {
+		t.Fatalf("single-device fleet must not shard, got %+v", b)
+	}
+
+	srv, ts2 := testServer(t, Options{Devices: 4, ShardStages: 2})
+	if _, resp = postInfer(t, ts2.URL, InferRequest{Model: "tinycnn", Inputs: in}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	loaded := srv.Registry().Loaded()
+	if len(loaded) != 1 {
+		t.Fatalf("%d resident models, want 1", len(loaded))
+	}
+	li := loaded[0]
+	if li.Stages != 2 || len(li.StageDevices) != 2 || li.BottleneckNS <= 0 {
+		t.Fatalf("loaded info %+v, want 2 pinned stages with a bottleneck price", li)
+	}
+	if li.StageDevices[0] == li.StageDevices[1] {
+		t.Fatalf("stages pinned to the same device: %v", li.StageDevices)
+	}
+}
+
+// A drain must retire batches that are mid-pipeline (between stages), not
+// orphan them: every submitted item gets a result before Shutdown returns.
+func TestShardedDrainCompletesInFlight(t *testing.T) {
+	s := New(Options{Devices: 3, ShardStages: 3, MaxBatch: 2, Window: time.Millisecond,
+		Logf: t.Logf})
+	spec := Spec{Model: "tinyresnet", ActBits: 4, Sparsity: 0.8, Seed: 1}
+	e, err := s.Registry().Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := ZooShape("tinyresnet")
+	ins := workload.Inputs(sh, 6, 21)
+	items := make([]*item, len(ins))
+	for i, in := range ins {
+		items[i] = &item{in: in, enq: time.Now(), res: make(chan itemResult, 1)}
+		if err := e.batcher.submit(items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		select {
+		case res := <-it.res:
+			if res.err != nil {
+				t.Errorf("item %d failed during drain: %v", i, res.err)
+			} else if res.info.Stages != 3 {
+				t.Errorf("item %d: %d stages, want 3", i, res.info.Stages)
+			}
+		default:
+			t.Fatalf("item %d has no result after drain", i)
+		}
+	}
+}

@@ -1,9 +1,3 @@
-// Package sim evaluates compiled networks on the RTM-AP model: an
-// analytic performance/energy estimator driven by the figures of merit of
-// §V (the same methodology as the paper's functional simulator), an exact
-// functional executor that replays emitted AP programs on the word-level
-// machine and proves bit-exactness against the software reference, and
-// the §V-C write-endurance analysis.
 package sim
 
 import (

@@ -1,0 +1,16 @@
+// Package sim evaluates compiled networks on the RTM-AP model: an
+// analytic performance/energy estimator driven by the figures of merit of
+// §V (the same methodology as the paper's functional simulator), an exact
+// functional executor that replays emitted AP programs on the word-level
+// machine and proves bit-exactness against the software reference, and
+// the §V-C write-endurance analysis.
+//
+// The batch and pipeline cost models extend the per-inference analysis
+// to the serving layer: AnalyzeBatch prices back-to-back samples on one
+// device under the pipelined-load model, and AnalyzePipeline prices a
+// core.ShardPlan as a software pipeline across devices (stage fill and
+// marginal latencies, inter-stage activation transfer cost, bottleneck
+// throughput). ShardRun/ForwardAPSharded execute a sharded plan stage by
+// stage, each stage isolated to the activations its predecessor shipped,
+// bit-identically to single-device execution.
+package sim

@@ -100,21 +100,47 @@ func RunConv(c *core.Compiled, layerIdx int, in *tensor.Int) (*tensor.Int, error
 // The result must be bit-identical to model.ForwardInt; TestForwardAPExact
 // asserts this on randomized networks.
 func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
+	tr := quantizeInput(c, in)
+	if err := execLayers(c, tr, 0, len(c.Net.Layers), true); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// quantizeInput builds an empty trace seeded with the quantized network
+// input codes.
+func quantizeInput(c *core.Compiled, in *tensor.Float) *model.IntTrace {
 	n := c.Net
 	codes := tensor.NewInt(tensor.Shape{N: 1, C: n.InputShape.C, H: n.InputShape.H, W: n.InputShape.W})
 	for i, v := range in.Data {
 		codes.Data[i] = n.InputQ.Quantize(v)
 	}
-	tr := &model.IntTrace{
+	return &model.IntTrace{
 		Outputs:    make([]*tensor.Int, len(n.Layers)),
 		Scales:     make([]float64, len(n.Layers)),
 		InputCodes: codes,
 	}
-	getT := func(idx int) *tensor.Int {
+}
+
+// execLayers executes the layer range [lo, hi) of the compiled network on
+// the trace, reading inputs from it and writing outputs back. bitExact
+// selects the executor for conv/linear layers: the word-level AP machine
+// (RunConv) or the integer software reference — the two are proved
+// bit-identical. An input tensor the trace does not hold is an error, so
+// a sharded stage run proves its boundary transfer set is sufficient.
+func execLayers(c *core.Compiled, tr *model.IntTrace, lo, hi int, bitExact bool) error {
+	n := c.Net
+	getT := func(idx int) (*tensor.Int, error) {
 		if idx == model.InputRef {
-			return codes
+			if tr.InputCodes == nil {
+				return nil, fmt.Errorf("sim: network input not resident")
+			}
+			return tr.InputCodes, nil
 		}
-		return tr.Outputs[idx]
+		if tr.Outputs[idx] == nil {
+			return nil, fmt.Errorf("sim: layer %d output not resident", idx)
+		}
+		return tr.Outputs[idx], nil
 	}
 	getS := func(idx int) float64 {
 		if idx == model.InputRef {
@@ -122,15 +148,23 @@ func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
 		}
 		return tr.Scales[idx]
 	}
-	for i := range n.Layers {
+	for i := lo; i < hi; i++ {
 		l := &n.Layers[i]
-		x := getT(l.Inputs[0])
+		x, err := getT(l.Inputs[0])
+		if err != nil {
+			return fmt.Errorf("sim: layer %d (%s): %w", i, l.Name, err)
+		}
 		s := getS(l.Inputs[0])
 		switch l.Kind {
 		case model.KindConv, model.KindLinear:
-			out, err := RunConv(c, i, x)
-			if err != nil {
-				return nil, err
+			var out *tensor.Int
+			if bitExact {
+				out, err = RunConv(c, i, x)
+				if err != nil {
+					return err
+				}
+			} else {
+				out = tensor.ConvIntTernarySparse(x, l.W.W, l.ConvSpec())
 			}
 			tr.Outputs[i] = out
 			tr.Scales[i] = s * float64(l.WScale)
@@ -149,8 +183,12 @@ func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
 			tr.Outputs[i] = out
 			tr.Scales[i] = float64(l.Q.Step)
 		case model.KindAdd:
+			y, err := getT(l.Inputs[1])
+			if err != nil {
+				return fmt.Errorf("sim: layer %d (%s): %w", i, l.Name, err)
+			}
 			out := x.Clone()
-			out.AddInt(getT(l.Inputs[1]))
+			out.AddInt(y)
 			tr.Outputs[i] = out
 			tr.Scales[i] = s
 		case model.KindFlatten:
@@ -160,8 +198,8 @@ func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
 			}
 			tr.Scales[i] = s
 		default:
-			return nil, fmt.Errorf("sim: unknown layer kind %v", l.Kind)
+			return fmt.Errorf("sim: unknown layer kind %v", l.Kind)
 		}
 	}
-	return tr, nil
+	return nil
 }

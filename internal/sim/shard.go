@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/tensor"
+)
+
+// ShardRun is the stage-wise functional execution of one input through a
+// sharded plan: the unit of work the serving pipeline streams from device
+// to device. Each Step executes the next stage against a working store
+// seeded ONLY with the tensors the previous stage shipped (the plan's
+// XferRefs), so a completed run proves the partition's boundary transfer
+// sets were sufficient — a missing tensor fails the step instead of
+// silently reading state a real device would not hold.
+type ShardRun struct {
+	c  *core.Compiled
+	sp *core.ShardPlan
+
+	stage int
+	// Boundary context carried between stages, keyed by producer layer
+	// index (model.InputRef for the quantized network input).
+	ctxT map[int]*tensor.Int
+	ctxS map[int]float64
+
+	// trace accumulates every layer output when the run was created with
+	// tracing on (ForwardAPSharded); nil otherwise.
+	trace  *model.IntTrace
+	logits *tensor.Int
+}
+
+// NewShardRun quantizes the input and prepares a run positioned before
+// stage 0.
+func NewShardRun(c *core.Compiled, sp *core.ShardPlan, in *tensor.Float) (*ShardRun, error) {
+	if len(sp.Stages) == 0 || sp.Stages[len(sp.Stages)-1].Hi != len(c.Layers) {
+		return nil, fmt.Errorf("sim: shard plan does not cover the %d-layer network", len(c.Layers))
+	}
+	tr := quantizeInput(c, in)
+	return &ShardRun{
+		c: c, sp: sp,
+		ctxT: map[int]*tensor.Int{model.InputRef: tr.InputCodes},
+		ctxS: map[int]float64{model.InputRef: float64(c.Net.InputQ.Step)},
+	}, nil
+}
+
+// Done reports whether every stage has executed.
+func (r *ShardRun) Done() bool { return r.stage >= len(r.sp.Stages) }
+
+// Stage returns the index of the next stage to execute.
+func (r *ShardRun) Stage() int { return r.stage }
+
+// Logits returns the final layer output codes; nil until Done.
+func (r *ShardRun) Logits() *tensor.Int { return r.logits }
+
+// Step executes the next stage. bitExact selects the word-level AP
+// machine for conv/linear layers; false runs the (bit-identical) integer
+// software reference.
+func (r *ShardRun) Step(bitExact bool) error {
+	if r.Done() {
+		return fmt.Errorf("sim: shard run already complete")
+	}
+	st := r.sp.Stages[r.stage]
+	n := len(r.c.Net.Layers)
+
+	// Working store holding exactly the carried boundary tensors.
+	tr := &model.IntTrace{
+		Outputs: make([]*tensor.Int, n),
+		Scales:  make([]float64, n),
+	}
+	for ref, t := range r.ctxT {
+		if ref == model.InputRef {
+			tr.InputCodes = t
+		} else {
+			tr.Outputs[ref] = t
+			tr.Scales[ref] = r.ctxS[ref]
+		}
+	}
+	if err := execLayers(r.c, tr, st.Lo, st.Hi, bitExact); err != nil {
+		return fmt.Errorf("sim: stage %d [%d,%d): %w", r.stage, st.Lo, st.Hi, err)
+	}
+	if r.trace != nil {
+		if r.stage == 0 {
+			r.trace.InputCodes = tr.InputCodes
+		}
+		for i := st.Lo; i < st.Hi; i++ {
+			r.trace.Outputs[i] = tr.Outputs[i]
+			r.trace.Scales[i] = tr.Scales[i]
+		}
+	}
+
+	if r.stage == len(r.sp.Stages)-1 {
+		r.logits = tr.Outputs[n-1]
+		r.ctxT, r.ctxS = nil, nil
+		r.stage++
+		return nil
+	}
+	// Ship exactly the boundary live set to the next stage.
+	nextT := make(map[int]*tensor.Int, len(st.XferRefs))
+	nextS := make(map[int]float64, len(st.XferRefs))
+	for _, ref := range st.XferRefs {
+		if ref == model.InputRef {
+			nextT[ref] = tr.InputCodes
+			nextS[ref] = float64(r.c.Net.InputQ.Step)
+			continue
+		}
+		t := tr.Outputs[ref]
+		if t == nil {
+			return fmt.Errorf("sim: stage %d boundary ref %d not produced", r.stage, ref)
+		}
+		nextT[ref] = t
+		nextS[ref] = tr.Scales[ref]
+	}
+	r.ctxT, r.ctxS = nextT, nextS
+	r.stage++
+	return nil
+}
+
+// ForwardAPSharded replays the network stage by stage under the shard
+// plan, each stage isolated to its boundary context, and returns the full
+// integer trace. It must be bit-identical to ForwardAP for every plan —
+// the sharding analogue of the paper's "retaining software accuracy"
+// property.
+func ForwardAPSharded(c *core.Compiled, sp *core.ShardPlan, in *tensor.Float) (*model.IntTrace, error) {
+	run, err := NewShardRun(c, sp, in)
+	if err != nil {
+		return nil, err
+	}
+	run.trace = &model.IntTrace{
+		Outputs: make([]*tensor.Int, len(c.Net.Layers)),
+		Scales:  make([]float64, len(c.Net.Layers)),
+	}
+	for !run.Done() {
+		if err := run.Step(true); err != nil {
+			return nil, err
+		}
+	}
+	return run.trace, nil
+}

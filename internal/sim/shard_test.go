@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+)
+
+func partitionEven(t *testing.T, c *core.Compiled, rep *Report, k int) *core.ShardPlan {
+	t.Helper()
+	costs := make([]float64, len(rep.Layers))
+	for i, lr := range rep.Layers {
+		costs[i] = lr.LatencyNS
+	}
+	sp, err := core.Partition(c, k, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// Sharded replay — each stage isolated to the tensors its predecessor
+// shipped — must stay bit-identical to the single-device functional path
+// on every stage count, including K=1, K=layer-count and over-asked K.
+func TestForwardAPShardedBitExact(t *testing.T) {
+	nets := map[string]*model.Network{
+		"tinycnn":    model.TinyCNN(model.DefaultConfig()),
+		"tinyresnet": model.TinyResNet(model.DefaultConfig()),
+	}
+	for name, net := range nets {
+		c := compileNet(t, net, true)
+		rep := Analyze(c)
+		for seed := uint64(0); seed < 2; seed++ {
+			in := randInput(seed, net.InputShape)
+			want, err := ForwardAP(c, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, 3, len(c.Layers), len(c.Layers) + 99} {
+				sp := partitionEven(t, c, rep, k)
+				got, err := ForwardAPSharded(c, sp, in)
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", name, k, err)
+				}
+				for i := range want.Outputs {
+					if !got.Outputs[i].Equal(want.Outputs[i]) {
+						t.Fatalf("%s k=%d seed=%d: layer %d diverges from ForwardAP", name, k, seed, i)
+					}
+					if math.Abs(got.Scales[i]-want.Scales[i]) > 1e-12*math.Abs(want.Scales[i]) {
+						t.Fatalf("%s k=%d: layer %d scale %g, want %g", name, k, i, got.Scales[i], want.Scales[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The reference-mode (software) stage executor must agree with
+// model.ForwardInt logits the same way the bit-exact path does.
+func TestShardRunReferenceModeMatchesForwardInt(t *testing.T) {
+	net := model.TinyResNet(model.DefaultConfig())
+	c := compileNet(t, net, true)
+	rep := Analyze(c)
+	sp := partitionEven(t, c, rep, 3)
+	in := randInput(11, net.InputShape)
+	ref, err := net.ForwardInt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewShardRun(c, sp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !run.Done() {
+		if err := run.Step(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !run.Logits().Equal(ref.Logits()) {
+		t.Fatalf("reference-mode sharded logits %v, ForwardInt %v", run.Logits().Data, ref.Logits().Data)
+	}
+	if err := run.Step(false); err == nil {
+		t.Error("Step after Done must error")
+	}
+}
+
+// The "small ResNet slice": MiniResNet18 keeps ResNet-18's layer graph at
+// a reduced resolution. Bit-exact sharded replay across a residual
+// boundary is the acceptance bar for serving the real model sharded.
+func TestForwardAPShardedMiniResNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini-ResNet functional replay")
+	}
+	net := model.MiniResNet18(model.DefaultConfig(), 16, 16)
+	c := compileNet(t, net, true)
+	rep := Analyze(c)
+	in := randInput(3, net.InputShape)
+	want, err := ForwardAP(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 7} {
+		sp := partitionEven(t, c, rep, k)
+		got, err := ForwardAPSharded(c, sp, in)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !got.Logits().Equal(want.Logits()) {
+			t.Fatalf("k=%d: sharded logits diverge", k)
+		}
+		for i := range want.Outputs {
+			if !got.Outputs[i].Equal(want.Outputs[i]) {
+				t.Fatalf("k=%d: layer %d diverges", k, i)
+			}
+		}
+	}
+}
+
+// K=1 degeneracy: the pipeline cost model must collapse to the
+// single-device batch model within rounding.
+func TestAnalyzePipelineK1MatchesAnalyzeBatch(t *testing.T) {
+	net := model.TinyCNN(model.DefaultConfig())
+	c := compileNet(t, net, false)
+	rep := Analyze(c)
+	sp := partitionEven(t, c, rep, 1)
+	pr, err := AnalyzePipeline(c, rep, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{1, 4, 32} {
+		want := AnalyzeBatch(rep, b)
+		got := AnalyzePipelineBatch(pr, b)
+		if math.Abs(got.FirstNS-want.FirstNS) > 1e-9*want.FirstNS {
+			t.Errorf("b=%d: FirstNS %g, AnalyzeBatch %g", b, got.FirstNS, want.FirstNS)
+		}
+		if math.Abs(got.MarginalNS-want.MarginalNS) > 1e-9*want.MarginalNS {
+			t.Errorf("b=%d: MarginalNS %g, AnalyzeBatch %g", b, got.MarginalNS, want.MarginalNS)
+		}
+		if math.Abs(got.LatencyNS-want.LatencyNS) > 1e-9*want.LatencyNS {
+			t.Errorf("b=%d: LatencyNS %g, AnalyzeBatch %g", b, got.LatencyNS, want.LatencyNS)
+		}
+		if math.Abs(got.EnergyPJ-want.EnergyPJ) > 1e-9*want.EnergyPJ {
+			t.Errorf("b=%d: EnergyPJ %g, AnalyzeBatch %g", b, got.EnergyPJ, want.EnergyPJ)
+		}
+	}
+}
+
+func TestAnalyzePipelineAccounting(t *testing.T) {
+	net := model.TinyResNet(model.DefaultConfig())
+	c := compileNet(t, net, false)
+	rep := Analyze(c)
+	sp := partitionEven(t, c, rep, 3)
+	pr, err := AnalyzePipeline(c, rep, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Stages) != len(sp.Stages) {
+		t.Fatalf("%d stage reports for %d stages", len(pr.Stages), len(sp.Stages))
+	}
+	var fill, energy, bottleneck float64
+	for si, sr := range pr.Stages {
+		if sr.Lo != sp.Stages[si].Lo || sr.Hi != sp.Stages[si].Hi {
+			t.Errorf("stage %d: range [%d,%d) != plan [%d,%d)", si, sr.Lo, sr.Hi, sp.Stages[si].Lo, sp.Stages[si].Hi)
+		}
+		last := si == len(pr.Stages)-1
+		if last && (sr.XferBits != 0 || sr.XferNS != 0) {
+			t.Errorf("last stage has transfer cost %d bits / %g ns", sr.XferBits, sr.XferNS)
+		}
+		if !last && sr.XferNS <= 0 {
+			t.Errorf("stage %d: no transfer cost for %d boundary bits", si, sr.XferBits)
+		}
+		if sr.MarginalNS > sr.FillNS {
+			t.Errorf("stage %d: marginal %g exceeds fill %g", si, sr.MarginalNS, sr.FillNS)
+		}
+		fill += sr.FillNS + sr.XferNS
+		energy += sr.EnergyPJ + sr.XferPJ
+		if occ := sr.OccupancyNS(); occ > bottleneck {
+			bottleneck = occ
+		}
+	}
+	if math.Abs(pr.FillNS-fill) > 1e-9*fill {
+		t.Errorf("FillNS %g, stage sum %g", pr.FillNS, fill)
+	}
+	if math.Abs(pr.PerSampleEnergyPJ-energy) > 1e-9*energy {
+		t.Errorf("PerSampleEnergyPJ %g, stage sum %g", pr.PerSampleEnergyPJ, energy)
+	}
+	if math.Abs(pr.BottleneckNS-bottleneck) > 1e-12 {
+		t.Errorf("BottleneckNS %g, max occupancy %g", pr.BottleneckNS, bottleneck)
+	}
+	if pr.SteadyInfersPerSec() <= 0 {
+		t.Error("non-positive steady-state throughput")
+	}
+	// Per-stage batch pricing sums to more than the whole-pipeline batch
+	// only through fills; marginals must never exceed the bottleneck.
+	for si := range pr.Stages {
+		br := AnalyzeStageBatch(pr, si, 8)
+		if br.MarginalNS > pr.BottleneckNS+1e-12 {
+			t.Errorf("stage %d: marginal %g exceeds bottleneck %g", si, br.MarginalNS, pr.BottleneckNS)
+		}
+	}
+}

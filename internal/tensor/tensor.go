@@ -1,11 +1,3 @@
-// Package tensor provides the dense integer and floating-point tensor
-// substrate used throughout the RTM-AP stack: NCHW tensors, padding,
-// direct and im2col-based convolution, pooling and elementwise kernels.
-//
-// Two element types are supported. Float tensors carry the full-precision
-// reference path (used to validate that quantized AP execution "retains
-// software accuracy"); Int tensors carry integer activation codes, which is
-// what the associative processor actually stores and computes on.
 package tensor
 
 import "fmt"

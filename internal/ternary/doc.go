@@ -1,0 +1,9 @@
+// Package ternary represents ternary weight networks (TWNs): weights
+// restricted to {−1, 0, +1} with a per-layer positive scale. The paper's
+// compilation flow assumes TWNs trained with BIPROP; since training is out
+// of scope here, this package provides both (a) TWN-style ternarization of
+// dense float weights (threshold 0.7·mean|W|, the classic TWN rule) and
+// (b) deterministic, seeded generation of ternary weights at a target
+// sparsity — the structural property that drives every compiler and
+// hardware cost in the paper (Table II reports sparsity next to every row).
+package ternary

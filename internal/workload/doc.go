@@ -1,0 +1,7 @@
+// Package workload provides the evaluation harness: seeded synthetic
+// inputs standing in for CIFAR10/ImageNet samples, teacher labeling by the
+// full-precision reference network, and the top-1 agreement metric that
+// substitutes for dataset accuracy (see DESIGN.md §1 — the paper's
+// accuracy claim is "retains software accuracy", which is exactly the
+// agreement of an execution path with the FP reference).
+package workload

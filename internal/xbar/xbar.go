@@ -1,15 +1,3 @@
-// Package xbar is the DNN+NeuroSim-style crossbar baseline of the paper's
-// evaluation (§V, [14]): an RRAM compute-in-memory accelerator with
-// 256×256 analog arrays, 8-bit weights, bit-serial activation streaming
-// through DACs and 5-bit ADC readout, plus digital shift-add accumulation,
-// buffers and an interconnect whose traffic dominates data-movement energy
-// (the paper quotes communication at 41% of total crossbar energy).
-//
-// Like NeuroSim itself, this is an analytic estimator: per-layer energy
-// and latency follow from operation counts times per-event figures of
-// merit. The constants are calibrated so the whole-network totals land in
-// the range Table II reports for DNN+NeuroSim, and the *ratios* to RTM-AP
-// are what the reproduction tracks.
 package xbar
 
 import (

@@ -197,6 +197,56 @@ func Endurance(c *Compiled, rep *Report) sim.EnduranceReport {
 // linearly.
 func AnalyzeBatch(rep *Report, b int) BatchReport { return sim.AnalyzeBatch(rep, b) }
 
+// Pipeline sharding: partitioning a compiled plan into contiguous layer
+// ranges and pricing/executing them as a software pipeline across the
+// device fleet.
+type (
+	// ShardPlan partitions a compiled network into contiguous pipeline
+	// stages with per-boundary activation transfer sets.
+	ShardPlan = core.ShardPlan
+	// StageRange is one stage of a ShardPlan.
+	StageRange = core.StageRange
+	// PipelineReport prices a sharded plan as a software pipeline
+	// (per-stage fill/marginal latency, transfer cost, bottleneck).
+	PipelineReport = sim.PipelineReport
+	// StageReport is the per-stage entry of a PipelineReport.
+	StageReport = sim.StageReport
+)
+
+// Partition splits a compiled plan into (up to) k contiguous stages
+// balanced on the analytic per-layer latency of rep, minimizing the
+// bottleneck stage (exact dynamic program). k clamps to the layer count.
+func Partition(c *Compiled, rep *Report, k int) (*ShardPlan, error) {
+	costs := make([]float64, len(rep.Layers))
+	for i, lr := range rep.Layers {
+		costs[i] = lr.LatencyNS
+	}
+	return core.Partition(c, k, costs)
+}
+
+// AnalyzePipeline prices a sharded plan as a software pipeline: stage
+// fill and steady-state latencies, inter-stage activation transfer cost
+// from the movement model, and steady-state throughput set by the
+// bottleneck stage. For a one-stage plan it matches AnalyzeBatch.
+func AnalyzePipeline(c *Compiled, rep *Report, sp *ShardPlan) (*PipelineReport, error) {
+	return sim.AnalyzePipeline(c, rep, sp)
+}
+
+// AnalyzePipelineBatch prices b samples streamed through the pipeline:
+// fill once, then one sample per bottleneck interval; energy scales
+// linearly (including inter-stage transfers).
+func AnalyzePipelineBatch(pr *PipelineReport, b int) BatchReport {
+	return sim.AnalyzePipelineBatch(pr, b)
+}
+
+// RunFunctionalSharded executes the compiled network stage by stage under
+// the shard plan, each stage isolated to the activations its predecessor
+// shipped (requires CompileConfig.KeepPrograms). The trace is bit-identical
+// to RunFunctional for every plan.
+func RunFunctionalSharded(c *Compiled, sp *ShardPlan, in *FloatTensor) (*IntTrace, error) {
+	return sim.ForwardAPSharded(c, sp, in)
+}
+
 // Serving layer: a concurrent HTTP/JSON inference server over the
 // compiler and the simulated AP device fleet (internal/serve).
 type (

@@ -223,3 +223,62 @@ func TestFigure4Smoke(t *testing.T) {
 		t.Error("NaN in figure data")
 	}
 }
+
+// TestShardingPublicAPI exercises the pipeline-sharding surface end to
+// end: Partition balances on the analytic latencies, AnalyzePipeline
+// collapses to AnalyzeBatch at K=1, and sharded functional replay stays
+// bit-identical to RunFunctional.
+func TestShardingPublicAPI(t *testing.T) {
+	net := BuildTinyResNet(DefaultModelConfig())
+	cfg := DefaultCompileConfig()
+	cfg.KeepPrograms = true
+	comp, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(comp)
+
+	one, err := Partition(comp, rep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prOne, err := AnalyzePipeline(comp, rep, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := AnalyzeBatch(rep, 8)
+	pipe := AnalyzePipelineBatch(prOne, 8)
+	if math.Abs(batch.LatencyNS-pipe.LatencyNS) > 1e-9*batch.LatencyNS {
+		t.Errorf("K=1 pipeline batch %g ns != AnalyzeBatch %g ns", pipe.LatencyNS, batch.LatencyNS)
+	}
+
+	sp, err := Partition(comp, rep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Stages) != 3 {
+		t.Fatalf("%d stages, want 3", len(sp.Stages))
+	}
+	pr, err := AnalyzePipeline(comp, rep, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.BottleneckNS <= 0 || pr.SteadyInfersPerSec() <= 0 {
+		t.Fatalf("degenerate pipeline report %+v", pr)
+	}
+
+	in := workload.Inputs(net.InputShape, 1, 5)[0]
+	want, err := RunFunctional(comp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunFunctionalSharded(comp, sp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Outputs {
+		if !got.Outputs[i].Equal(want.Outputs[i]) {
+			t.Fatalf("layer %d: sharded replay diverges from RunFunctional", i)
+		}
+	}
+}
