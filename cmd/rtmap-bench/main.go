@@ -8,6 +8,8 @@
 //	rtmap-bench -endurance         # §V-C: write-endurance lifetime
 //	rtmap-bench -shards 8          # pipeline-sharding throughput frontier
 //	rtmap-bench -shards 6 -net tinycnn -json -out DIR   # BENCH_shards.json
+//	rtmap-bench -replicas 4        # data-parallel replication frontier
+//	rtmap-bench -replicas 4 -json -out DIR              # BENCH_replicas.json
 //
 // Outputs are printed and, with -out DIR, also written as TSV files.
 // With -json, results are emitted as one machine-readable JSON document
@@ -38,7 +40,8 @@ func main() {
 		movement  = flag.Bool("movement", false, "report data-movement energy shares (§V-C)")
 		endurance = flag.Bool("endurance", false, "report write-endurance lifetime (§V-C)")
 		shards    = flag.Int("shards", 0, "sweep pipeline sharding from 1 to N stages and report the stage-count/throughput frontier")
-		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11); also selects the -shards model (default resnet18; tiny models allowed)")
+		replicas  = flag.Int("replicas", 0, "sweep data-parallel replication from 1 to N replicas and report the aggregate-throughput frontier")
+		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11); also selects the -shards model (default resnet18; tiny models allowed) and the -replicas models (default tinycnn+resnet18)")
 		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
 		outDir    = flag.String("out", "", "directory for TSV/JSON artifacts")
@@ -47,7 +50,7 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
-	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 {
+	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 && *replicas <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -196,6 +199,32 @@ func main() {
 		addJSON("shards", map[string]any{"network": name, "frontier": rows})
 	}
 
+	if *replicas > 0 {
+		nets := []string{"tinycnn", "resnet18"}
+		if *netFilter != "" {
+			nets = []string{*netFilter}
+		}
+		var sections []replicaSection
+		for _, name := range nets {
+			progress(fmt.Sprintf("compiling %s for the replica sweep", name))
+			rows, err := replicaSweep(name, *seed, *replicas, compileConfig(*noCache))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sections = append(sections, replicaSection{Network: name, Frontier: rows})
+			if !*jsonOut {
+				fmt.Printf("\nData-parallel replication frontier — %s (aggregate steady-state throughput vs replica count)\n", name)
+				fmt.Printf("%-9s %-14s %-18s %-16s %s\n",
+					"replicas", "steady_ns", "infer/s(aggregate)", "batch64_ms", "speedup")
+				for _, r := range rows {
+					fmt.Printf("%-9d %-14.2f %-18.1f %-16.4f %.2fx\n",
+						r.Replicas, r.SteadyNS, r.AggInfersPerSec, r.Batch64LatencyNS/1e6, r.Speedup)
+				}
+			}
+		}
+		addJSON("replicas", map[string]any{"networks": sections})
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -259,27 +288,33 @@ type shardRow struct {
 	Speedup float64 `json:"speedup_vs_unsharded"`
 }
 
+// buildNet constructs a sweepable network by zoo name.
+func buildNet(name string, seed uint64) (*rtmap.Network, error) {
+	mcfg := rtmap.DefaultModelConfig()
+	mcfg.Seed = seed
+	switch name {
+	case "resnet18":
+		return rtmap.BuildResNet18(mcfg), nil
+	case "miniresnet18":
+		return rtmap.BuildMiniResNet18(mcfg, 32, 32), nil
+	case "vgg9":
+		return rtmap.BuildVGG9(mcfg), nil
+	case "vgg11":
+		return rtmap.BuildVGG11(mcfg), nil
+	case "tinycnn":
+		return rtmap.BuildTinyCNN(mcfg), nil
+	case "tinyresnet":
+		return rtmap.BuildTinyResNet(mcfg), nil
+	}
+	return nil, fmt.Errorf("unknown network %q for the sweep", name)
+}
+
 // shardSweep compiles the named network once and prices its pipeline
 // sharding at every stage count from 1 to maxK.
 func shardSweep(name string, seed uint64, maxK int, cfg rtmap.CompileConfig) ([]shardRow, error) {
-	mcfg := rtmap.DefaultModelConfig()
-	mcfg.Seed = seed
-	var net *rtmap.Network
-	switch name {
-	case "resnet18":
-		net = rtmap.BuildResNet18(mcfg)
-	case "miniresnet18":
-		net = rtmap.BuildMiniResNet18(mcfg, 32, 32)
-	case "vgg9":
-		net = rtmap.BuildVGG9(mcfg)
-	case "vgg11":
-		net = rtmap.BuildVGG11(mcfg)
-	case "tinycnn":
-		net = rtmap.BuildTinyCNN(mcfg)
-	case "tinyresnet":
-		net = rtmap.BuildTinyResNet(mcfg)
-	default:
-		return nil, fmt.Errorf("unknown network %q for -shards", name)
+	net, err := buildNet(name, seed)
+	if err != nil {
+		return nil, err
 	}
 	comp, err := rtmap.Compile(net, cfg)
 	if err != nil {
@@ -318,6 +353,61 @@ func shardSweep(name string, seed uint64, maxK int, cfg rtmap.CompileConfig) ([]
 		if len(sp.Stages) < k {
 			break // clamped: the network has no more layers to split
 		}
+	}
+	return rows, nil
+}
+
+// replicaSection groups one network's replication frontier in the JSON
+// artifact.
+type replicaSection struct {
+	Network  string       `json:"network"`
+	Frontier []replicaRow `json:"frontier"`
+}
+
+// replicaRow is one point of the replica-count/throughput frontier.
+type replicaRow struct {
+	Replicas int `json:"replicas"`
+	// SteadyNS is the aggregate steady-state inter-sample interval of the
+	// replica group; AggInfersPerSec is its reciprocal throughput.
+	SteadyNS        float64 `json:"steady_ns"`
+	AggInfersPerSec float64 `json:"agg_infer_per_s"`
+	// Batch64LatencyNS is the completion time of a 64-sample batch
+	// load-balanced across the replicas.
+	Batch64LatencyNS float64 `json:"batch64_latency_ns"`
+	// Speedup is aggregate throughput relative to one replica.
+	Speedup float64 `json:"speedup_vs_single"`
+}
+
+// replicaSweep compiles the named network once and prices data-parallel
+// replication at every replica count from 1 to maxR
+// (rtmap.AnalyzeReplicatedBatch).
+func replicaSweep(name string, seed uint64, maxR int, cfg rtmap.CompileConfig) ([]replicaRow, error) {
+	net, err := buildNet(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := rtmap.Compile(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := rtmap.Analyze(comp)
+	var rows []replicaRow
+	var base float64
+	for r := 1; r <= maxR; r++ {
+		rr := rtmap.AnalyzeReplicatedBatch(rep, 64, r)
+		row := replicaRow{
+			Replicas:         r,
+			SteadyNS:         rr.SteadyNS,
+			AggInfersPerSec:  rr.AggregateInfersPerSec(),
+			Batch64LatencyNS: rr.LatencyNS,
+		}
+		if r == 1 {
+			base = rr.AggregateInfersPerSec()
+		}
+		if base > 0 {
+			row.Speedup = row.AggInfersPerSec / base
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -278,16 +279,31 @@ func inspectOnce(client *http.Client, url string, body []byte) error {
 	return nil
 }
 
+// percentileMS returns the nearest-rank p-quantile of the sorted latency
+// slice in milliseconds: the smallest element with at least ceil(p·n)
+// observations at or below it. The index clamps to [0, n-1], so p=0,
+// p=1, and tiny samples (n=0/1/2) are all well-defined — the previous
+// int(p·(n-1)) truncation both drifted low for mid percentiles and
+// depended on float rounding to stay in range at p=1.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i].Seconds() * 1e3
+}
+
 func report(in reportInput, jsonOut bool, outFile string) {
 	sort.Slice(in.latencies, func(i, j int) bool { return in.latencies[i] < in.latencies[j] })
 	n := len(in.latencies)
-	pct := func(p float64) float64 {
-		if n == 0 {
-			return 0
-		}
-		i := int(p * float64(n-1))
-		return in.latencies[i].Seconds() * 1e3
-	}
+	pct := func(p float64) float64 { return percentileMS(in.latencies, p) }
 	var sum time.Duration
 	for _, d := range in.latencies {
 		sum += d

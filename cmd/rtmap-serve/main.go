@@ -6,6 +6,9 @@
 //	rtmap-serve                                  # defaults: :8080, 4 devices
 //	rtmap-serve -addr 127.0.0.1:0 -devices 8 -max-batch 16 -batch-window 1ms
 //	rtmap-serve -devices 4 -shard-stages 4       # pipeline-parallel layer sharding
+//	rtmap-serve -devices 4 -replicas 2           # data-parallel replication
+//	rtmap-serve -replicas 2 -fail-device 0 -fail-after 2s   # failover demo
+//	rtmap-serve -model mynet=net.json            # serve a JSON model file
 //
 // Endpoints: POST /v1/infer, GET /v1/models, GET /healthz, GET /metrics
 // (Prometheus text format). SIGINT/SIGTERM drain gracefully: in-flight
@@ -15,8 +18,11 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,11 +39,38 @@ func main() {
 		window    = flag.Duration("batch-window", 2*time.Millisecond, "max wait for follow-up requests when forming a batch")
 		maxModels = flag.Int("max-models", 4, "compiled models resident before LRU eviction")
 		shards    = flag.Int("shard-stages", 0, "serve each model as a pipeline of N layer-range stages pinned to distinct devices (0/1 = whole-model dispatch; clamped to -devices)")
+		replicas  = flag.Int("replicas", 1, "data-parallel copies of each model placed on disjoint devices; batches balance across live replicas and fail over on device loss")
+		failDev   = flag.Int("fail-device", -1, "fault injection: mark this device dead -fail-after into the run (-1 disables)")
+		failAfter = flag.Duration("fail-after", 2*time.Second, "delay before the -fail-device fault fires")
 		queue     = flag.Int("queue", 64, "per-model and per-device queue capacity")
 		maxInputs = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
+	modelFiles := map[string]string{}
+	flag.Func("model", "serve a JSON model file as `name=path` (repeatable; decoded at admission, malformed files answer HTTP 400)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			name = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		if name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		modelFiles[name] = path
+		return nil
+	})
 	flag.Parse()
+
+	fa := time.Duration(0)
+	if *failDev >= 0 {
+		if *failDev >= *devices {
+			log.Fatalf("-fail-device %d out of range: the fleet has devices 0..%d", *failDev, *devices-1)
+		}
+		fa = *failAfter
+		if fa <= 0 {
+			fa = time.Millisecond // "no delay": fire as soon as the server is up
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -49,6 +82,10 @@ func main() {
 		Window:      *window,
 		MaxModels:   *maxModels,
 		ShardStages: *shards,
+		Replicas:    *replicas,
+		FailDevice:  *failDev,
+		FailAfter:   fa,
+		ModelFiles:  modelFiles,
 		Queue:       *queue,
 		MaxInputs:   *maxInputs,
 		NoCache:     *noCache,

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzModelJSON is the decode-robustness gate for the JSON model format:
+// ReadJSON on arbitrary bytes must either return a clean error or a
+// network that validates and re-encodes — it must never panic. CI runs
+// the seed corpus as a deterministic smoke test
+// (go test -run FuzzModelJSON); open-ended fuzzing stays a local tool
+// (go test -fuzz FuzzModelJSON).
+func FuzzModelJSON(f *testing.F) {
+	// A well-formed network, so mutations explore the accept path too.
+	var buf bytes.Buffer
+	if err := TinyCNN(Config{ActBits: 4, Sparsity: 0.5, Seed: 3}).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// Malformed seeds: each one is a distinct historical failure class.
+	for _, s := range []string{
+		``,
+		`{`,
+		`null`,
+		`{"format":"something-else","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1}}`,
+		// Unknown layer kind.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1},"layers":[{"kind":"warp","name":"l0","inputs":[-1]}]}`,
+		// Non-ternary weight byte (3) in a conv layer.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1},"layers":[{"kind":"conv","name":"c","inputs":[-1],"cout":1,"cin":1,"fh":1,"fw":1,"weights":"Aw==","wscale":1,"stride":1}]}`,
+		// Weight count disagrees with the cout*cin*fh*fw geometry.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1},"layers":[{"kind":"conv","name":"c","inputs":[-1],"cout":2,"cin":2,"fh":3,"fw":3,"weights":"AAE=","wscale":1,"stride":1}]}`,
+		// Negative geometry.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,-1,1,1],"input_quant":{"bits":4,"step":1},"layers":[]}`,
+		// Forward reference breaks topological order.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1},"layers":[{"kind":"actquant","name":"q","inputs":[5],"quant":{"bits":4,"step":1}}]}`,
+		// ActQuant without its quantizer.
+		`{"format":"rtmap-twn-v1","name":"x","input_nchw":[1,1,1,1],"input_quant":{"bits":4,"step":1},"layers":[{"kind":"actquant","name":"q","inputs":[-1]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted networks are validated, so they must re-encode.
+		var out bytes.Buffer
+		if err := net.WriteJSON(&out); err != nil {
+			t.Fatalf("decoded network does not re-encode: %v", err)
+		}
+	})
+}

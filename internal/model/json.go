@@ -52,7 +52,12 @@ type jsonNetwork struct {
 
 const formatTag = "rtmap-twn-v1"
 
-func encodeTernary(w []int8) []byte {
+// encodeTernary packs ternary weights into the {0→0, +1→1, −1→2} byte
+// coding. A non-ternary value is an error, not a panic: corrupted weights
+// reach this path through data (a model loaded from disk, a buggy
+// builder), and serialization must fail cleanly rather than crash a
+// serving process.
+func encodeTernary(w []int8) ([]byte, error) {
 	b := make([]byte, len(w))
 	for i, v := range w {
 		switch v {
@@ -63,10 +68,10 @@ func encodeTernary(w []int8) []byte {
 		case -1:
 			b[i] = 2
 		default:
-			panic(fmt.Sprintf("model: non-ternary weight %d", v))
+			return nil, fmt.Errorf("model: non-ternary weight %d at %d", v, i)
 		}
 	}
-	return b
+	return b, nil
 }
 
 func decodeTernary(b []byte) ([]int8, error) {
@@ -100,7 +105,11 @@ func (n *Network) WriteJSON(w io.Writer) error {
 		switch l.Kind {
 		case KindConv, KindLinear:
 			jl.Cout, jl.Cin, jl.Fh, jl.Fw = l.W.Cout, l.W.Cin, l.W.Fh, l.W.Fw
-			jl.Weights = encodeTernary(l.W.W)
+			wb, err := encodeTernary(l.W.W)
+			if err != nil {
+				return fmt.Errorf("model: layer %d (%s): %w", i, l.Name, err)
+			}
+			jl.Weights = wb
 			jl.WScale = l.WScale
 			jl.Stride, jl.Pad = l.Stride, l.Pad
 		case KindMaxPool:

@@ -107,7 +107,11 @@ func TestReadJSONRejectsBadInput(t *testing.T) {
 
 func TestTernaryCoding(t *testing.T) {
 	w := []int8{0, 1, -1, 1, 0}
-	rt, err := decodeTernary(encodeTernary(w))
+	enc, err := encodeTernary(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := decodeTernary(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,5 +120,30 @@ func TestTernaryCoding(t *testing.T) {
 	}
 	if _, err := decodeTernary([]byte{0, 1, 2, 3}); err == nil {
 		t.Error("invalid ternary byte 3 accepted")
+	}
+	if _, err := encodeTernary([]int8{0, 5}); err == nil {
+		t.Error("non-ternary weight 5 encoded without error")
+	}
+}
+
+// A network holding corrupted (non-ternary) weights must fail WriteJSON
+// with a wrapped error — never panic: serialization is reachable from
+// data (rtmap-compile -save on a loaded model), so it sits on the error
+// side of the panic-vs-error boundary.
+func TestWriteJSONCorruptWeightsErrors(t *testing.T) {
+	net := TinyCNN(Config{ActBits: 4, Sparsity: 0.5, Seed: 3})
+	for i := range net.Layers {
+		if net.Layers[i].W != nil {
+			net.Layers[i].W.W[0] = 7
+			break
+		}
+	}
+	var buf bytes.Buffer
+	err := net.WriteJSON(&buf)
+	if err == nil {
+		t.Fatal("corrupt weights serialized without error")
+	}
+	if !strings.Contains(err.Error(), "non-ternary") {
+		t.Fatalf("error %v does not identify the non-ternary weight", err)
 	}
 }

@@ -38,8 +38,12 @@ type itemResult struct {
 //
 // The window is adaptive: dispatching a full batch halves the wait (down
 // to Window/8) because traffic is dense enough that waiting longer only
-// adds latency, while dispatching a singleton restores the configured
-// window to recover batching opportunity when traffic returns.
+// adds latency, while any batch that dispatched on window expiry doubles
+// the wait back (up to the configured Window) to recover batching
+// opportunity. The restore must trigger on every non-full batch, not
+// just singletons: under moderate traffic that fills 2..MaxBatch-1 items
+// per window, a singleton may never occur, and a once-halved window
+// would otherwise stay small forever.
 type batcher struct {
 	e     *entry
 	fleet *Fleet
@@ -122,12 +126,17 @@ func (b *batcher) run() {
 			}
 			timer.Stop()
 		}
-		switch {
-		case len(batch) == b.opts.MaxBatch:
-			wait = max(wait/2, b.opts.Window/8)
-		case len(batch) == 1:
-			wait = b.opts.Window
-		}
-		b.fleet.Submit(&apBatch{e: b.e, items: batch})
+		wait = nextWindow(wait, len(batch), b.opts)
+		b.fleet.Submit(newAPBatch(b.e, batch))
 	}
+}
+
+// nextWindow is the adaptive coalescing-window update: full batches
+// halve the wait (floored at Window/8), everything else doubles it back
+// (capped at the configured Window).
+func nextWindow(wait time.Duration, size int, opts BatchOptions) time.Duration {
+	if size >= opts.MaxBatch {
+		return max(wait/2, opts.Window/8)
+	}
+	return min(wait*2, opts.Window)
 }

@@ -19,4 +19,14 @@
 // of serializing on one. Stage costs (including inter-stage activation
 // transfers) are priced by sim.AnalyzePipeline, and the sharded
 // functional path stays bit-identical to single-device execution.
+//
+// Options.Replicas > 1 adds the data-parallel ("wide") axis: every
+// admitted model gets R device-disjoint placements, batches balance
+// across live replicas, and the fault layer (FailDevice) requeues work
+// from a dead device onto a surviving replica with bounded retries —
+// re-execution is deterministic, so failover preserves bit-exact
+// results. Per-replica health is exposed on /v1/models and /metrics.
+// Admission failures a client can cause (a malformed model file behind
+// Options.ModelFiles) are errors mapped to HTTP 400; panics are reserved
+// for internal invariant violations (see docs/ARCHITECTURE.md).
 package serve

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errNoReplica reports a batch that found no live replica (or, for
+// unpinned models, no live device) to run on. The HTTP layer maps it to
+// 503: the model is resident but its capacity is gone.
+var errNoReplica = errors.New("serve: no live replica for model")
+
+// maxFailoverAttempts bounds how many device failures one batch may
+// survive before its items fail: a batch is requeued at most this many
+// times.
+const maxFailoverAttempts = 3
+
+// FailDevice marks a fleet device dead, simulating a device loss. The
+// device's goroutine stays up to drain its queue: every batch queued or
+// arriving on the dead device — including sharded batches mid-pipeline —
+// is requeued onto a surviving replica instead of executing, so no
+// admitted work is lost as long as a live replica remains. (The one
+// batch already executing at the failure instant completes on the dead
+// device; the mark is observed at each dequeue.) Re-execution is
+// deterministic, so failover preserves bit-exact results. Failing an
+// already-dead device is a no-op.
+func (f *Fleet) FailDevice(id int) error {
+	f.mu.Lock()
+	if id < 0 || id >= len(f.devices) {
+		f.mu.Unlock()
+		return fmt.Errorf("serve: no device %d in a fleet of %d", id, len(f.devices))
+	}
+	already := f.devices[id].dead
+	f.devices[id].dead = true
+	f.mu.Unlock()
+	if !already && f.metrics != nil {
+		f.metrics.ObserveDeviceFailure()
+	}
+	return nil
+}
+
+// requeue re-dispatches a batch that reached a dead device. Sharded
+// batches restart from stage 0 on the new replica: partial pipeline state
+// is discarded and recomputed (deterministically, so logits stay
+// bit-exact), and items that already received a result are skipped via
+// apBatch.done. The pending bump for the new dispatch lands before the
+// dead device retires the current receive, so a drain never races past a
+// requeue in flight; the send runs off this goroutine so the dead device
+// keeps draining even when the target queue is full.
+func (f *Fleet) requeue(from *device, b *apBatch) {
+	b.stage, b.runs, b.path = 0, nil, nil
+	b.simNS, b.simPJ = 0, 0
+	b.attempts++
+	if b.attempts > maxFailoverAttempts {
+		fail(b, fmt.Errorf("serve: batch lost device %d and exhausted %d failover attempts",
+			from.id, maxFailoverAttempts))
+		return
+	}
+	f.mu.Lock()
+	d, ok := f.placeLocked(b)
+	if !ok {
+		f.mu.Unlock()
+		fail(b, errNoReplica)
+		return
+	}
+	d.queued++
+	f.pending++
+	f.mu.Unlock()
+	if f.metrics != nil {
+		f.metrics.ObserveRequeue()
+	}
+	go func() { d.ch <- b }()
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -17,6 +18,12 @@ import (
 type BatchInfo struct {
 	Device int `json:"device"`
 	Size   int `json:"size"`
+	// Replica is the data-parallel replica that served the batch; -1 for
+	// models dispatched unpinned across the whole fleet.
+	Replica int `json:"replica"`
+	// Requeues counts device-failure failovers this batch survived before
+	// completing. Zero on the happy path.
+	Requeues int `json:"requeues,omitempty"`
 	// QueueWallNS is the wall-clock time from enqueue to execution start
 	// (for sharded models: to the start of the first stage).
 	QueueWallNS int64 `json:"queue_wall_ns"`
@@ -31,12 +38,33 @@ type BatchInfo struct {
 	Path   []int `json:"path,omitempty"`
 }
 
+// replica is one independent placement of a model across the fleet: one
+// device per pipeline stage (a single device for unsharded models).
+// Placements of the same entry are device-disjoint, so one device failure
+// kills at most one replica. devs is immutable after admission; batches is
+// guarded by Fleet.mu.
+type replica struct {
+	id      int
+	devs    []int
+	batches int64
+}
+
 // apBatch is one dispatched unit of work: a model entry plus the items
 // coalesced for it. Sharded batches traverse the fleet stage by stage,
-// carrying their per-item pipeline state.
+// carrying their per-item pipeline state. A batch that reaches a dead
+// device is requeued onto a surviving replica (bounded attempts); done
+// tracks which items already received a result so a restart never
+// delivers twice.
 type apBatch struct {
 	e     *entry
 	items []*item
+	done  []bool
+
+	// Placement: the replica serving this attempt and its device list
+	// (one per stage). replica is -1 and devs nil for unpinned dispatch.
+	replica  int
+	devs     []int
+	attempts int
 
 	// Pipeline state (sharded entries only).
 	stage   int
@@ -47,27 +75,39 @@ type apBatch struct {
 	started time.Time // execution start of stage 0
 }
 
+// newAPBatch wraps coalesced items into a dispatchable batch.
+func newAPBatch(e *entry, items []*item) *apBatch {
+	return &apBatch{e: e, items: items, done: make([]bool, len(items)), replica: -1}
+}
+
 // device is one simulated AP array pool. Batches assigned to it execute
 // serially on its goroutine (genuine queueing), and its simulated clock
-// accumulates the priced latency of everything it ran.
+// accumulates the priced latency of everything it ran. A dead device's
+// goroutine stays up to drain its queue: every batch it receives after
+// the failure mark is requeued instead of executed.
 type device struct {
 	id      int
 	ch      chan *apBatch
 	queued  int     // guarded by Fleet.mu
 	busyNS  float64 // guarded by Fleet.mu
 	batches int64   // guarded by Fleet.mu
+	dead    bool    // guarded by Fleet.mu; set by FailDevice
 }
 
 // Fleet is the device-fleet scheduler: N simulated AP devices with
-// per-device queues. Submit places a batch on the device with the fewest
-// outstanding batches (ties to the least simulated busy time), blocking
-// when that device's queue is full — except for sharded models, whose
-// batches go to the device their first stage is pinned to and then hop
-// device to device through the stage pipeline.
+// per-device queues. Submit places a batch on a device, blocking when
+// that device's queue is full:
+//
+//   - replicated entries pick the least-loaded live replica and go to its
+//     first (or only) device;
+//   - sharded batches then hop device to device through the replica's
+//     stage pipeline;
+//   - unpinned entries go to the live device with the fewest outstanding
+//     batches (ties to the least simulated busy time).
 type Fleet struct {
 	metrics *Metrics
 
-	mu      sync.Mutex // guards device counters and pending
+	mu      sync.Mutex // guards device counters, replica counters, pending
 	cond    *sync.Cond // signalled when pending drops
 	pending int        // batches admitted but not yet retired
 	devices []*device
@@ -101,19 +141,41 @@ func NewFleet(n, queueCap int, m *Metrics) *Fleet {
 	return f
 }
 
-// NumDevices returns the fleet size.
+// NumDevices returns the fleet size (dead devices included).
 func (f *Fleet) NumDevices() int { return len(f.devices) }
 
-// PinStages assigns k pipeline stages to k distinct devices, least
-// loaded first (requires k <= NumDevices; the registry clamps). Distinct
-// devices keep each model's stage graph acyclic, so a stage never
-// forwards to a device earlier in its own pipeline.
-func (f *Fleet) PinStages(k int) []int {
+// NumLive returns the number of devices not marked dead.
+func (f *Fleet) NumLive() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	order := make([]int, len(f.devices))
-	for i := range order {
-		order[i] = i
+	n := 0
+	for _, d := range f.devices {
+		if !d.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// PinReplicas assigns up to r device-disjoint placements of s devices
+// each, least-loaded live devices first. Disjointness makes failover
+// meaningful (one device failure kills at most one replica) and, within a
+// placement, keeps a sharded model's stage graph acyclic. r clamps to
+// NumLive/s; nil is returned when fewer than s devices are alive.
+func (f *Fleet) PinReplicas(r, s int) []*replica {
+	if r < 1 {
+		r = 1
+	}
+	if s < 1 {
+		s = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var order []int
+	for i, d := range f.devices {
+		if !d.dead {
+			order = append(order, i)
+		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		da, db := f.devices[order[a]], f.devices[order[b]]
@@ -122,16 +184,96 @@ func (f *Fleet) PinStages(k int) []int {
 		}
 		return da.busyNS < db.busyNS
 	})
-	if k > len(order) {
-		k = len(order)
+	if maxR := len(order) / s; r > maxR {
+		r = maxR
 	}
-	return order[:k]
+	reps := make([]*replica, 0, r)
+	for i := 0; i < r; i++ {
+		reps = append(reps, &replica{id: i, devs: append([]int(nil), order[i*s:(i+1)*s]...)})
+	}
+	return reps
 }
 
-// Submit schedules the batch: sharded models go to their stage-0 pinned
-// device, everything else to the least-loaded device. Batches arriving
-// after Close (an evicted model's batcher draining late) fail their
-// items with errClosed instead of executing.
+// replicaLiveLocked reports whether every device of the placement is
+// alive. Called with f.mu held.
+func (f *Fleet) replicaLiveLocked(rep *replica) bool {
+	for _, id := range rep.devs {
+		if f.devices[id].dead {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicaStats snapshots liveness and dispatch counts of an entry's
+// placements (/v1/models health reporting).
+func (f *Fleet) ReplicaStats(reps []*replica) (live []bool, batches []int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rep := range reps {
+		live = append(live, f.replicaLiveLocked(rep))
+		batches = append(batches, rep.batches)
+	}
+	return live, batches
+}
+
+// placeLocked routes a batch to its target device and records the chosen
+// replica on the batch. Replicated entries pick the live replica whose
+// entry device has the fewest outstanding batches (ties to the fewest
+// dispatches, then least busy time — least-load with a round-robin tilt);
+// unpinned entries pick the least-loaded live device. Returns false when
+// nothing is alive to run the batch. Called with f.mu held.
+func (f *Fleet) placeLocked(b *apBatch) (*device, bool) {
+	if reps := b.e.replicas; len(reps) > 0 {
+		var best *replica
+		for _, rep := range reps {
+			if !f.replicaLiveLocked(rep) {
+				continue
+			}
+			if best == nil || f.lessLoadedLocked(rep, best) {
+				best = rep
+			}
+		}
+		if best == nil {
+			return nil, false
+		}
+		best.batches++
+		b.replica = best.id
+		b.devs = best.devs
+		return f.devices[best.devs[0]], true
+	}
+	var d *device
+	for _, c := range f.devices {
+		if c.dead {
+			continue
+		}
+		if d == nil || c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
+			d = c
+		}
+	}
+	if d == nil {
+		return nil, false
+	}
+	b.replica, b.devs = -1, nil
+	return d, true
+}
+
+// lessLoadedLocked orders replicas for placement. Called with f.mu held.
+func (f *Fleet) lessLoadedLocked(a, b *replica) bool {
+	da, db := f.devices[a.devs[0]], f.devices[b.devs[0]]
+	if da.queued != db.queued {
+		return da.queued < db.queued
+	}
+	if a.batches != b.batches {
+		return a.batches < b.batches
+	}
+	return da.busyNS < db.busyNS
+}
+
+// Submit schedules the batch onto the fleet. Batches arriving after Close
+// (an evicted model's batcher draining late) fail their items with
+// errClosed instead of executing; batches with no live replica fail with
+// errNoReplica.
 func (f *Fleet) Submit(b *apBatch) {
 	f.closeMu.RLock()
 	defer f.closeMu.RUnlock()
@@ -140,19 +282,11 @@ func (f *Fleet) Submit(b *apBatch) {
 		return
 	}
 	f.mu.Lock()
-	d := f.devices[0]
-	if b.e.shard != nil {
-		d = f.devices[b.e.stageDevs[0]]
-	} else {
-		for _, c := range f.devices[1:] {
-			// Fewest outstanding batches; ties go to the device with the
-			// least accumulated simulated busy time, so the simulated load
-			// spreads across the fleet even when real execution outpaces
-			// arrivals and queues never form.
-			if c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
-				d = c
-			}
-		}
+	d, ok := f.placeLocked(b)
+	if !ok {
+		f.mu.Unlock()
+		fail(b, errNoReplica)
+		return
 	}
 	d.queued++
 	f.pending++
@@ -174,8 +308,13 @@ func (f *Fleet) forward(dev int, b *apBatch) {
 	go func() { d.ch <- b }()
 }
 
+// fail delivers err to every item that does not have a result yet.
 func fail(b *apBatch, err error) {
-	for _, it := range b.items {
+	for i, it := range b.items {
+		if b.done[i] {
+			continue
+		}
+		b.done[i] = true
 		it.res <- itemResult{err: err}
 	}
 }
@@ -183,10 +322,21 @@ func fail(b *apBatch, err error) {
 func (f *Fleet) run(d *device) {
 	defer f.wg.Done()
 	for b := range d.ch {
-		f.execBatch(d, b)
+		f.mu.Lock()
+		dead := d.dead
+		f.mu.Unlock()
+		if dead {
+			f.requeue(d, b)
+		} else {
+			f.execBatch(d, b)
+		}
 		f.mu.Lock()
 		d.queued--
 		f.pending--
+		if d.queued < 0 || f.pending < 0 {
+			panic(fmt.Sprintf("serve: fleet accounting underflow (device %d queued %d, pending %d)",
+				d.id, d.queued, f.pending))
+		}
 		f.cond.Broadcast()
 		f.mu.Unlock()
 	}
@@ -208,10 +358,15 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	d.batches++
 	f.mu.Unlock()
 
-	for _, it := range b.items {
+	for i, it := range b.items {
+		if b.done[i] {
+			continue
+		}
 		res := itemResult{info: BatchInfo{
 			Device:         d.id,
 			Size:           len(b.items),
+			Replica:        b.replica,
+			Requeues:       b.attempts,
 			QueueWallNS:    start.Sub(it.enq).Nanoseconds(),
 			SimLatencyNS:   br.LatencyNS,
 			SimPerSampleNS: br.PerSampleNS(),
@@ -225,6 +380,7 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 			res.logits = append([]int32(nil), lg.Data...)
 			res.argmax = lg.ArgmaxInt()[0]
 		}
+		b.done[i] = true
 		it.res <- res
 	}
 	if f.metrics != nil {
@@ -241,8 +397,12 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 		b.started = time.Now()
 		b.runs = make([]*sim.ShardRun, len(b.items))
 		for i, it := range b.items {
+			if b.done[i] {
+				continue
+			}
 			run, err := sim.NewShardRun(b.e.comp, b.e.shard, it.in)
 			if err != nil {
+				b.done[i] = true
 				it.res <- itemResult{err: err}
 				continue
 			}
@@ -261,9 +421,10 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 
 	for i, it := range b.items {
 		if b.runs[i] == nil {
-			continue // failed at an earlier stage; result already delivered
+			continue // failed or already delivered at an earlier stage
 		}
 		if err := b.runs[i].Step(it.bitExact); err != nil {
+			b.done[i] = true
 			it.res <- itemResult{err: err}
 			b.runs[i] = nil
 		}
@@ -271,7 +432,7 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 
 	if b.stage < len(b.e.shard.Stages)-1 {
 		b.stage++
-		f.forward(b.e.stageDevs[b.stage], b)
+		f.forward(b.devs[b.stage], b)
 		return
 	}
 
@@ -280,12 +441,15 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 			continue
 		}
 		lg := b.runs[i].Logits()
+		b.done[i] = true
 		it.res <- itemResult{
 			logits: append([]int32(nil), lg.Data...),
 			argmax: lg.ArgmaxInt()[0],
 			info: BatchInfo{
 				Device:         d.id,
 				Size:           len(b.items),
+				Replica:        b.replica,
+				Requeues:       b.attempts,
 				QueueWallNS:    b.started.Sub(it.enq).Nanoseconds(),
 				SimLatencyNS:   b.simNS,
 				SimPerSampleNS: b.simNS / float64(len(b.items)),
@@ -310,26 +474,42 @@ func forwardItem(e *entry, it *item) (*model.IntTrace, error) {
 // DeviceStat is a snapshot of one simulated device for /metrics.
 type DeviceStat struct {
 	ID        int
+	Up        bool
 	Queued    int
 	Batches   int64
 	SimBusyNS float64
 }
 
-// Stats snapshots every device.
+// Stats snapshots every device. Negative counters would mean the
+// queued++/queued-- pairing broke somewhere in the dispatch, stage-hop,
+// or requeue paths, so Stats panics on them — an internal invariant,
+// per the panic-vs-error boundary in docs/ARCHITECTURE.md.
 func (f *Fleet) Stats() []DeviceStat {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make([]DeviceStat, len(f.devices))
 	for i, d := range f.devices {
-		out[i] = DeviceStat{ID: d.id, Queued: d.queued, Batches: d.batches, SimBusyNS: d.busyNS}
+		if d.queued < 0 {
+			panic(fmt.Sprintf("serve: device %d queued count %d < 0", d.id, d.queued))
+		}
+		out[i] = DeviceStat{ID: d.id, Up: !d.dead, Queued: d.queued, Batches: d.batches, SimBusyNS: d.busyNS}
 	}
 	return out
 }
 
+// Pending returns the number of batches admitted but not yet retired
+// (including sharded batches between stage hops and failover requeues in
+// flight). A drained fleet reports 0.
+func (f *Fleet) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pending
+}
+
 // Close stops intake, fails late submits, waits for every admitted batch
-// (including in-flight pipeline hops) to retire, then stops the device
-// goroutines. Call after all batchers are closed; taking the write lock
-// waits out any Submit still blocked on a full device queue.
+// (including in-flight pipeline hops and requeues) to retire, then stops
+// the device goroutines. Call after all batchers are closed; taking the
+// write lock waits out any Submit still blocked on a full device queue.
 func (f *Fleet) Close() {
 	f.closeMu.Lock()
 	if f.closed {
@@ -340,8 +520,8 @@ func (f *Fleet) Close() {
 	f.closeMu.Unlock()
 
 	// Device loops stay alive until the pipeline is empty: a sharded
-	// batch between stages holds pending > 0, so its next hop still finds
-	// an open channel.
+	// batch between stages (or a batch being requeued off a dead device)
+	// holds pending > 0, so its next hop still finds an open channel.
 	f.mu.Lock()
 	for f.pending > 0 {
 		f.cond.Wait()

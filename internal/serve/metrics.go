@@ -28,6 +28,9 @@ type Metrics struct {
 	simLatencyNS float64
 	simEnergyPJ  float64
 
+	requeues       int64 // batches requeued off dead devices
+	deviceFailures int64 // devices marked dead
+
 	latCounts []int64 // cumulative-style on render; stored per-bucket
 	latSum    float64
 	latCount  int64
@@ -69,16 +72,33 @@ func (m *Metrics) ObserveBatch(size int, simNS, simPJ float64) {
 	m.simEnergyPJ += simPJ
 }
 
+// ObserveRequeue records one batch requeued off a dead device onto a
+// surviving replica.
+func (m *Metrics) ObserveRequeue() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requeues++
+}
+
+// ObserveDeviceFailure records one device marked dead.
+func (m *Metrics) ObserveDeviceFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deviceFailures++
+}
+
 // WritePrometheus renders the counters. extra, when non-nil, appends
 // caller-owned series (gauges that live outside Metrics).
 func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	m.mu.Lock()
 	snap := struct {
 		requests, inferences, errors, batches, batchSizeSum int64
+		requeues, deviceFailures                            int64
 		simLatencyNS, simEnergyPJ                           float64
 		latSum                                              float64
 		latCount                                            int64
 	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
+		m.requeues, m.deviceFailures,
 		m.simLatencyNS, m.simEnergyPJ, m.latSum, m.latCount}
 	counts := append([]int64(nil), m.latCounts...)
 	m.mu.Unlock()
@@ -90,6 +110,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# TYPE rtmap_batched_samples_total counter\nrtmap_batched_samples_total %d\n", snap.batchSizeSum)
 	fmt.Fprintf(w, "# TYPE rtmap_sim_device_ns_total counter\nrtmap_sim_device_ns_total %g\n", snap.simLatencyNS)
 	fmt.Fprintf(w, "# TYPE rtmap_sim_energy_pj_total counter\nrtmap_sim_energy_pj_total %g\n", snap.simEnergyPJ)
+	fmt.Fprintf(w, "# TYPE rtmap_requeued_batches_total counter\nrtmap_requeued_batches_total %d\n", snap.requeues)
+	fmt.Fprintf(w, "# TYPE rtmap_device_failures_total counter\nrtmap_device_failures_total %d\n", snap.deviceFailures)
 
 	fmt.Fprintf(w, "# TYPE rtmap_request_seconds histogram\n")
 	var cum int64

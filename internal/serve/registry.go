@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -13,7 +16,9 @@ import (
 )
 
 // Spec identifies one model variant: a zoo entry plus the build
-// parameters that change its weights or activation grid.
+// parameters that change its weights or activation grid. For file-backed
+// models the build parameters are recorded but inert — the weights and
+// quantizers come from the file.
 type Spec struct {
 	Model    string
 	ActBits  int
@@ -61,6 +66,21 @@ func ZooShape(name string) (tensor.Shape, bool) {
 	return z.shape, ok
 }
 
+// badModelError marks an admission failure the client caused — a
+// malformed model file, an invalid network definition — as opposed to an
+// internal compiler fault. The HTTP layer maps it to 400.
+type badModelError struct{ err error }
+
+func (e *badModelError) Error() string { return e.err.Error() }
+func (e *badModelError) Unwrap() error { return e.err }
+
+// IsBadModel reports whether err stems from a client-supplied model
+// definition (HTTP 400) rather than an internal failure (HTTP 500).
+func IsBadModel(err error) bool {
+	var bm *badModelError
+	return errors.As(err, &bm)
+}
+
 // entry is one resident registry slot: a model variant, its compiled
 // artifact, the analytic per-inference report the batch cost model prices
 // from, and the micro-batcher feeding the device fleet.
@@ -79,12 +99,16 @@ type entry struct {
 	err    error
 
 	// Pipeline sharding (Registry.shardStages > 1 and a multi-device
-	// fleet): the layer-range shard plan, its pipeline pricing, and the
-	// fleet device each stage is pinned to. nil/empty for unsharded
-	// entries.
-	shard     *core.ShardPlan
-	pipeline  *sim.PipelineReport
-	stageDevs []int
+	// fleet): the layer-range shard plan and its pipeline pricing.
+	// nil for unsharded entries.
+	shard    *core.ShardPlan
+	pipeline *sim.PipelineReport
+
+	// replicas are the entry's data-parallel placements across the fleet
+	// (one device per stage each, device-disjoint). nil for unsharded
+	// entries serving with Replicas <= 1, which dispatch unpinned to the
+	// least-loaded live device.
+	replicas []*replica
 
 	batcher *batcher
 
@@ -106,11 +130,19 @@ type Registry struct {
 	fleet       *Fleet
 	batch       BatchOptions
 	shardStages int
+	replicas    int
 
-	mu      sync.Mutex
-	seq     int64
-	entries map[string]*entry
-	closed  bool
+	// files maps file-backed model names to their JSON paths (the zoo
+	// extension). Decoding happens at admit time, so a malformed file
+	// surfaces as a badModelError on the request that admits it, never a
+	// crash.
+	files map[string]string
+
+	mu         sync.Mutex
+	seq        int64
+	entries    map[string]*entry
+	fileShapes map[string]tensor.Shape // discovered on first successful admit
+	closed     bool
 }
 
 // BatchOptions are the micro-batcher knobs shared by every model entry.
@@ -123,12 +155,18 @@ type BatchOptions struct {
 // NewRegistry returns an empty registry. The compile config is forced to
 // retain programs (bit-exact mode replays them). shardStages > 1 admits
 // every model as a layer-range pipeline of that many stages (clamped to
-// the fleet size and the model's layer count), each stage pinned to a
-// fleet device; <= 1 keeps whole-model dispatch.
-func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOptions, shardStages int) *Registry {
+// the live fleet size and the model's layer count), each stage pinned to
+// a fleet device; <= 1 keeps whole-model dispatch. replicas > 1 places
+// that many independent copies of every model across the fleet (clamped
+// to fleet capacity); batches balance across live replicas and fail over
+// on device loss.
+func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOptions, shardStages, replicas int) *Registry {
 	compile.KeepPrograms = true
 	if maxModels <= 0 {
 		maxModels = 4
+	}
+	if replicas < 1 {
+		replicas = 1
 	}
 	return &Registry{
 		compile:     compile,
@@ -136,8 +174,70 @@ func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOp
 		fleet:       fleet,
 		batch:       batch,
 		shardStages: shardStages,
+		replicas:    replicas,
+		files:       map[string]string{},
 		entries:     map[string]*entry{},
+		fileShapes:  map[string]tensor.Shape{},
 	}
+}
+
+// RegisterModelFile extends the servable zoo with a JSON model file
+// (model.WriteJSON format). The file is decoded lazily at admission, so
+// registration never fails — a malformed file fails the admitting
+// request with a client error instead. Zoo names cannot be shadowed.
+func (r *Registry) RegisterModelFile(name, path string) error {
+	if _, ok := zoo[name]; ok {
+		return fmt.Errorf("serve: model name %q shadows a built-in zoo entry", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files[name] = path
+	return nil
+}
+
+// Knows reports whether name is servable: a zoo architecture or a
+// registered model file.
+func (r *Registry) Knows(name string) bool {
+	if _, ok := zoo[name]; ok {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.files[name]
+	return ok
+}
+
+// servable lists every admissible model name: the zoo plus the
+// registered file-backed models.
+func (r *Registry) servable() []string {
+	out := ZooModels()
+	r.mu.Lock()
+	for name := range r.files {
+		out = append(out, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// FileModelInfo describes one registered file-backed model. Shape is the
+// input shape discovered at the first successful admission (zero before).
+type FileModelInfo struct {
+	Name  string
+	Path  string
+	Shape tensor.Shape
+}
+
+// FileModels lists the registered file-backed models, sorted by name.
+func (r *Registry) FileModels() []FileModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FileModelInfo, 0, len(r.files))
+	for name, path := range r.files {
+		out = append(out, FileModelInfo{Name: name, Path: path, Shape: r.fileShapes[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Get resolves spec to a ready entry, compiling it on first use and
@@ -146,7 +246,13 @@ func NewRegistry(compile core.Config, maxModels int, fleet *Fleet, batch BatchOp
 // models.
 func (r *Registry) Get(spec Spec) (*entry, error) {
 	if _, ok := zoo[spec.Model]; !ok {
-		return nil, fmt.Errorf("serve: unknown model %q (available: %v)", spec.Model, ZooModels())
+		if !r.Knows(spec.Model) {
+			return nil, fmt.Errorf("serve: unknown model %q (available: %v)", spec.Model, r.servable())
+		}
+		// File-backed weights are fixed, so the build parameters are
+		// inert; normalize them to keep one file in one registry slot
+		// regardless of what the request carried.
+		spec.ActBits, spec.Sparsity, spec.Seed = 0, 0, 0
 	}
 	key := spec.Key()
 
@@ -177,10 +283,22 @@ func (r *Registry) Get(spec Spec) (*entry, error) {
 	return e, nil
 }
 
-// admit builds and compiles the entry's network and attaches its batcher.
+// admit builds and compiles the entry's network, places its replicas on
+// the fleet, and attaches its batcher.
 func (r *Registry) admit(e *entry) {
-	cfg := model.Config{ActBits: e.spec.ActBits, Sparsity: e.spec.Sparsity, Seed: e.spec.Seed}
-	net := zoo[e.spec.Model].build(cfg)
+	// Cheap capacity gate before the expensive build+compile: with zero
+	// live devices every placement (and every batch) is doomed, and
+	// failed admissions are retried from scratch on the next request —
+	// compiling first would amplify CPU exactly during an outage.
+	if r.fleet.NumLive() == 0 {
+		e.err = fmt.Errorf("serve: admitting %s: %w", e.key, errNoReplica)
+		return
+	}
+	net, err := r.buildNet(e.spec)
+	if err != nil {
+		e.err = err
+		return
+	}
 	comp, err := core.Compile(net, r.compile)
 	if err != nil {
 		e.err = fmt.Errorf("serve: compiling %s: %w", e.key, err)
@@ -189,8 +307,8 @@ func (r *Registry) admit(e *entry) {
 	e.net = net
 	e.comp = comp
 	e.report = sim.Analyze(comp)
-	if err := r.shardEntry(e); err != nil {
-		e.err = fmt.Errorf("serve: sharding %s: %w", e.key, err)
+	if err := r.placeEntry(e); err != nil {
+		e.err = fmt.Errorf("serve: placing %s: %w", e.key, err)
 		return
 	}
 	b := newBatcher(e, r.fleet, r.batch)
@@ -208,37 +326,82 @@ func (r *Registry) admit(e *entry) {
 	}
 }
 
-// shardEntry partitions a freshly compiled entry into pipeline stages
-// when the registry runs in sharded mode. The stage count clamps to the
-// fleet size (distinct devices keep the stage graph acyclic) and to the
-// layer count; a clamp down to one stage leaves the entry on the plain
+// buildNet materializes the network for a spec: zoo entries build from
+// the spec's parameters; file-backed entries decode their JSON file. A
+// malformed file is a client error (HTTP 400), never a panic; an
+// unreadable path is an operator-side fault and stays an internal error.
+func (r *Registry) buildNet(spec Spec) (*model.Network, error) {
+	if z, ok := zoo[spec.Model]; ok {
+		cfg := model.Config{ActBits: spec.ActBits, Sparsity: spec.Sparsity, Seed: spec.Seed}
+		return z.build(cfg), nil
+	}
+	r.mu.Lock()
+	path, ok := r.files[spec.Model]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", spec.Model)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading model %q: %w", spec.Model, err)
+	}
+	net, err := model.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, &badModelError{fmt.Errorf("serve: decoding model %q from %s: %w", spec.Model, path, err)}
+	}
+	r.mu.Lock()
+	r.fileShapes[spec.Model] = net.InputShape
+	r.mu.Unlock()
+	return net, nil
+}
+
+// placeEntry decides how a freshly compiled entry occupies the fleet:
+// the pipeline shard plan (when the registry runs in sharded mode) and
+// the data-parallel replica placements. The stage count clamps to the
+// live fleet size and the layer count; the replica count clamps to
+// live-devices/stages so placements stay device-disjoint. A clamp down
+// to one stage and one replica leaves the entry on the plain unpinned
 // whole-model dispatch path.
-func (r *Registry) shardEntry(e *entry) error {
+func (r *Registry) placeEntry(e *entry) error {
 	k := r.shardStages
-	if k > r.fleet.NumDevices() {
-		k = r.fleet.NumDevices()
+	if live := r.fleet.NumLive(); k > live {
+		k = live
 	}
 	if k > len(e.comp.Layers) {
 		k = len(e.comp.Layers)
 	}
-	if k <= 1 {
-		return nil
+	if k > 1 {
+		costs := make([]float64, len(e.report.Layers))
+		for i, lr := range e.report.Layers {
+			costs[i] = lr.LatencyNS
+		}
+		sp, err := core.Partition(e.comp, k, costs)
+		if err != nil {
+			return err
+		}
+		pr, err := sim.AnalyzePipeline(e.comp, e.report, sp)
+		if err != nil {
+			return err
+		}
+		e.shard = sp
+		e.pipeline = pr
 	}
-	costs := make([]float64, len(e.report.Layers))
-	for i, lr := range e.report.Layers {
-		costs[i] = lr.LatencyNS
+
+	stages := 1
+	if e.shard != nil {
+		stages = len(e.shard.Stages)
 	}
-	sp, err := core.Partition(e.comp, k, costs)
-	if err != nil {
-		return err
+	if e.shard == nil && r.replicas <= 1 {
+		return nil // unpinned whole-fleet dispatch
 	}
-	pr, err := sim.AnalyzePipeline(e.comp, e.report, sp)
-	if err != nil {
-		return err
+	reps := r.fleet.PinReplicas(r.replicas, stages)
+	if len(reps) == 0 {
+		// Same condition as a resident model with every replica dead, so
+		// it classifies the same way (HTTP 503, not 500).
+		return fmt.Errorf("%w: fewer than %d live devices for one %d-stage placement",
+			errNoReplica, stages, stages)
 	}
-	e.shard = sp
-	e.pipeline = pr
-	e.stageDevs = r.fleet.PinStages(len(sp.Stages))
+	e.replicas = reps
 	return nil
 }
 
@@ -280,17 +443,30 @@ type LoadedInfo struct {
 	// model on the simulated device.
 	PerInferNS float64 `json:"sim_latency_ns"`
 	// Stages, StageDevices and BottleneckNS report pipeline sharding:
-	// stage count, the device each stage is pinned to, and the simulated
-	// steady-state inter-sample interval. Absent for unsharded models.
+	// stage count, the device each stage of the first replica is pinned
+	// to, and the simulated steady-state inter-sample interval. Absent
+	// for unsharded models.
 	Stages       int     `json:"stages,omitempty"`
 	StageDevices []int   `json:"stage_devices,omitempty"`
 	BottleneckNS float64 `json:"sim_bottleneck_ns,omitempty"`
+	// Replicas describes the data-parallel placements: the device list of
+	// each replica, its liveness, and how many batches it served. Absent
+	// for unpinned models.
+	Replicas       int     `json:"replicas,omitempty"`
+	ReplicaDevices [][]int `json:"replica_devices,omitempty"`
+	ReplicaLive    []bool  `json:"replica_live,omitempty"`
+	ReplicaBatches []int64 `json:"replica_batches,omitempty"`
+	// LiveReplicas is a pointer so replicated entries always emit it —
+	// 0 is the all-replicas-dead state the health surface exists to
+	// report — while unpinned models (which have no replicas to count)
+	// omit it entirely.
+	LiveReplicas *int `json:"live_replicas,omitempty"`
 }
 
 // Loaded snapshots the resident entries, most recently used first. The
 // compiled fields are read under r.mu: admit publishes the batcher under
-// the same lock after writing them, so a non-nil batcher means comp and
-// report are visible.
+// the same lock after writing them, so a non-nil batcher means comp,
+// report, and replicas are visible.
 func (r *Registry) Loaded() []LoadedInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -307,8 +483,26 @@ func (r *Registry) Loaded() []LoadedInfo {
 		}
 		if e.shard != nil {
 			info.Stages = len(e.shard.Stages)
-			info.StageDevices = append([]int(nil), e.stageDevs...)
 			info.BottleneckNS = e.pipeline.BottleneckNS
+		}
+		if len(e.replicas) > 0 {
+			if e.shard != nil {
+				info.StageDevices = append([]int(nil), e.replicas[0].devs...)
+			}
+			info.Replicas = len(e.replicas)
+			live, batches := r.fleet.ReplicaStats(e.replicas)
+			info.ReplicaLive = live
+			info.ReplicaBatches = batches
+			for _, rep := range e.replicas {
+				info.ReplicaDevices = append(info.ReplicaDevices, append([]int(nil), rep.devs...))
+			}
+			n := 0
+			for _, l := range live {
+				if l {
+					n++
+				}
+			}
+			info.LiveReplicas = &n
 		}
 		out = append(out, info)
 		used = append(used, e.lastUsed)

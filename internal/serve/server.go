@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +37,20 @@ type Options struct {
 	// through the stages instead of whole batches dispatching to one
 	// device. <= 1 keeps whole-model dispatch.
 	ShardStages int
+	// Replicas > 1 places that many independent copies of every admitted
+	// model across the fleet (device-disjoint placements, clamped to
+	// Devices/stages). Batches balance across live replicas, and work on
+	// a failed device fails over to a surviving replica.
+	Replicas int
+	// FailAfter > 0 arms fault injection: device FailDevice is marked
+	// dead FailAfter after the server starts serving (the failover demo
+	// behind rtmap-serve -fail-device). The zero value disables it.
+	FailDevice int
+	FailAfter  time.Duration
+	// ModelFiles extends the servable zoo with JSON model files
+	// (model.WriteJSON format), keyed by serving name. Files decode at
+	// admission; a malformed file fails that request with HTTP 400.
+	ModelFiles map[string]string
 	// Queue is the per-model and per-device queue capacity.
 	Queue int
 	// Cache overrides the compiled-artifact cache consulted by model
@@ -89,6 +105,11 @@ type Server struct {
 	http     *http.Server
 	ln       net.Listener
 	draining atomic.Bool
+
+	// faultMu orders Serve's timer arm against Shutdown's stop (the two
+	// run on different goroutines under rtmap.Serve).
+	faultMu    sync.Mutex
+	faultTimer *time.Timer
 }
 
 // New constructs a Server (not yet listening).
@@ -105,7 +126,12 @@ func New(opts Options) *Server {
 	}
 	reg := NewRegistry(compile, opts.MaxModels, fleet,
 		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue},
-		opts.ShardStages)
+		opts.ShardStages, opts.Replicas)
+	for name, path := range opts.ModelFiles {
+		if err := reg.RegisterModelFile(name, path); err != nil {
+			opts.Logf("ignoring model file %s: %v", path, err)
+		}
+	}
 
 	s := &Server{opts: opts, metrics: m, fleet: fleet, reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -133,12 +159,27 @@ func (s *Server) Listen() (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Serve blocks serving HTTP on the bound listener until Shutdown.
+// Serve blocks serving HTTP on the bound listener until Shutdown. When
+// Options.FailAfter is set, the configured fault injection is armed here.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		if _, err := s.Listen(); err != nil {
 			return err
 		}
+	}
+	if s.opts.FailAfter > 0 {
+		dev := s.opts.FailDevice
+		s.faultMu.Lock()
+		if !s.draining.Load() { // don't arm under a concurrent Shutdown
+			s.faultTimer = time.AfterFunc(s.opts.FailAfter, func() {
+				if err := s.FailDevice(dev); err != nil {
+					s.opts.Logf("fault injection: %v", err)
+				} else {
+					s.opts.Logf("fault injection: device %d marked dead after %s", dev, s.opts.FailAfter)
+				}
+			})
+		}
+		s.faultMu.Unlock()
 	}
 	s.opts.Logf("listening on %s", s.ln.Addr())
 	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
@@ -147,11 +188,23 @@ func (s *Server) Serve() error {
 	return nil
 }
 
+// FailDevice marks a fleet device dead immediately: batches queued on it
+// (and sharded batches hopping to it mid-pipeline) requeue onto surviving
+// replicas; the batch executing at the failure instant completes where it
+// is. Exposed for tests and operational tooling; rtmap-serve's
+// -fail-device arms it on a timer via Options.
+func (s *Server) FailDevice(id int) error { return s.fleet.FailDevice(id) }
+
 // Shutdown drains gracefully: new work is refused, in-flight HTTP
 // requests finish (their queued items still execute on the fleet), then
 // the batchers and the device fleet wind down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.faultMu.Lock()
+	if s.faultTimer != nil {
+		s.faultTimer.Stop()
+	}
+	s.faultMu.Unlock()
 	err := s.http.Shutdown(ctx)
 	s.reg.Close()
 	s.fleet.Close()
@@ -185,6 +238,13 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			Model: name, InputNCHW: [4]int{sh.N, sh.C, sh.H, sh.W},
 		})
 	}
+	// File-backed models report the shape discovered at their first
+	// admission (zeros before).
+	for _, fm := range s.reg.FileModels() {
+		resp.Available = append(resp.Available, availableModel{
+			Model: fm.Name, InputNCHW: [4]int{fm.Shape.N, fm.Shape.C, fm.Shape.H, fm.Shape.W},
+		})
+	}
 	httpJSON(w, http.StatusOK, resp)
 }
 
@@ -192,7 +252,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w, func(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE rtmap_models_loaded gauge\nrtmap_models_loaded %d\n", s.reg.Len())
-		stats := s.fleet.Stats() // one snapshot: the three series stay consistent
+		stats := s.fleet.Stats() // one snapshot: the series stay consistent
+		fmt.Fprintf(w, "# TYPE rtmap_device_up gauge\n")
+		for _, d := range stats {
+			up := 0
+			if d.Up {
+				up = 1
+			}
+			fmt.Fprintf(w, "rtmap_device_up{device=\"%d\"} %d\n", d.ID, up)
+		}
 		fmt.Fprintf(w, "# TYPE rtmap_device_queue_depth gauge\n")
 		for _, d := range stats {
 			fmt.Fprintf(w, "rtmap_device_queue_depth{device=\"%d\"} %d\n", d.ID, d.Queued)
@@ -218,6 +286,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, m := range loaded {
 			if m.Stages > 0 {
 				fmt.Fprintf(w, "rtmap_model_sim_bottleneck_ns{model=%q} %g\n", m.Key, m.BottleneckNS)
+			}
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_model_replicas gauge\n")
+		for _, m := range loaded {
+			if m.Replicas > 0 {
+				fmt.Fprintf(w, "rtmap_model_replicas{model=%q} %d\n", m.Key, m.Replicas)
+			}
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_model_replicas_live gauge\n")
+		for _, m := range loaded {
+			if m.Replicas > 0 {
+				fmt.Fprintf(w, "rtmap_model_replicas_live{model=%q} %d\n", m.Key, *m.LiveReplicas)
 			}
 		}
 	})
@@ -294,9 +374,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	e, err := s.reg.Get(spec)
 	if err != nil {
+		// Panic-vs-error boundary: anything a client can cause is a 4xx.
+		// Unknown names are 404; a model definition the client supplied
+		// (malformed model file) is 400; internal faults stay 500.
 		code := http.StatusInternalServerError
-		if _, known := ZooShape(spec.Model); !known {
+		switch {
+		case !s.reg.Knows(spec.Model):
 			code = http.StatusNotFound
+		case IsBadModel(err):
+			code = http.StatusBadRequest
+		case errors.Is(err, errNoReplica):
+			code = http.StatusServiceUnavailable // no live capacity to place it
 		}
 		fail(code, "%v", err)
 		return
@@ -339,7 +427,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, it := range items {
 		res := <-it.res
 		if res.err != nil {
-			fail(http.StatusInternalServerError, "input %d: %v", i, res.err)
+			code := http.StatusInternalServerError
+			if errors.Is(res.err, errNoReplica) {
+				code = http.StatusServiceUnavailable // resident but its capacity is gone
+			}
+			fail(code, "input %d: %v", i, res.err)
 			return
 		}
 		resp.Results[i] = InferResult{Logits: res.logits, Argmax: res.argmax, Batch: res.info}

@@ -1,0 +1,51 @@
+package sim
+
+// ReplicatedBatchReport prices a batch load-balanced across R
+// device-disjoint replicas of one model — the serving layer's
+// data-parallel ("wide") axis, complementing the pipeline-sharded
+// ("deep") axis priced by AnalyzePipeline.
+type ReplicatedBatchReport struct {
+	Batch    int
+	Replicas int
+	// LatencyNS is the completion time of the whole batch: the samples
+	// split as evenly as possible across the replicas, which run
+	// concurrently, so the batch finishes when the largest share does
+	// (AnalyzeBatch pricing of ceil(Batch/Replicas) samples).
+	LatencyNS float64
+	// SteadyNS is the aggregate steady-state inter-sample interval of the
+	// replica group: each replica retires one sample per MarginalNS, so R
+	// replicas retire one per MarginalNS/R.
+	SteadyNS float64
+	// EnergyPJ scales with the sample count, not the replica count:
+	// replication buys throughput and availability, never energy.
+	EnergyPJ float64
+}
+
+// AggregateInfersPerSec is the steady-state throughput of the replica
+// group.
+func (r ReplicatedBatchReport) AggregateInfersPerSec() float64 {
+	if r.SteadyNS <= 0 {
+		return 0
+	}
+	return 1e9 / r.SteadyNS
+}
+
+// AnalyzeReplicatedBatch prices b samples dispatched across r replicas of
+// an analyzed network, each replica on its own device with the weights
+// resident. b < 1 and r < 1 are treated as 1.
+func AnalyzeReplicatedBatch(rep *Report, b, r int) ReplicatedBatchReport {
+	if b < 1 {
+		b = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	share := AnalyzeBatch(rep, (b+r-1)/r)
+	return ReplicatedBatchReport{
+		Batch:     b,
+		Replicas:  r,
+		LatencyNS: share.LatencyNS,
+		SteadyNS:  share.MarginalNS / float64(r),
+		EnergyPJ:  float64(b) * rep.Total.TotalPJ(),
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+)
+
+func analyzedTinyCNN(t *testing.T) *Report {
+	t.Helper()
+	net := model.TinyCNN(model.Config{ActBits: 4, Sparsity: 0.8, Seed: 1})
+	comp, err := core.Compile(net, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(comp)
+}
+
+// One replica must price exactly like a plain batch: replication is the
+// identity at R=1, the same way a one-stage pipeline matches AnalyzeBatch.
+func TestReplicatedBatchSingleReplicaMatchesBatch(t *testing.T) {
+	rep := analyzedTinyCNN(t)
+	for _, b := range []int{1, 2, 7, 32} {
+		br := AnalyzeBatch(rep, b)
+		rr := AnalyzeReplicatedBatch(rep, b, 1)
+		if rr.LatencyNS != br.LatencyNS {
+			t.Fatalf("b=%d: replicated latency %g != batch latency %g", b, rr.LatencyNS, br.LatencyNS)
+		}
+		if rr.SteadyNS != br.MarginalNS {
+			t.Fatalf("b=%d: steady %g != marginal %g", b, rr.SteadyNS, br.MarginalNS)
+		}
+		if rr.EnergyPJ != br.EnergyPJ {
+			t.Fatalf("b=%d: energy %g != %g", b, rr.EnergyPJ, br.EnergyPJ)
+		}
+	}
+}
+
+// Replication splits the batch: latency tracks the largest share, the
+// aggregate steady-state interval divides by R, and energy stays a
+// function of the sample count alone.
+func TestReplicatedBatchScaling(t *testing.T) {
+	rep := analyzedTinyCNN(t)
+	const b = 32
+	base := AnalyzeReplicatedBatch(rep, b, 1)
+	for _, r := range []int{2, 4, 8} {
+		rr := AnalyzeReplicatedBatch(rep, b, r)
+		want := AnalyzeBatch(rep, (b+r-1)/r).LatencyNS
+		if rr.LatencyNS != want {
+			t.Fatalf("r=%d: latency %g, want ceil-share pricing %g", r, rr.LatencyNS, want)
+		}
+		if got, want := rr.SteadyNS, base.SteadyNS/float64(r); math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("r=%d: steady %g, want %g", r, got, want)
+		}
+		if rr.EnergyPJ != base.EnergyPJ {
+			t.Fatalf("r=%d: energy %g changed with replica count (want %g)", r, rr.EnergyPJ, base.EnergyPJ)
+		}
+		if sp := rr.AggregateInfersPerSec(); math.Abs(sp-float64(r)*base.AggregateInfersPerSec()) > 1e-6*sp {
+			t.Fatalf("r=%d: aggregate throughput %g is not %d× the single-replica %g",
+				r, sp, r, base.AggregateInfersPerSec())
+		}
+	}
+}
+
+// Degenerate inputs clamp instead of dividing by zero or indexing out of
+// range.
+func TestReplicatedBatchClamps(t *testing.T) {
+	rep := analyzedTinyCNN(t)
+	rr := AnalyzeReplicatedBatch(rep, 0, 0)
+	if rr.Batch != 1 || rr.Replicas != 1 || rr.LatencyNS <= 0 {
+		t.Fatalf("clamped report %+v", rr)
+	}
+	// More replicas than samples: idle replicas don't speed up the batch.
+	one := AnalyzeReplicatedBatch(rep, 1, 8)
+	if one.LatencyNS != AnalyzeBatch(rep, 1).LatencyNS {
+		t.Fatalf("1 sample on 8 replicas priced %g, want single-sample latency", one.LatencyNS)
+	}
+}

@@ -197,6 +197,19 @@ func Endurance(c *Compiled, rep *Report) sim.EnduranceReport {
 // linearly.
 func AnalyzeBatch(rep *Report, b int) BatchReport { return sim.AnalyzeBatch(rep, b) }
 
+// ReplicatedBatchReport prices a batch load-balanced across device-
+// disjoint replicas (the serving layer's data-parallel axis).
+type ReplicatedBatchReport = sim.ReplicatedBatchReport
+
+// AnalyzeReplicatedBatch prices b samples dispatched across r replicas of
+// an analyzed network, each replica on its own device: the batch finishes
+// when the largest ceil(b/r) share does, the aggregate steady-state
+// inter-sample interval divides by r, and energy scales with the sample
+// count alone. r=1 degenerates to AnalyzeBatch.
+func AnalyzeReplicatedBatch(rep *Report, b, r int) ReplicatedBatchReport {
+	return sim.AnalyzeReplicatedBatch(rep, b, r)
+}
+
 // Pipeline sharding: partitioning a compiled plan into contiguous layer
 // ranges and pricing/executing them as a software pipeline across the
 // device fleet.
@@ -251,7 +264,8 @@ func RunFunctionalSharded(c *Compiled, sp *ShardPlan, in *FloatTensor) (*IntTrac
 // compiler and the simulated AP device fleet (internal/serve).
 type (
 	// ServeOptions configures the inference server (listen address,
-	// device-fleet size, micro-batching knobs, registry capacity).
+	// device-fleet size, micro-batching knobs, registry capacity,
+	// pipeline sharding, data-parallel replication, fault injection).
 	ServeOptions = serve.Options
 	// InferenceServer is the batched multi-tenant inference server.
 	InferenceServer = serve.Server
