@@ -13,4 +13,12 @@
 // including its run order, for the in-place adder and both subtractors;
 // for the out-of-place adder the paper's printed table has two rows'
 // comments swapped (011/110 — see TestPaperTableIAdderErratum).
+//
+// Three executors interpret the same programs: Exec replays the exact
+// bit-serial pass structure on the CAM array model, WordMachine is the
+// word-level reference semantics, and ExecPlan/Machine is the
+// production engine — programs lowered once into dense ops with a
+// value-range analysis that removes provably-identity wraps, replayed
+// over reusable arenas. All three are proved bit-identical on
+// randomized programs.
 package ap

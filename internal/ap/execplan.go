@@ -1,0 +1,589 @@
+package ap
+
+import "fmt"
+
+// ExecPlan is a Program lowered for repeated execution. The WordMachine
+// re-validates and re-interprets the instruction list on every run and
+// re-derives each destination's wrap parameters per row; an ExecPlan does
+// all of that exactly once, at build time:
+//
+//   - the program is validated once, so execution has no error paths;
+//   - every instruction becomes a dense, 20-byte planOp with resolved
+//     column indices (large networks stream millions of ops per
+//     inference, so op size IS interpreter memory traffic);
+//   - a static value-range analysis marks every op whose result provably
+//     fits its destination format — including all of a sound compiler
+//     emission — so its row loop skips masking entirely (the width ≥ 63
+//     case falls out of the same flag);
+//   - a Copy immediately followed by in-place Add/Sub instructions on the
+//     copied column fuses into one row pass;
+//   - the columns that must read as zero at entry (read before written)
+//     are recorded, so machine reuse clears only those instead of the
+//     whole arena.
+//
+// An ExecPlan is immutable and safe to share: the functional simulator
+// builds one per TileProgram (memoized, and shared further through the
+// compiled-artifact cache) and replays it from many goroutines at once
+// through per-worker Machines. Machine execution is bit-identical to
+// WordMachine.Run — TestMachineMatchesWordRandomPrograms proves it over
+// randomized programs.
+type ExecPlan struct {
+	cols []Col
+	ops  []planOp
+	// Side tables for the rare variable-length op variants.
+	multi  [][]copyDst
+	chains [][]chainLink
+	// zero lists the columns that must read as zero at entry: every
+	// column some op reads before any op writes it. Reset clears exactly
+	// these on arena reuse — programs fully write everything else before
+	// looking at it, so stale rows from a previous plan are unobservable.
+	zero []int32
+}
+
+// planKind discriminates the resolved operation variants of a planOp.
+type planKind uint8
+
+const (
+	planClear     planKind = iota
+	planCopy               // single-destination copy
+	planCopyMulti          // multi-destination copy (per-destination wrap)
+	planAdd
+	planSub
+	planNeg
+	planFused // copy + in-place add/sub chain, one row pass
+)
+
+// copyDst is one destination of a multi-destination copy with its own
+// signedness: the hardware writes the same Width bits into every
+// destination column, and each column's metadata decides how those bits
+// read back as an integer.
+type copyDst struct {
+	col      int32
+	unsigned bool
+}
+
+// chainLink is one fused in-place accumulation step: acc = wrap(acc + sgn·vals[a][r]).
+type chainLink struct {
+	a   int32
+	sgn int64 // +1 for add, -1 for sub
+}
+
+// planOp flags.
+const (
+	flagWide     = 1 << iota // wrapping is provably the identity
+	flagUnsigned             // destination signedness (copy wrap only)
+)
+
+// planOp is one resolved operation, deliberately compact: large networks
+// stream millions of ops per inference, so the op array's footprint is
+// the interpreter's front-end memory traffic. Wrap masks derive from
+// width with two shifts at dispatch; the rare multi-destination and
+// fused variants park their variable-length tails in the plan's side
+// tables, indexed by ext.
+type planOp struct {
+	kind  planKind
+	flags uint8
+	width uint8
+	dst   int32
+	a     int32
+	b     int32
+	ext   int32 // side-table index (planCopyMulti, planFused)
+}
+
+func (op *planOp) wide() bool     { return op.flags&flagWide != 0 }
+func (op *planOp) unsigned() bool { return op.flags&flagUnsigned != 0 }
+
+// NewExecPlan validates p and lowers it into a dense op list, then runs
+// the range analysis and zero-set computation described on ExecPlan. The
+// returned plan references p's column table but never mutates it.
+func NewExecPlan(p *Program) (*ExecPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Cols) > 1<<31-1 {
+		return nil, fmt.Errorf("ap: exec plan: %d columns overflow the op encoding", len(p.Cols))
+	}
+	plan := &ExecPlan{cols: p.Cols, ops: make([]planOp, 0, len(p.Instrs))}
+	instrs := p.Instrs
+	for i := 0; i < len(instrs); i++ {
+		ins := instrs[i]
+		w := ins.Width
+		if w > 64 {
+			w = 64 // wrap is the identity from 63 up; clamp into uint8 range
+		}
+		op := planOp{dst: int32(ins.Dst), a: int32(ins.A), b: int32(ins.B), width: uint8(w)}
+		if ins.Width >= 63 {
+			op.flags |= flagWide
+		}
+		switch ins.Op {
+		case OpClear:
+			op.kind = planClear
+		case OpCopy:
+			if p.Cols[ins.Dst].Unsigned {
+				op.flags |= flagUnsigned
+			}
+			if len(ins.Dsts) > 0 {
+				op.kind = planCopyMulti
+				dsts := []copyDst{{int32(ins.Dst), p.Cols[ins.Dst].Unsigned}}
+				for _, d := range ins.Dsts {
+					dsts = append(dsts, copyDst{int32(d), p.Cols[d].Unsigned})
+				}
+				op.ext = int32(len(plan.multi))
+				plan.multi = append(plan.multi, dsts)
+				plan.ops = append(plan.ops, op)
+				continue
+			}
+			// Fuse the in-place accumulation chain that follows a plain
+			// copy onto the same column. Validation guarantees every chain
+			// instruction has the destination's width and never reads it
+			// as A, so one pass per row reproduces the sequential wraps
+			// exactly.
+			var chain []chainLink
+			for j := i + 1; j < len(instrs); j++ {
+				nxt := instrs[j]
+				if !nxt.InPlace || nxt.Dst != ins.Dst || (nxt.Op != OpAdd && nxt.Op != OpSub) {
+					break
+				}
+				sgn := int64(1)
+				if nxt.Op == OpSub {
+					sgn = -1
+				}
+				chain = append(chain, chainLink{a: int32(nxt.A), sgn: sgn})
+				i = j
+			}
+			if len(chain) > 0 {
+				op.kind = planFused
+				op.ext = int32(len(plan.chains))
+				plan.chains = append(plan.chains, chain)
+			} else {
+				op.kind = planCopy
+			}
+		case OpAdd:
+			op.kind = planAdd
+		case OpSub:
+			op.kind = planSub
+		case OpNeg:
+			op.kind = planNeg
+		default:
+			return nil, fmt.Errorf("ap: exec plan: unknown opcode %v", ins.Op)
+		}
+		plan.ops = append(plan.ops, op)
+	}
+	plan.analyzeRanges()
+	plan.findZeroCols()
+	return plan, nil
+}
+
+// Columns returns the number of columns the plan's programs operate on.
+func (p *ExecPlan) Columns() int { return len(p.cols) }
+
+// Ops returns the resolved operation count (fusion can make it smaller
+// than the source program's instruction count).
+func (p *ExecPlan) Ops() int { return len(p.ops) }
+
+// rangeSat bounds the interval analysis so interval arithmetic can never
+// overflow int64 (sums of two in-bound endpoints stay below 2^62).
+const rangeSat = int64(1) << 61
+
+func addSat(a, b int64) int64 {
+	s := a + b
+	if s > rangeSat {
+		return rangeSat
+	}
+	if s < -rangeSat {
+		return -rangeSat
+	}
+	return s
+}
+
+// formatRange is the value interval a column's stored format can hold.
+// Columns of width ≥ 63 never wrap (wrap() is the identity there —
+// including nominally unsigned ones, which can therefore hold negative
+// values), so their interval is the saturated "unknown" band; a 62-bit
+// unsigned column's upper bound exceeds the saturation band and clamps
+// to it, which fitsFormat treats as unprovable.
+func formatRange(w int, unsigned bool) (int64, int64) {
+	if w >= 63 {
+		return -rangeSat, rangeSat
+	}
+	if unsigned {
+		if hi := int64(1)<<uint(w) - 1; hi < rangeSat {
+			return 0, hi
+		}
+		return 0, rangeSat
+	}
+	half := int64(1) << uint(w-1)
+	return -half, half - 1
+}
+
+// fitsFormat reports whether the interval [l, h] provably stays inside a
+// w-bit column of the given signedness without wrapping. The threshold
+// mirrors wrap() exactly: only widths ≥ 63 are unconditionally safe.
+// Saturated endpoints mean the true interval may extend beyond the
+// analysis band, so they prove nothing.
+func fitsFormat(l, h int64, w int, unsigned bool) bool {
+	if w >= 63 {
+		return true
+	}
+	if l <= -rangeSat || h >= rangeSat {
+		return false
+	}
+	fl, fh := formatRange(w, unsigned)
+	return l >= fl && h <= fh
+}
+
+// analyzeRanges propagates value intervals through the op list and marks
+// every op whose result provably fits its destination format as wide
+// (wrap is the identity there). Soundness rests on the entry state:
+// loads wrap to each column's format before Run, and unwritten columns
+// are zero, so every column starts inside its format range. An op that
+// may wrap resets its destination to the full format interval, exactly
+// matching the truncating execution path.
+func (plan *ExecPlan) analyzeRanges() {
+	n := len(plan.cols)
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	for c, col := range plan.cols {
+		lo[c], hi[c] = formatRange(col.Width, col.Unsigned)
+	}
+	for i := range plan.ops {
+		op := &plan.ops[i]
+		w := int(op.width)
+		switch op.kind {
+		case planClear:
+			lo[op.dst], hi[op.dst] = 0, 0
+		case planCopy:
+			if op.wide() || fitsFormat(lo[op.a], hi[op.a], w, op.unsigned()) {
+				op.flags |= flagWide
+				lo[op.dst], hi[op.dst] = lo[op.a], hi[op.a]
+			} else {
+				lo[op.dst], hi[op.dst] = formatRange(w, op.unsigned())
+			}
+		case planCopyMulti:
+			for _, cd := range plan.multi[op.ext] {
+				if op.wide() || fitsFormat(lo[op.a], hi[op.a], w, cd.unsigned) {
+					lo[cd.col], hi[cd.col] = lo[op.a], hi[op.a]
+				} else {
+					lo[cd.col], hi[cd.col] = formatRange(w, cd.unsigned)
+				}
+			}
+		case planAdd, planSub, planNeg:
+			var l, h int64
+			switch op.kind {
+			case planAdd:
+				l, h = addSat(lo[op.b], lo[op.a]), addSat(hi[op.b], hi[op.a])
+			case planSub:
+				l, h = addSat(lo[op.b], -hi[op.a]), addSat(hi[op.b], -lo[op.a])
+			default:
+				l, h = -hi[op.a], -lo[op.a]
+			}
+			if op.wide() || fitsFormat(l, h, w, false) {
+				op.flags |= flagWide
+				lo[op.dst], hi[op.dst] = l, h
+			} else {
+				lo[op.dst], hi[op.dst] = formatRange(w, false)
+			}
+		case planFused:
+			l, h := lo[op.a], hi[op.a]
+			ok := op.wide() || fitsFormat(l, h, w, op.unsigned())
+			if !ok {
+				l, h = formatRange(w, op.unsigned())
+			}
+			for _, ln := range plan.chains[op.ext] {
+				if ln.sgn > 0 {
+					l, h = addSat(l, lo[ln.a]), addSat(h, hi[ln.a])
+				} else {
+					l, h = addSat(l, -hi[ln.a]), addSat(h, -lo[ln.a])
+				}
+				if !op.wide() && !fitsFormat(l, h, w, false) {
+					ok = false
+					l, h = formatRange(w, false)
+				}
+			}
+			if ok {
+				op.flags |= flagWide
+			}
+			lo[op.dst], hi[op.dst] = l, h
+		}
+	}
+}
+
+// findZeroCols records every column read before it is written (in op
+// order); loads may overwrite them afterwards, but an unloaded slot — a
+// strip tail's unused plane, say — must read as zero.
+func (plan *ExecPlan) findZeroCols() {
+	written := make([]bool, len(plan.cols))
+	queued := make([]bool, len(plan.cols))
+	read := func(c int32) {
+		if !written[c] && !queued[c] {
+			queued[c] = true
+			plan.zero = append(plan.zero, c)
+		}
+	}
+	for i := range plan.ops {
+		op := &plan.ops[i]
+		switch op.kind {
+		case planClear:
+			written[op.dst] = true
+		case planCopy:
+			read(op.a)
+			written[op.dst] = true
+		case planCopyMulti:
+			read(op.a)
+			for _, cd := range plan.multi[op.ext] {
+				written[cd.col] = true
+			}
+		case planAdd, planSub:
+			read(op.a)
+			read(op.b)
+			written[op.dst] = true
+		case planNeg:
+			read(op.a)
+			written[op.dst] = true
+		case planFused:
+			read(op.a)
+			for _, ln := range plan.chains[op.ext] {
+				read(ln.a)
+			}
+			written[op.dst] = true
+		}
+	}
+}
+
+// maskSign derives the wrap constants of a non-wide op.
+func (op *planOp) maskSign() (mask, sign int64) {
+	return int64(1)<<op.width - 1, int64(1) << (op.width - 1)
+}
+
+// Machine executes an ExecPlan over reusable column storage. Unlike
+// WordMachine it allocates nothing per execution: Reset rebinds the same
+// flat arena to a (plan, rows) pair, growing the backing slices only when
+// a larger shape arrives, so a worker that replays many programs reaches
+// an allocation-free steady state. A Machine is not safe for concurrent
+// use; share plans, not machines.
+type Machine struct {
+	plan  *ExecPlan
+	rows  int
+	flat  []int64
+	vals  [][]int64
+	links [][]int64 // scratch: fused-chain operand slices
+	sgns  []int64   // scratch: fused-chain signs
+}
+
+// Reset binds m to plan with the given active row count. Only the
+// columns the plan reads before writing are zeroed on arena reuse (the
+// rest are fully written before any op looks at them), so a reused
+// machine behaves exactly like a freshly allocated WordMachine for every
+// observable column; columns the plan neither writes nor zeroes are
+// undefined after reuse.
+func (m *Machine) Reset(plan *ExecPlan, rows int) {
+	if rows <= 0 {
+		panic(fmt.Sprintf("ap: machine reset with %d rows", rows))
+	}
+	nc := len(plan.cols)
+	need := nc * rows
+	fresh := cap(m.flat) < need
+	if fresh {
+		m.flat = make([]int64, need)
+	} else {
+		m.flat = m.flat[:need]
+	}
+	if cap(m.vals) < nc {
+		m.vals = make([][]int64, nc)
+	} else {
+		m.vals = m.vals[:nc]
+	}
+	for c := 0; c < nc; c++ {
+		m.vals[c] = m.flat[c*rows : (c+1)*rows : (c+1)*rows]
+	}
+	if !fresh {
+		for _, c := range plan.zero {
+			clear(m.vals[c])
+		}
+	}
+	m.plan, m.rows = plan, rows
+}
+
+// Rows returns the active row count.
+func (m *Machine) Rows() int { return m.rows }
+
+// SetColumnInt32 stores vals into rows [row0, row0+len(vals)) of col,
+// wrapped to the column's stored format — the in-place counterpart of
+// WordMachine.SetColumn for batched loads that address one row segment
+// per batch item.
+func (m *Machine) SetColumnInt32(col, row0 int, vals []int32) {
+	if row0 < 0 || row0+len(vals) > m.rows {
+		panic(fmt.Sprintf("ap: SetColumnInt32 rows [%d,%d) outside machine rows %d",
+			row0, row0+len(vals), m.rows))
+	}
+	meta := m.plan.cols[col]
+	dst := m.vals[col][row0 : row0+len(vals)]
+	if meta.Width >= 63 {
+		for i, v := range vals {
+			dst[i] = int64(v)
+		}
+		return
+	}
+	mask := int64(1)<<uint(meta.Width) - 1
+	if meta.Unsigned {
+		for i, v := range vals {
+			dst[i] = int64(v) & mask
+		}
+		return
+	}
+	sign := int64(1) << uint(meta.Width-1)
+	for i, v := range vals {
+		w := int64(v) & mask
+		dst[i] = w - (w&sign)<<1
+	}
+}
+
+// AccumulateColumn adds rows [row0, row0+len(dst)) of col into dst
+// without allocating — the inter-strip reduction of the functional
+// simulator, which previously copied every column before accumulating.
+func (m *Machine) AccumulateColumn(col, row0 int, dst []int32) {
+	if row0 < 0 || row0+len(dst) > m.rows {
+		panic(fmt.Sprintf("ap: AccumulateColumn rows [%d,%d) outside machine rows %d",
+			row0, row0+len(dst), m.rows))
+	}
+	src := m.vals[col][row0 : row0+len(dst)]
+	for i, v := range src {
+		dst[i] += int32(v)
+	}
+}
+
+// Column returns a copy of a column's values (tests and debugging; the
+// hot path uses AccumulateColumn).
+func (m *Machine) Column(col int) []int64 {
+	out := make([]int64, m.rows)
+	copy(out, m.vals[col])
+	return out
+}
+
+// Run executes the plan over all active rows. It cannot fail and does not
+// allocate: every structural error was rejected when the plan was built.
+func (m *Machine) Run() {
+	vals := m.vals
+	for i := range m.plan.ops {
+		op := &m.plan.ops[i]
+		switch op.kind {
+		case planAdd:
+			d := vals[op.dst]
+			a, b := vals[op.a][:len(d)], vals[op.b][:len(d)]
+			if op.wide() {
+				for r := range d {
+					d[r] = b[r] + a[r]
+				}
+			} else {
+				mask, sign := op.maskSign()
+				for r := range d {
+					v := (b[r] + a[r]) & mask
+					d[r] = v - (v&sign)<<1
+				}
+			}
+		case planSub:
+			d := vals[op.dst]
+			a, b := vals[op.a][:len(d)], vals[op.b][:len(d)]
+			if op.wide() {
+				for r := range d {
+					d[r] = b[r] - a[r]
+				}
+			} else {
+				mask, sign := op.maskSign()
+				for r := range d {
+					v := (b[r] - a[r]) & mask
+					d[r] = v - (v&sign)<<1
+				}
+			}
+		case planCopy:
+			m.runCopy(op, op.dst, op.unsigned())
+		case planCopyMulti:
+			for _, cd := range m.plan.multi[op.ext] {
+				m.runCopy(op, cd.col, cd.unsigned)
+			}
+		case planNeg:
+			d := vals[op.dst]
+			a := vals[op.a][:len(d)]
+			if op.wide() {
+				for r := range d {
+					d[r] = -a[r]
+				}
+			} else {
+				mask, sign := op.maskSign()
+				for r := range d {
+					v := (-a[r]) & mask
+					d[r] = v - (v&sign)<<1
+				}
+			}
+		case planClear:
+			clear(vals[op.dst])
+		case planFused:
+			m.runFused(op)
+		}
+	}
+}
+
+// runCopy writes wrap(a, width, unsigned) into one destination column.
+// The wrap is branchless: v − ((v & sign) << 1) subtracts 2·sign exactly
+// when the sign bit of the masked value is set.
+func (m *Machine) runCopy(op *planOp, dst int32, unsigned bool) {
+	d := m.vals[dst]
+	a := m.vals[op.a][:len(d)]
+	switch {
+	case op.wide():
+		copy(d, a)
+	case unsigned:
+		mask, _ := op.maskSign()
+		for r := range d {
+			d[r] = a[r] & mask
+		}
+	default:
+		mask, sign := op.maskSign()
+		for r := range d {
+			v := a[r] & mask
+			d[r] = v - (v&sign)<<1
+		}
+	}
+}
+
+// runFused executes a copy plus its in-place accumulation chain in one
+// row pass, reproducing the per-instruction wraps of the sequential
+// semantics step by step (an unsigned destination zeroes the copy's
+// sign-extension mask instead of branching per row).
+func (m *Machine) runFused(op *planOp) {
+	chain := m.plan.chains[op.ext]
+	links := m.links[:0]
+	sgns := m.sgns[:0]
+	for _, l := range chain {
+		links = append(links, m.vals[l.a])
+		sgns = append(sgns, l.sgn)
+	}
+	m.links, m.sgns = links, sgns
+
+	d := m.vals[op.dst]
+	a := m.vals[op.a][:len(d)]
+	if op.wide() {
+		for r := range d {
+			acc := a[r]
+			for k, col := range links {
+				acc += sgns[k] * col[r]
+			}
+			d[r] = acc
+		}
+		return
+	}
+	mask, sign := op.maskSign()
+	copySign := sign
+	if op.unsigned() {
+		copySign = 0
+	}
+	for r := range d {
+		acc := a[r] & mask
+		acc -= (acc & copySign) << 1
+		for k, col := range links {
+			acc = (acc + sgns[k]*col[r]) & mask
+			acc -= (acc & sign) << 1
+		}
+		d[r] = acc
+	}
+}

@@ -1,0 +1,353 @@
+package ap
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomProgram generates a valid program over nData columns with random
+// widths/signedness, biased to emit the copy → in-place add/sub chains
+// the code generator produces (the ExecPlan fusion path). wide adds
+// 63/64-bit columns to exercise the no-wrap fast paths.
+func randomProgram(rng *rand.Rand, wide bool) *Program {
+	nData := 3 + rng.IntN(4)
+	widths := make([]int, nData)
+	unsigned := make([]bool, nData)
+	for i := range widths {
+		widths[i] = 3 + rng.IntN(6)
+		if wide && rng.IntN(3) == 0 {
+			widths[i] = 61 + rng.IntN(4) // straddle the wrap-identity threshold (63)
+		}
+		unsigned[i] = rng.IntN(3) == 0
+	}
+	p := buildProgram(widths, unsigned)
+
+	var signedCols, allCols []int
+	for c := 1; c <= nData; c++ {
+		allCols = append(allCols, c)
+		if !p.Cols[c].Unsigned {
+			signedCols = append(signedCols, c)
+		}
+	}
+	if len(signedCols) == 0 {
+		return nil
+	}
+	sameWidth := func(dst int) []int {
+		var out []int
+		for _, c := range allCols {
+			if c != dst && p.Cols[c].Width == p.Cols[dst].Width {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	nInstr := 5 + rng.IntN(10)
+	for len(p.Instrs) < nInstr {
+		dst := signedCols[rng.IntN(len(signedCols))]
+		w := p.Cols[dst].Width
+		pick := func() int { return allCols[rng.IntN(len(allCols))] }
+		switch rng.IntN(6) {
+		case 0: // in-place add/sub
+			op := OpAdd
+			if rng.IntN(2) == 0 {
+				op = OpSub
+			}
+			a := pick()
+			if a == dst {
+				continue
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op, Dst: dst, A: a, B: dst, InPlace: true, Width: w})
+		case 1: // out-of-place add/sub
+			op := OpAdd
+			if rng.IntN(2) == 0 {
+				op = OpSub
+			}
+			a, b := pick(), pick()
+			if a == dst || b == dst {
+				continue
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op, Dst: dst, A: a, B: b, Width: w})
+		case 2: // neg
+			a := pick()
+			if a == dst {
+				continue
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: OpNeg, Dst: dst, A: a, Width: w})
+		case 3: // clear
+			p.Instrs = append(p.Instrs, Instr{Op: OpClear, Dst: dst, Width: w})
+		case 4: // copy, possibly multi-destination with mixed signedness
+			a := pick()
+			if a == dst {
+				continue
+			}
+			ins := Instr{Op: OpCopy, Dst: dst, A: a, Width: w}
+			for _, d := range sameWidth(dst) {
+				if d != a && rng.IntN(3) == 0 {
+					ins.Dsts = append(ins.Dsts, d)
+				}
+			}
+			p.Instrs = append(p.Instrs, ins)
+		case 5: // copy followed by an accumulation chain (fusion shape)
+			a := pick()
+			if a == dst {
+				continue
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: OpCopy, Dst: dst, A: a, Width: w})
+			for n := rng.IntN(3); n > 0; n-- {
+				op := OpAdd
+				if rng.IntN(2) == 0 {
+					op = OpSub
+				}
+				x := pick()
+				if x == dst {
+					break
+				}
+				p.Instrs = append(p.Instrs, Instr{Op: op, Dst: dst, A: x, B: dst, InPlace: true, Width: w})
+			}
+		}
+	}
+	return p
+}
+
+func loadRandom(rng *rand.Rand, p *Program, rows int) [][]int64 {
+	vals := make([][]int64, len(p.Cols))
+	for c := range vals {
+		vals[c] = make([]int64, rows)
+	}
+	for c := 1; c < len(p.Cols); c++ {
+		meta := p.Cols[c]
+		w := meta.Width
+		if w > 31 {
+			w = 31 // keep wide columns representable as int32 loads
+		}
+		for r := 0; r < rows; r++ {
+			if meta.Unsigned && meta.Width < 63 {
+				vals[c][r] = rng.Int64N(1 << uint(w))
+			} else {
+				// Signed columns — and nominally unsigned columns of
+				// width ≥ 63, where wrap is the identity and loads can
+				// legally deposit negative values.
+				half := int64(1) << uint(w-1)
+				vals[c][r] = rng.Int64N(2*half) - half
+			}
+		}
+	}
+	return vals
+}
+
+// Property: ExecPlan Machine execution is bit-identical to the word-level
+// reference on randomized programs, including multi-destination copies,
+// fused accumulation chains, reused machines (Reset) and wide columns.
+func TestMachineMatchesWordRandomPrograms(t *testing.T) {
+	var m Machine // reused across trials: Reset must fully rebind state
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xa11ec))
+		p := randomProgram(rng, trial%2 == 0)
+		if p == nil {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		rows := 2 + rng.IntN(9)
+		wm, err := NewWordMachine(p, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := NewExecPlan(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m.Reset(plan, rows)
+
+		vals := loadRandom(rng, p, rows)
+		v32 := make([]int32, rows)
+		for c := 1; c < len(p.Cols); c++ {
+			wm.SetColumn(c, vals[c])
+			for r, v := range vals[c] {
+				v32[r] = int32(v)
+			}
+			m.SetColumnInt32(c, 0, v32)
+		}
+		if err := wm.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m.Run()
+		for c := 1; c < len(p.Cols); c++ {
+			want := wm.Column(c)
+			got := m.Column(c)
+			for r := 0; r < rows; r++ {
+				if got[r] != want[r] {
+					t.Fatalf("trial %d: col %d row %d: plan %d != word %d\nprogram: %v",
+						trial, c, r, got[r], want[r], p.Instrs)
+				}
+			}
+		}
+	}
+}
+
+// A multi-destination copy with mixed destination signedness: the bit
+// machine writes the same bits everywhere and each column reads them back
+// per its own metadata, so the word machine (and the ExecPlan machine)
+// must wrap per destination. Negative sources make an unsigned
+// destination read the raw bit pattern, not the signed value.
+func TestExecMatchesWordMixedSignCopy(t *testing.T) {
+	// carry, src (6b signed), d1 (6b signed), d2 (6b unsigned).
+	p := buildProgram([]int{6, 6, 6}, []bool{false, false, true})
+	const src, d1, d2 = 1, 2, 3
+	p.Instrs = []Instr{
+		{Op: OpCopy, Dst: d1, Dsts: []int{d2}, A: src, Width: 6},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	srcVals := []int64{-32, -17, -1, 0, 1, 13, 31, -5}
+	rows := len(srcVals)
+
+	arr := newArray(t, rows, len(p.Cols))
+	vals := make([][]int64, len(p.Cols))
+	for c := range vals {
+		vals[c] = make([]int64, rows)
+	}
+	copy(vals[src], srcVals)
+	loadCam(arr, p, vals)
+	if err := Exec(arr, p, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	wm, err := NewWordMachine(p, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.SetColumn(src, srcVals)
+	if err := wm.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := NewExecPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Machine
+	m.Reset(plan, rows)
+	v32 := make([]int32, rows)
+	for r, v := range srcVals {
+		v32[r] = int32(v)
+	}
+	m.SetColumnInt32(src, 0, v32)
+	m.Run()
+
+	for _, col := range []int{d1, d2} {
+		bit := readCam(arr, p, col, rows)
+		word := wm.Column(col)
+		pl := m.Column(col)
+		for r := 0; r < rows; r++ {
+			if word[r] != bit[r] {
+				t.Errorf("col %d row %d (src %d): word %d != bit-level %d",
+					col, r, srcVals[r], word[r], bit[r])
+			}
+			if pl[r] != bit[r] {
+				t.Errorf("col %d row %d (src %d): plan %d != bit-level %d",
+					col, r, srcVals[r], pl[r], bit[r])
+			}
+		}
+	}
+	// The unsigned destination of a negative source must hold the raw
+	// 6-bit pattern (v + 64), or the whole test is vacuous.
+	if got := m.Column(d2)[0]; got != srcVals[0]+64 {
+		t.Fatalf("unsigned destination read %d, want %d", got, srcVals[0]+64)
+	}
+}
+
+// Fusion collapses copy → in-place chains into fewer resolved ops while
+// preserving exact results (covered by the randomized property above).
+func TestExecPlanFusesCopyChains(t *testing.T) {
+	p := buildProgram([]int{5, 5, 5}, []bool{false, false, false})
+	p.Instrs = []Instr{
+		{Op: OpCopy, Dst: 2, A: 1, Width: 5},
+		{Op: OpAdd, Dst: 2, A: 3, B: 2, InPlace: true, Width: 5},
+		{Op: OpSub, Dst: 2, A: 1, B: 2, InPlace: true, Width: 5},
+		{Op: OpNeg, Dst: 3, A: 2, Width: 5},
+	}
+	plan, err := NewExecPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Ops() != 2 {
+		t.Fatalf("expected copy+add+sub to fuse into 1 op (2 total), got %d", plan.Ops())
+	}
+}
+
+// Width-62 destinations DO wrap (wrap() is the identity only from 63
+// up), and the range analysis must not shortcut them: doubling 2^30 up
+// to 2^62 in wide columns and copying into a 62-bit column must truncate
+// to zero on both machines. Regression for an off-by-one where the
+// analysis treated width ≥ 62 as unconditionally safe.
+func TestWidth62CopyWraps(t *testing.T) {
+	p := buildProgram([]int{64, 64, 62}, []bool{false, false, false})
+	const colA, colB, colD = 1, 2, 3
+	// 32 alternating doublings: 2^30 → 2^62 (lands in colA).
+	for k := 0; k < 32; k++ {
+		src, dst := colA, colB
+		if k%2 == 1 {
+			src, dst = colB, colA
+		}
+		p.Instrs = append(p.Instrs, Instr{Op: OpAdd, Dst: dst, A: src, B: src, Width: 64})
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: OpCopy, Dst: colD, A: colA, Width: 62})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2
+	wm, err := NewWordMachine(p, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewExecPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Machine
+	m.Reset(plan, rows)
+	wm.SetColumn(colA, []int64{1 << 30, 1 << 30})
+	m.SetColumnInt32(colA, 0, []int32{1 << 30, 1 << 30})
+	if err := wm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	for r := 0; r < rows; r++ {
+		if got := wm.Column(colD)[r]; got != 0 {
+			t.Fatalf("word machine row %d: 2^62 wrapped at width 62 to %d, want 0", r, got)
+		}
+		if got := m.Column(colD)[r]; got != 0 {
+			t.Fatalf("plan machine row %d: 2^62 wrapped at width 62 to %d, want 0", r, got)
+		}
+	}
+}
+
+// SetColumnInt32 wraps to the stored format and AccumulateColumn adds in
+// place over a row segment — the batched load/reduce primitives.
+func TestSetColumnInt32AndAccumulate(t *testing.T) {
+	p := buildProgram([]int{4, 8}, []bool{true, false})
+	plan, err := NewExecPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Machine
+	m.Reset(plan, 6)
+	m.SetColumnInt32(1, 0, []int32{15, 16, 17})  // 4-bit unsigned: wraps mod 16
+	m.SetColumnInt32(1, 3, []int32{-1, 255, 31}) // segment load at row 3
+	want := []int64{15, 0, 1, 15, 15, 15}
+	for r, w := range m.Column(1) {
+		if w != want[r] {
+			t.Fatalf("row %d: %d, want %d", r, w, want[r])
+		}
+	}
+	acc := []int32{100, 100, 100}
+	m.AccumulateColumn(1, 3, acc)
+	for i, v := range acc {
+		if v != 115 {
+			t.Fatalf("acc[%d] = %d, want 115", i, v)
+		}
+	}
+}

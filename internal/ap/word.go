@@ -70,12 +70,19 @@ func (m *WordMachine) step(ins Instr) error {
 			m.vals[ins.Dst][r] = 0
 		}
 	case OpCopy:
+		// The hardware writes the same Width bits into every destination;
+		// each destination column's own signedness decides how those bits
+		// read back, so the wrap is per destination, not the primary
+		// Dst's (mixed-signedness multi-destination copies diverge
+		// otherwise — TestExecMatchesWordMixedSignCopy).
 		dm := m.prog.Cols[ins.Dst]
 		for r := 0; r < m.rows; r++ {
-			v := wrap(m.vals[ins.A][r], w, dm.Unsigned)
-			m.vals[ins.Dst][r] = v
-			for _, d := range ins.Dsts {
-				m.vals[d][r] = v
+			m.vals[ins.Dst][r] = wrap(m.vals[ins.A][r], w, dm.Unsigned)
+		}
+		for _, d := range ins.Dsts {
+			em := m.prog.Cols[d]
+			for r := 0; r < m.rows; r++ {
+				m.vals[d][r] = wrap(m.vals[ins.A][r], w, em.Unsigned)
 			}
 		}
 	case OpAdd:

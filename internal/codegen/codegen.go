@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"sync"
 
 	"rtmap/internal/ap"
 	"rtmap/internal/dfg"
@@ -107,6 +108,20 @@ type TileProgram struct {
 	InputBindings map[int][2]int
 	AccVirt       []int // virtual accumulator columns, tile-row order
 	Stats         Stats
+
+	planOnce sync.Once
+	plan     *ap.ExecPlan
+	planErr  error
+}
+
+// ExecPlan returns Prog lowered for repeated execution, built on first
+// use and memoized on the tile program — every strip replica, row group,
+// batch item and (through the compiled-artifact cache, which shares tile
+// programs by reference) every compile replays the same plan without
+// re-validating or re-resolving the instruction stream.
+func (tp *TileProgram) ExecPlan() (*ap.ExecPlan, error) {
+	tp.planOnce.Do(func() { tp.plan, tp.planErr = ap.NewExecPlan(tp.Prog) })
+	return tp.plan, tp.planErr
 }
 
 // TileBuilder incrementally emits the program of one tile: accumulator

@@ -8,6 +8,7 @@ import (
 
 	"rtmap/internal/model"
 	"rtmap/internal/sim"
+	"rtmap/internal/tensor"
 )
 
 // BatchInfo is the per-batch accounting attached to every result: which
@@ -358,6 +359,24 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	d.batches++
 	f.mu.Unlock()
 
+	// The whole batch executes in one engine pass: bit-exact items run
+	// through sim.ForwardAPBatch (one program interpretation per (strip,
+	// tile, row-group) for all of them — bit-identical to per-item
+	// ForwardAP, enforced by TestBatchedExecBitExact), reference items
+	// through the per-item software reference.
+	var exactIns []*tensor.Float
+	for i, it := range b.items {
+		if !b.done[i] && it.bitExact {
+			exactIns = append(exactIns, it.in)
+		}
+	}
+	var exactTrs []*model.IntTrace
+	var exactErr error
+	if len(exactIns) > 0 {
+		exactTrs, exactErr = sim.ForwardAPBatch(b.e.comp, exactIns)
+	}
+
+	next := 0
 	for i, it := range b.items {
 		if b.done[i] {
 			continue
@@ -372,7 +391,17 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 			SimPerSampleNS: br.PerSampleNS(),
 			SimEnergyPJ:    br.EnergyPJ,
 		}}
-		tr, err := forwardItem(b.e, it)
+		var tr *model.IntTrace
+		var err error
+		if it.bitExact {
+			tr, err = nil, exactErr
+			if exactErr == nil {
+				tr = exactTrs[next]
+			}
+			next++
+		} else {
+			tr, err = b.e.net.ForwardInt(it.in)
+		}
 		if err != nil {
 			res.err = err
 		} else {
@@ -419,14 +448,26 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 	b.simPJ += br.EnergyPJ
 	b.path = append(b.path, d.id)
 
-	for i, it := range b.items {
-		if b.runs[i] == nil {
-			continue // failed or already delivered at an earlier stage
+	// Advance every live run one stage in one batched engine pass per
+	// bit-exactness mode (a coalesced batch can mix modes; each group's
+	// runs share their stage's program interpretations).
+	for _, exact := range []bool{true, false} {
+		var group []*sim.ShardRun
+		var idx []int
+		for i, it := range b.items {
+			if b.runs[i] == nil || it.bitExact != exact {
+				continue // failed or already delivered at an earlier stage
+			}
+			group = append(group, b.runs[i])
+			idx = append(idx, i)
 		}
-		if err := b.runs[i].Step(it.bitExact); err != nil {
-			b.done[i] = true
-			it.res <- itemResult{err: err}
-			b.runs[i] = nil
+		for k, err := range sim.StepBatch(group, exact) {
+			if err != nil {
+				i := idx[k]
+				b.done[i] = true
+				b.items[i].res <- itemResult{err: err}
+				b.runs[i] = nil
+			}
 		}
 	}
 
@@ -462,13 +503,6 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 	if f.metrics != nil {
 		f.metrics.ObserveBatch(len(b.items), b.simNS, b.simPJ)
 	}
-}
-
-func forwardItem(e *entry, it *item) (*model.IntTrace, error) {
-	if it.bitExact {
-		return sim.ForwardAP(e.comp, it.in)
-	}
-	return e.net.ForwardInt(it.in)
 }
 
 // DeviceStat is a snapshot of one simulated device for /metrics.

@@ -13,4 +13,12 @@
 // throughput). ShardRun/ForwardAPSharded execute a sharded plan stage by
 // stage, each stage isolated to the activations its predecessor shipped,
 // bit-identically to single-device execution.
+//
+// Functional execution runs on the batched, pooled engine of exec.go:
+// ForwardAPBatch/RunConvBatch lay a batch's im2col rows side by side so
+// every (strip, tile, row-range) program is interpreted once per batch
+// through precompiled ap.ExecPlans, with sync.Pool-backed scratch and a
+// persistent worker pool. ForwardAP is the batch-of-one wrapper, and
+// ForwardAPBaseline retains the pre-ExecPlan interpreter as the
+// rtmap-bench -exec A/B baseline and as an independent oracle.
 package sim

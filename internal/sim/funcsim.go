@@ -16,8 +16,64 @@ import (
 //
 // The word-level machine is bit-exact with the pass-level CAM execution
 // (proved by the ap package's randomized equivalence tests), so this
-// output is exactly what the physical array would produce.
+// output is exactly what the physical array would produce. Execution runs
+// on the batched ExecPlan engine (exec.go) with a batch of one.
 func RunConv(c *core.Compiled, layerIdx int, in *tensor.Int) (*tensor.Int, error) {
+	if in.Shape.N != 1 {
+		return nil, fmt.Errorf("sim: functional simulation runs batch 1, got %d", in.Shape.N)
+	}
+	outs, err := RunConvBatch(c, layerIdx, []*tensor.Int{in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// ForwardAP runs the full network functionally with every conv/linear
+// layer executed on the AP (RunConv) and all other layers on their exact
+// integer semantics — the same fused requantization the hardware applies.
+// The result must be bit-identical to model.ForwardInt; TestForwardAPExact
+// asserts this on randomized networks.
+func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
+	trs, err := ForwardAPBatch(c, []*tensor.Float{in})
+	if err != nil {
+		return nil, err
+	}
+	return trs[0], nil
+}
+
+// quantizeInput builds an empty trace seeded with the quantized network
+// input codes.
+func quantizeInput(c *core.Compiled, in *tensor.Float) *model.IntTrace {
+	n := c.Net
+	codes := tensor.NewInt(tensor.Shape{N: 1, C: n.InputShape.C, H: n.InputShape.H, W: n.InputShape.W})
+	for i, v := range in.Data {
+		codes.Data[i] = n.InputQ.Quantize(v)
+	}
+	return &model.IntTrace{
+		Outputs:    make([]*tensor.Int, len(n.Layers)),
+		Scales:     make([]float64, len(n.Layers)),
+		InputCodes: codes,
+	}
+}
+
+// ForwardAPBaseline is the pre-ExecPlan functional executor: one freshly
+// allocated WordMachine per (strip, tile, row-group), serial layer by
+// layer. It is retained deliberately — as the measured baseline of the
+// rtmap-bench -exec engine sweep, and as an independent oracle the
+// batched engine is tested against (two interpreters of the same
+// programs must agree bit for bit).
+func ForwardAPBaseline(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
+	tr := quantizeInput(c, in)
+	if err := execLayersBaseline(c, tr, 0, len(c.Net.Layers)); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// runConvBaseline is the original single-input interpreter behind
+// ForwardAPBaseline.
+func runConvBaseline(c *core.Compiled, layerIdx int, in *tensor.Int) (*tensor.Int, error) {
 	plan := c.Layers[layerIdx]
 	if plan.Class != core.ClassConv {
 		return nil, fmt.Errorf("sim: layer %d (%s) is not conv-like", layerIdx, plan.Name)
@@ -94,111 +150,32 @@ func RunConv(c *core.Compiled, layerIdx int, in *tensor.Int) (*tensor.Int, error
 	return out, nil
 }
 
-// ForwardAP runs the full network functionally with every conv/linear
-// layer executed on the AP (RunConv) and all other layers on their exact
-// integer semantics — the same fused requantization the hardware applies.
-// The result must be bit-identical to model.ForwardInt; TestForwardAPExact
-// asserts this on randomized networks.
-func ForwardAP(c *core.Compiled, in *tensor.Float) (*model.IntTrace, error) {
-	tr := quantizeInput(c, in)
-	if err := execLayers(c, tr, 0, len(c.Net.Layers), true); err != nil {
-		return nil, err
-	}
-	return tr, nil
-}
-
-// quantizeInput builds an empty trace seeded with the quantized network
-// input codes.
-func quantizeInput(c *core.Compiled, in *tensor.Float) *model.IntTrace {
+// execLayersBaseline is the serial layer loop of the baseline executor
+// (conv/linear layers via runConvBaseline, everything else on the exact
+// integer semantics shared with the batched engine).
+func execLayersBaseline(c *core.Compiled, tr *model.IntTrace, lo, hi int) error {
 	n := c.Net
-	codes := tensor.NewInt(tensor.Shape{N: 1, C: n.InputShape.C, H: n.InputShape.H, W: n.InputShape.W})
-	for i, v := range in.Data {
-		codes.Data[i] = n.InputQ.Quantize(v)
-	}
-	return &model.IntTrace{
-		Outputs:    make([]*tensor.Int, len(n.Layers)),
-		Scales:     make([]float64, len(n.Layers)),
-		InputCodes: codes,
-	}
-}
-
-// execLayers executes the layer range [lo, hi) of the compiled network on
-// the trace, reading inputs from it and writing outputs back. bitExact
-// selects the executor for conv/linear layers: the word-level AP machine
-// (RunConv) or the integer software reference — the two are proved
-// bit-identical. An input tensor the trace does not hold is an error, so
-// a sharded stage run proves its boundary transfer set is sufficient.
-func execLayers(c *core.Compiled, tr *model.IntTrace, lo, hi int, bitExact bool) error {
-	n := c.Net
-	getT := func(idx int) (*tensor.Int, error) {
-		if idx == model.InputRef {
-			if tr.InputCodes == nil {
-				return nil, fmt.Errorf("sim: network input not resident")
-			}
-			return tr.InputCodes, nil
-		}
-		if tr.Outputs[idx] == nil {
-			return nil, fmt.Errorf("sim: layer %d output not resident", idx)
-		}
-		return tr.Outputs[idx], nil
-	}
-	getS := func(idx int) float64 {
-		if idx == model.InputRef {
-			return float64(n.InputQ.Step)
-		}
-		return tr.Scales[idx]
-	}
 	for i := lo; i < hi; i++ {
 		l := &n.Layers[i]
-		x, err := getT(l.Inputs[0])
-		if err != nil {
-			return fmt.Errorf("sim: layer %d (%s): %w", i, l.Name, err)
-		}
-		s := getS(l.Inputs[0])
-		switch l.Kind {
-		case model.KindConv, model.KindLinear:
-			var out *tensor.Int
-			if bitExact {
-				out, err = RunConv(c, i, x)
-				if err != nil {
-					return err
-				}
-			} else {
-				out = tensor.ConvIntTernarySparse(x, l.W.W, l.ConvSpec())
+		if l.Kind == model.KindConv || l.Kind == model.KindLinear {
+			x := tr.InputOf(n, i, 0)
+			if x == nil {
+				return fmt.Errorf("sim: layer %d (%s): input not resident", i, l.Name)
+			}
+			out, err := runConvBaseline(c, i, x)
+			if err != nil {
+				return err
+			}
+			s := float64(n.InputQ.Step)
+			if ref := l.Inputs[0]; ref != model.InputRef {
+				s = tr.Scales[ref]
 			}
 			tr.Outputs[i] = out
 			tr.Scales[i] = s * float64(l.WScale)
-		case model.KindMaxPool:
-			tr.Outputs[i] = tensor.MaxPoolInt(x, l.Pool)
-			tr.Scales[i] = s
-		case model.KindGlobalAvgPool:
-			tr.Outputs[i] = tensor.GlobalAvgPoolInt(x)
-			tr.Scales[i] = s
-		case model.KindActQuant:
-			out := tensor.NewInt(x.Shape)
-			scale := s / float64(l.Q.Step)
-			for j, cv := range x.Data {
-				out.Data[j] = model.RequantCode(cv, scale, l.Q, l.ReLU)
-			}
-			tr.Outputs[i] = out
-			tr.Scales[i] = float64(l.Q.Step)
-		case model.KindAdd:
-			y, err := getT(l.Inputs[1])
-			if err != nil {
-				return fmt.Errorf("sim: layer %d (%s): %w", i, l.Name, err)
-			}
-			out := x.Clone()
-			out.AddInt(y)
-			tr.Outputs[i] = out
-			tr.Scales[i] = s
-		case model.KindFlatten:
-			tr.Outputs[i] = &tensor.Int{
-				Shape: tensor.Shape{N: x.Shape.N, C: x.Shape.C * x.Shape.H * x.Shape.W, H: 1, W: 1},
-				Data:  x.Data,
-			}
-			tr.Scales[i] = s
-		default:
-			return fmt.Errorf("sim: unknown layer kind %v", l.Kind)
+			continue
+		}
+		if err := execLayersBatch(c, []*model.IntTrace{tr}, i, i+1, false); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -62,9 +62,62 @@ func (r *ShardRun) Step(bitExact bool) error {
 		return fmt.Errorf("sim: shard run already complete")
 	}
 	st := r.sp.Stages[r.stage]
-	n := len(r.c.Net.Layers)
+	tr := r.buildStore()
+	if err := execLayers(r.c, tr, st.Lo, st.Hi, bitExact); err != nil {
+		return fmt.Errorf("sim: stage %d [%d,%d): %w", r.stage, st.Lo, st.Hi, err)
+	}
+	return r.finishStage(tr)
+}
 
-	// Working store holding exactly the carried boundary tensors.
+// StepBatch advances a set of runs positioned at the same stage of the
+// same compiled plan by one stage, executing their conv layers through
+// the batched engine (one program interpretation per (strip, tile,
+// row-group) for all runs). Results are bit-identical to stepping each
+// run alone. The returned slice has one entry per run; a batch-wide
+// execution failure is attributed to every run it aborted (the runs are
+// structurally identical, so it would have failed each of them alone
+// too). Runs that are mismatched or already complete fall back to
+// individual Steps.
+func StepBatch(runs []*ShardRun, bitExact bool) []error {
+	errs := make([]error, len(runs))
+	if len(runs) == 0 {
+		return errs
+	}
+	uniform := true
+	for _, r := range runs {
+		if r.c != runs[0].c || r.sp != runs[0].sp || r.stage != runs[0].stage || r.Done() {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		for i, r := range runs {
+			errs[i] = r.Step(bitExact)
+		}
+		return errs
+	}
+	st := runs[0].sp.Stages[runs[0].stage]
+	trs := make([]*model.IntTrace, len(runs))
+	for i, r := range runs {
+		trs[i] = r.buildStore()
+	}
+	if err := execLayersBatch(runs[0].c, trs, st.Lo, st.Hi, bitExact); err != nil {
+		err = fmt.Errorf("sim: stage %d [%d,%d): %w", runs[0].stage, st.Lo, st.Hi, err)
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i, r := range runs {
+		errs[i] = r.finishStage(trs[i])
+	}
+	return errs
+}
+
+// buildStore assembles the stage's working store, holding exactly the
+// carried boundary tensors.
+func (r *ShardRun) buildStore() *model.IntTrace {
+	n := len(r.c.Net.Layers)
 	tr := &model.IntTrace{
 		Outputs: make([]*tensor.Int, n),
 		Scales:  make([]float64, n),
@@ -77,9 +130,15 @@ func (r *ShardRun) Step(bitExact bool) error {
 			tr.Scales[ref] = r.ctxS[ref]
 		}
 	}
-	if err := execLayers(r.c, tr, st.Lo, st.Hi, bitExact); err != nil {
-		return fmt.Errorf("sim: stage %d [%d,%d): %w", r.stage, st.Lo, st.Hi, err)
-	}
+	return tr
+}
+
+// finishStage records the executed stage's results and ships the
+// boundary live set to the next stage (or captures the logits on the
+// last one).
+func (r *ShardRun) finishStage(tr *model.IntTrace) error {
+	st := r.sp.Stages[r.stage]
+	n := len(r.c.Net.Layers)
 	if r.trace != nil {
 		if r.stage == 0 {
 			r.trace.InputCodes = tr.InputCodes

@@ -282,3 +282,39 @@ func TestShardingPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFunctionalBatchPublicAPI states the execution engine's
+// contract through the public API: RunFunctionalBatch is bit-identical
+// per item to RunFunctional and to the retained baseline interpreter.
+func TestRunFunctionalBatchPublicAPI(t *testing.T) {
+	net := BuildTinyResNet(DefaultModelConfig())
+	cfg := DefaultCompileConfig()
+	cfg.KeepPrograms = true
+	comp, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := workload.Inputs(net.InputShape, 4, 19)
+	trs, err := RunFunctionalBatch(comp, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range ins {
+		serial, err := RunFunctional(comp, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := RunFunctionalBaseline(comp, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range net.Layers {
+			if !trs[i].Outputs[l].Equal(serial.Outputs[l]) {
+				t.Fatalf("item %d layer %d: batch != serial", i, l)
+			}
+			if !trs[i].Outputs[l].Equal(base.Outputs[l]) {
+				t.Fatalf("item %d layer %d: batch != baseline interpreter", i, l)
+			}
+		}
+	}
+}
