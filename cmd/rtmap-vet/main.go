@@ -1,0 +1,152 @@
+// Command rtmap-vet is the project's static-analysis gate. It has two
+// modes, both run by CI:
+//
+//	rtmap-vet ./...                      # lint packages (exhaustive
+//	                                     # enum switches, //rtmap:noalloc,
+//	                                     # panic/error conventions)
+//	rtmap-vet -plans                     # compile the small builtin
+//	                                     # models and audit every tile
+//	                                     # plan with the independent
+//	                                     # verifier
+//	rtmap-vet -plans -all                # include the full paper zoo
+//	rtmap-vet -plans -model name=net.json  # audit a serialized model
+//
+// Exit status is 0 when clean, 1 on findings or plan violations, 2 on
+// usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rtmap/internal/core"
+	"rtmap/internal/lint"
+	"rtmap/internal/model"
+	"rtmap/internal/verify"
+)
+
+// builtinModels are the networks -plans audits, in sweep order. The
+// small ones always run; the paper zoo is gated behind -all (resnet18
+// alone compiles for minutes).
+var builtinModels = []struct {
+	name  string
+	full  bool
+	build func(model.Config) *model.Network
+}{
+	{"tinycnn", false, model.TinyCNN},
+	{"tinyresnet", false, model.TinyResNet},
+	{"miniresnet18", false, func(c model.Config) *model.Network { return model.MiniResNet18(c, 32, 32) }},
+	{"vgg9", true, model.VGG9},
+	{"vgg11", true, model.VGG11},
+	{"resnet18", true, model.ResNet18},
+}
+
+// modelFlags collects repeated -model name=path arguments.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%d models", len(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-vet: ")
+	var (
+		plans  = flag.Bool("plans", false, "audit compiled execution plans instead of linting packages")
+		all    = flag.Bool("all", false, "with -plans: include the full paper zoo (vgg9, vgg11, resnet18)")
+		extras modelFlags
+	)
+	flag.Var(&extras, "model", "with -plans: also audit a serialized model, as name=path (repeatable)")
+	flag.Parse()
+
+	if *plans {
+		os.Exit(runPlans(*all, extras))
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	os.Exit(runLint(patterns))
+}
+
+func runLint(patterns []string) int {
+	findings, err := lint.Run(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("rtmap-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func runPlans(all bool, extras modelFlags) int {
+	type target struct {
+		name string
+		net  *model.Network
+	}
+	var targets []target
+	for _, b := range builtinModels {
+		if b.full && !all {
+			continue
+		}
+		targets = append(targets, target{b.name, b.build(model.DefaultConfig())})
+	}
+	for _, e := range extras {
+		net, err := model.LoadFile(e.path)
+		if err != nil {
+			log.Fatalf("-model %s: %v", e.name, err)
+		}
+		targets = append(targets, target{e.name, net})
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.KeepPrograms = true
+	bad := 0
+	for _, t := range targets {
+		comp, err := core.Compile(t.net, cfg)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", t.name, err)
+		}
+		programs := 0
+		for _, lp := range comp.Layers {
+			for _, sp := range lp.StripPlans {
+				programs += len(sp.Programs)
+			}
+		}
+		if err := core.VerifyCompiled(comp); err != nil {
+			bad++
+			var ve *verify.Error
+			if errors.As(err, &ve) {
+				for _, d := range ve.Diags {
+					fmt.Println(d)
+				}
+				fmt.Printf("%s: %d violation(s) across %d programs\n", t.name, len(ve.Diags), programs)
+			} else {
+				fmt.Printf("%s: %v\n", t.name, err)
+			}
+			continue
+		}
+		fmt.Printf("%s: %d tile programs verified clean\n", t.name, programs)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

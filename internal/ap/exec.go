@@ -93,8 +93,9 @@ func execInstr(a *cam.Array, p *Program, ins Instr, pc func(int) int, carryCol, 
 
 	case OpAdd, OpSub, OpNeg:
 		return execArith(a, p, ins, pc, carryCol, carryBase)
+	default:
+		return errUnknownOpcode(ins.Op)
 	}
-	return fmt.Errorf("unknown opcode %v", ins.Op)
 }
 
 func execArith(a *cam.Array, p *Program, ins Instr, pc func(int) int, carryCol, carryBase int) error {
@@ -196,6 +197,7 @@ func selectLUT(ins Instr, carry, colA, colB, dst int, aOK, bOK bool) (*LUT, []in
 			return NegOut, []int{carry, colA}, []int{carry, res}
 		}
 		return SubOutBorrowOnly, []int{carry}, []int{carry, res}
+	default:
+		panic("ap: selectLUT on non-arithmetic op")
 	}
-	panic("ap: selectLUT on non-arithmetic op")
 }

@@ -165,7 +165,7 @@ func NewExecPlan(p *Program) (*ExecPlan, error) {
 		case OpNeg:
 			op.kind = planNeg
 		default:
-			return nil, fmt.Errorf("ap: exec plan: unknown opcode %v", ins.Op)
+			return nil, fmt.Errorf("ap: exec plan: %w", errUnknownOpcode(ins.Op))
 		}
 		plan.ops = append(plan.ops, op)
 	}
@@ -411,6 +411,8 @@ func (m *Machine) Rows() int { return m.rows }
 // wrapped to the column's stored format — the in-place counterpart of
 // WordMachine.SetColumn for batched loads that address one row segment
 // per batch item.
+//
+//rtmap:noalloc
 func (m *Machine) SetColumnInt32(col, row0 int, vals []int32) {
 	if row0 < 0 || row0+len(vals) > m.rows {
 		panic(fmt.Sprintf("ap: SetColumnInt32 rows [%d,%d) outside machine rows %d",
@@ -441,6 +443,8 @@ func (m *Machine) SetColumnInt32(col, row0 int, vals []int32) {
 // AccumulateColumn adds rows [row0, row0+len(dst)) of col into dst
 // without allocating — the inter-strip reduction of the functional
 // simulator, which previously copied every column before accumulating.
+//
+//rtmap:noalloc
 func (m *Machine) AccumulateColumn(col, row0 int, dst []int32) {
 	if row0 < 0 || row0+len(dst) > m.rows {
 		panic(fmt.Sprintf("ap: AccumulateColumn rows [%d,%d) outside machine rows %d",
@@ -462,6 +466,8 @@ func (m *Machine) Column(col int) []int64 {
 
 // Run executes the plan over all active rows. It cannot fail and does not
 // allocate: every structural error was rejected when the plan was built.
+//
+//rtmap:noalloc
 func (m *Machine) Run() {
 	vals := m.vals
 	for i := range m.plan.ops {
@@ -526,6 +532,8 @@ func (m *Machine) Run() {
 // runCopy writes wrap(a, width, unsigned) into one destination column.
 // The wrap is branchless: v − ((v & sign) << 1) subtracts 2·sign exactly
 // when the sign bit of the masked value is set.
+//
+//rtmap:noalloc
 func (m *Machine) runCopy(op *planOp, dst int32, unsigned bool) {
 	d := m.vals[dst]
 	a := m.vals[op.a][:len(d)]
@@ -550,13 +558,15 @@ func (m *Machine) runCopy(op *planOp, dst int32, unsigned bool) {
 // row pass, reproducing the per-instruction wraps of the sequential
 // semantics step by step (an unsigned destination zeroes the copy's
 // sign-extension mask instead of branching per row).
+//
+//rtmap:noalloc
 func (m *Machine) runFused(op *planOp) {
 	chain := m.plan.chains[op.ext]
 	links := m.links[:0]
 	sgns := m.sgns[:0]
 	for _, l := range chain {
-		links = append(links, m.vals[l.a])
-		sgns = append(sgns, l.sgn)
+		links = append(links, m.vals[l.a]) //rtmap:alloc-ok — scratch reuses capacity at steady state
+		sgns = append(sgns, l.sgn)         //rtmap:alloc-ok — scratch reuses capacity at steady state
 	}
 	m.links, m.sgns = links, sgns
 

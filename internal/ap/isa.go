@@ -29,6 +29,13 @@ func (o Opcode) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// errUnknownOpcode is the one "unknown opcode" failure every consumer of
+// an Opcode reports — validation, bit-serial execution and plan lowering
+// wrap this same error so callers and logs see identical text.
+func errUnknownOpcode(o Opcode) error {
+	return fmt.Errorf("unknown opcode %v", o)
+}
+
 // Col describes one operand column of a program: where its LSB lives on
 // the nanowire (Base domain), how many bits it stores, and whether values
 // are unsigned (bits beyond Width read as 0) or signed (bit Width−1 is
@@ -143,7 +150,7 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("ap: instr %d (%v): bad clear dest", i, ins)
 			}
 		default:
-			return fmt.Errorf("ap: instr %d: unknown opcode %v", i, ins.Op)
+			return fmt.Errorf("ap: instr %d: %w", i, errUnknownOpcode(ins.Op))
 		}
 	}
 	return nil

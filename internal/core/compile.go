@@ -158,6 +158,11 @@ func Compile(net *model.Network, cfg Config) (*Compiled, error) {
 		}
 		comp.Layers = append(comp.Layers, plans[i])
 	}
+	if cfg.VerifyPlans {
+		if err := VerifyCompiled(comp); err != nil {
+			return nil, err
+		}
+	}
 	return comp, nil
 }
 

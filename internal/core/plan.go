@@ -33,6 +33,13 @@ type Config struct {
 	// pool and the relevant Config fields), so config sweeps over the same
 	// network reuse lowered layers. nil disables caching.
 	Cache *Cache
+	// VerifyPlans runs the independent static plan verifier
+	// (VerifyCompiled) over every retained tile program — including
+	// cache hits — before Compile returns, failing the compile on any
+	// violated invariant. Debug/CI mode: it audits the programs
+	// KeepPrograms retains, and costs one plan-audit pass per compile,
+	// so the steady-state execution path is unaffected.
+	VerifyPlans bool
 }
 
 // DefaultConfig returns the paper's unroll+CSE configuration, with the

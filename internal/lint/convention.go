@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// checkConventions enforces the panic-vs-wrapped-error convention from
+// ARCHITECTURE.md:
+//
+//   - panics are internal invariant failures and their message must
+//     carry the "<pkg>: " prefix so a crash names its subsystem
+//     (package main is exempt: its panics surface through the CLI);
+//   - input errors wrap their cause — fmt.Errorf formatting an `err`
+//     value must use %w, not %v, so errors.Is/As keep working across
+//     the layer boundary.
+func checkConventions(f *srcFile, report func(token.Pos, string, string, ...any)) {
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && len(call.Args) == 1 {
+			checkPanicMessage(f, call, report)
+			return true
+		}
+		if isPkgCall(call, "fmt", "Errorf") {
+			checkErrorfWrap(call, report)
+		}
+		return true
+	})
+}
+
+// checkPanicMessage verifies the panic message (a string literal, or
+// the format of an fmt.Sprintf argument) starts with "<pkg>: ".
+func checkPanicMessage(f *srcFile, call *ast.CallExpr, report func(token.Pos, string, string, ...any)) {
+	if f.pkg == "main" {
+		return
+	}
+	msg, ok := literalString(call.Args[0])
+	if !ok {
+		if inner, isCall := call.Args[0].(*ast.CallExpr); isCall && isPkgCall(inner, "fmt", "Sprintf") && len(inner.Args) > 0 {
+			msg, ok = literalString(inner.Args[0])
+		}
+	}
+	if !ok {
+		return // non-literal panic value (rethrown error, sentinel)
+	}
+	if !strings.HasPrefix(msg, f.pkg+": ") {
+		report(call.Pos(), "panic-prefix",
+			"panic message %q must start with %q (internal invariants name their subsystem)",
+			msg, f.pkg+": ")
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error value
+// without %w: the cause becomes opaque text and errors.Is/As stop
+// seeing it. The error operand is recognized syntactically — an
+// identifier named err/xxxErr, or a selector/index of one.
+func checkErrorfWrap(call *ast.CallExpr, report func(token.Pos, string, string, ...any)) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := literalString(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrValue(arg) {
+			report(call.Pos(), "errorf-wrap",
+				"fmt.Errorf formats an error value without %%w; wrap it so errors.Is/As see the cause")
+			return
+		}
+	}
+}
+
+// isErrValue reports whether an expression syntactically names an error
+// value: `err`, `fooErr`, `e.err`, `errs[i]`.
+func isErrValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name == "err" || strings.HasSuffix(x.Name, "Err")
+	case *ast.SelectorExpr:
+		return isErrValue(x.Sel)
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name == "errs"
+		}
+	}
+	return false
+}
+
+// isPkgCall reports whether call is pkg.Name(...).
+func isPkgCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// literalString returns the value of a string literal expression.
+func literalString(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,19 @@
+// Package lint implements rtmap's project-specific static analyzers,
+// run by cmd/rtmap-vet as a CI gate. It is purely syntactic (go/ast on
+// stdlib only — the module stays dependency-free) and enforces three
+// invariants the compiler and runtime rely on:
+//
+//   - exhaustive: switches dispatching on the interpreter enums
+//     (ap.Opcode, plan op kinds) must cover every member or declare a
+//     default case, so adding an opcode cannot silently no-op;
+//   - noalloc: functions annotated //rtmap:noalloc (the batch hot
+//     path) must not contain allocating constructs; provably amortized
+//     lines opt out with //rtmap:alloc-ok, and panic arguments are
+//     exempt as cold paths;
+//   - conventions: panic messages carry their "<pkg>: " subsystem
+//     prefix, and fmt.Errorf wraps error values with %w, matching the
+//     panic-vs-wrapped-error boundary documented in ARCHITECTURE.md.
+//
+// Test files are not linted: the rules protect production invariants
+// that tests legitimately violate.
+package lint

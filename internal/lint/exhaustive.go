@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// enforcedEnumTypes are the enum type names whose switches must be
+// exhaustive. These are the interpreter dispatch enums: a member added
+// to one of them without updating every switch silently executes as a
+// no-op, which is exactly the bug class the plan verifier's coverage
+// invariant guards at runtime — this rule guards it at lint time.
+var enforcedEnumTypes = map[string]bool{
+	"Opcode":   true, // ap.Opcode
+	"planKind": true, // ap plan op kinds
+}
+
+// enumSet is one enforced enumeration: its type name and declared
+// members, in declaration order.
+type enumSet struct {
+	typeName string
+	members  []string
+	member   map[string]bool
+}
+
+// collectEnums finds the const groups declaring enforced enum types
+// (`Name Type = iota` followed by bare members) across every parsed
+// file and returns them keyed by member name, so a switch's case labels
+// identify the enum they dispatch on without type information.
+func collectEnums(files []*srcFile) map[string]*enumSet {
+	byMember := map[string]*enumSet{}
+	for _, f := range files {
+		for _, decl := range f.ast.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			var cur *enumSet
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if vs.Type != nil {
+					id, ok := vs.Type.(*ast.Ident)
+					if ok && enforcedEnumTypes[id.Name] {
+						if cur == nil || cur.typeName != id.Name {
+							cur = &enumSet{typeName: id.Name, member: map[string]bool{}}
+						}
+					} else {
+						cur = nil
+						continue
+					}
+				}
+				if cur == nil {
+					continue
+				}
+				for _, n := range vs.Names {
+					if n.Name == "_" {
+						continue
+					}
+					cur.members = append(cur.members, n.Name)
+					cur.member[n.Name] = true
+					byMember[n.Name] = cur
+				}
+			}
+		}
+	}
+	return byMember
+}
+
+// caseBaseName resolves a case label to the member name it references:
+// a plain identifier (same-package member) or the selector of a
+// qualified one (ap.OpAdd).
+func caseBaseName(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	}
+	return "", false
+}
+
+// checkExhaustive flags switch statements dispatching on an enforced
+// enum (every case label is a member of the same enum) that neither
+// cover all members nor declare a default case.
+func checkExhaustive(f *srcFile, enums map[string]*enumSet, report func(token.Pos, string, string, ...any)) {
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		var enum *enumSet
+		covered := map[string]bool{}
+		hasDefault := false
+		labels := 0
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range cc.List {
+				name, ok := caseBaseName(e)
+				if !ok {
+					return true // computed label: not an enum dispatch
+				}
+				es, ok := enums[name]
+				if !ok || (enum != nil && es != enum) {
+					return true // labels outside one enforced enum
+				}
+				enum = es
+				covered[name] = true
+				labels++
+			}
+		}
+		if enum == nil || labels == 0 || hasDefault {
+			return true
+		}
+		var missing []string
+		for _, m := range enum.members {
+			if !covered[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) > 0 {
+			report(sw.Switch, "exhaustive",
+				"switch over %s is not exhaustive: missing %s (cover them or add a default case)",
+				enum.typeName, strings.Join(missing, ", "))
+		}
+		return true
+	})
+}

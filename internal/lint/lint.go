@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint violation, anchored to a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// srcFile is one parsed source file plus the facts the analyzers need:
+// its package name and the lines carrying an //rtmap:alloc-ok
+// suppression marker.
+type srcFile struct {
+	path    string
+	pkg     string
+	ast     *ast.File
+	fset    *token.FileSet
+	allocOK map[int]bool
+}
+
+// Run lints every Go package under the given patterns (a directory, or
+// `dir/...` for a recursive walk; `./...` covers the whole tree) and
+// returns the findings sorted by position. Test files are not linted:
+// the rules protect production invariants (hot-path allocation, panic
+// conventions, dispatch exhaustiveness), and tests legitimately violate
+// all three.
+func Run(patterns []string) ([]Finding, error) {
+	dirs, err := expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*srcFile
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, &srcFile{
+				path: path, pkg: f.Name.Name, ast: f, fset: fset,
+				allocOK: suppressedLines(fset, f),
+			})
+		}
+	}
+
+	enums := collectEnums(files)
+	var out []Finding
+	report := func(pos token.Pos, rule, format string, args ...any) {
+		out = append(out, Finding{
+			Pos: fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		checkExhaustive(f, enums, report)
+		checkNoAlloc(f, report)
+		checkConventions(f, report)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// expand resolves the package patterns to the set of directories to
+// lint. Hidden directories, testdata trees and underscore-prefixed
+// directories are skipped, matching the go tool's ./... semantics.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if clean := filepath.Clean(dir); !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := pat, false
+		if strings.HasSuffix(pat, "...") {
+			recursive = true
+			root = strings.TrimSuffix(pat, "...")
+			root = strings.TrimSuffix(root, string(filepath.Separator))
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+		}
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// suppressedLines returns the source lines carrying an
+// //rtmap:alloc-ok marker (the line of the comment itself; a trailing
+// comment shares the line of the code it excuses).
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//rtmap:alloc-ok") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

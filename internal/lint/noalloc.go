@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// checkNoAlloc enforces the //rtmap:noalloc annotation: a function so
+// marked is on the batch hot path and must not allocate per call. The
+// rule is syntactic and deliberately conservative about what it flags —
+// constructs that always or usually allocate:
+//
+//   - append, make, new calls
+//   - composite literals (slice/map/struct values built per call)
+//   - function literals (closures capture and escape)
+//   - go statements (goroutine stacks)
+//
+// Escape hatches: expressions feeding a panic are cold by definition
+// and are skipped wholesale (panic(fmt.Sprintf(...)) is fine), and a
+// line carrying //rtmap:alloc-ok is excused — for amortized cases like
+// scratch slices that reuse capacity at steady state.
+func checkNoAlloc(f *srcFile, report func(token.Pos, string, string, ...any)) {
+	for _, decl := range f.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !hasDirective(fd.Doc, "rtmap:noalloc") {
+			continue
+		}
+		name := fd.Name.Name
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			flag := func(what string) {
+				if f.allocOK[f.fset.Position(n.Pos()).Line] {
+					return
+				}
+				report(n.Pos(), "noalloc",
+					"%s in //rtmap:noalloc function %s (suppress a provably amortized case with //rtmap:alloc-ok)",
+					what, name)
+			}
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "panic":
+						return false // cold path: the argument may allocate
+					case "append", "make", "new":
+						flag(id.Name + " allocates")
+					}
+				}
+			case *ast.CompositeLit:
+				flag("composite literal allocates")
+			case *ast.FuncLit:
+				flag("function literal (closure) allocates")
+				return false
+			case *ast.GoStmt:
+				flag("go statement allocates a goroutine")
+			}
+			return true
+		}
+		ast.Inspect(fd.Body, walk)
+	}
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// machine directive: a line in the exact `//rtmap:...` form (no space
+// after the slashes), so prose that merely mentions the annotation
+// does not count.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}

@@ -31,6 +31,8 @@ type Metrics struct {
 	requeues       int64 // batches requeued off dead devices
 	deviceFailures int64 // devices marked dead
 
+	planVerifyFails int64 // model admissions rejected by the plan verifier
+
 	latCounts []int64 // cumulative-style on render; stored per-bucket
 	latSum    float64
 	latCount  int64
@@ -87,18 +89,26 @@ func (m *Metrics) ObserveDeviceFailure() {
 	m.deviceFailures++
 }
 
+// ObservePlanVerifyFailure records one model admission rejected because
+// its compiled plans failed static verification.
+func (m *Metrics) ObservePlanVerifyFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.planVerifyFails++
+}
+
 // WritePrometheus renders the counters. extra, when non-nil, appends
 // caller-owned series (gauges that live outside Metrics).
 func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	m.mu.Lock()
 	snap := struct {
 		requests, inferences, errors, batches, batchSizeSum int64
-		requeues, deviceFailures                            int64
+		requeues, deviceFailures, planVerifyFails           int64
 		simLatencyNS, simEnergyPJ                           float64
 		latSum                                              float64
 		latCount                                            int64
 	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
-		m.requeues, m.deviceFailures,
+		m.requeues, m.deviceFailures, m.planVerifyFails,
 		m.simLatencyNS, m.simEnergyPJ, m.latSum, m.latCount}
 	counts := append([]int64(nil), m.latCounts...)
 	m.mu.Unlock()
@@ -112,6 +122,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# TYPE rtmap_sim_energy_pj_total counter\nrtmap_sim_energy_pj_total %g\n", snap.simEnergyPJ)
 	fmt.Fprintf(w, "# TYPE rtmap_requeued_batches_total counter\nrtmap_requeued_batches_total %d\n", snap.requeues)
 	fmt.Fprintf(w, "# TYPE rtmap_device_failures_total counter\nrtmap_device_failures_total %d\n", snap.deviceFailures)
+	fmt.Fprintf(w, "# TYPE rtmap_plan_verify_failures_total counter\nrtmap_plan_verify_failures_total %d\n", snap.planVerifyFails)
 
 	fmt.Fprintf(w, "# TYPE rtmap_request_seconds histogram\n")
 	var cum int64

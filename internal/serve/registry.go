@@ -138,6 +138,15 @@ type Registry struct {
 	// crash.
 	files map[string]string
 
+	// planVerify statically audits every compiled artifact before it is
+	// placed on the fleet; nil selects core.VerifyCompiled. A failing
+	// plan is a badModelError (HTTP 400) and the model is never loaded.
+	// Tests inject failing verifiers here.
+	planVerify func(*core.Compiled) error
+	// metrics, when non-nil, receives the verification-failure counter
+	// (wired by serve.New; a bare Registry works without it).
+	metrics *Metrics
+
 	mu         sync.Mutex
 	seq        int64
 	entries    map[string]*entry
@@ -302,6 +311,22 @@ func (r *Registry) admit(e *entry) {
 	comp, err := core.Compile(net, r.compile)
 	if err != nil {
 		e.err = fmt.Errorf("serve: compiling %s: %w", e.key, err)
+		return
+	}
+	// Static plan verification gates admission: an artifact whose
+	// execution plans fail the independent audit never reaches the fleet.
+	// The failure classifies as a client-caused model problem (the model
+	// definition lowered to an unsound plan), so the HTTP layer answers
+	// 400 with the structured diagnostics rather than serving wrong bits.
+	verifyPlans := r.planVerify
+	if verifyPlans == nil {
+		verifyPlans = core.VerifyCompiled
+	}
+	if err := verifyPlans(comp); err != nil {
+		if r.metrics != nil {
+			r.metrics.ObservePlanVerifyFailure()
+		}
+		e.err = &badModelError{fmt.Errorf("serve: verifying %s: %w", e.key, err)}
 		return
 	}
 	e.net = net

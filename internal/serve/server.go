@@ -15,6 +15,7 @@ import (
 
 	"rtmap/internal/core"
 	"rtmap/internal/tensor"
+	"rtmap/internal/verify"
 )
 
 // Options configures a Server. Zero values select the documented
@@ -127,6 +128,7 @@ func New(opts Options) *Server {
 	reg := NewRegistry(compile, opts.MaxModels, fleet,
 		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue},
 		opts.ShardStages, opts.Replicas)
+	reg.metrics = m
 	for name, path := range opts.ModelFiles {
 		if err := reg.RegisterModelFile(name, path); err != nil {
 			opts.Logf("ignoring model file %s: %v", path, err)
@@ -336,6 +338,9 @@ type InferResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Diagnostics carries the located static-verifier findings when a
+	// model admission was rejected because its plans failed the audit.
+	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -376,7 +381,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Panic-vs-error boundary: anything a client can cause is a 4xx.
 		// Unknown names are 404; a model definition the client supplied
-		// (malformed model file) is 400; internal faults stay 500.
+		// (malformed model file, or one whose plans fail static
+		// verification) is 400; internal faults stay 500.
 		code := http.StatusInternalServerError
 		switch {
 		case !s.reg.Knows(spec.Model):
@@ -385,6 +391,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusBadRequest
 		case errors.Is(err, errNoReplica):
 			code = http.StatusServiceUnavailable // no live capacity to place it
+		}
+		var ve *verify.Error
+		if errors.As(err, &ve) {
+			// Verifier rejections return the full located diagnostics so
+			// the client sees exactly which plan op violated what.
+			s.metrics.ObserveRequest(time.Since(start), 0, true)
+			httpJSON(w, code, errorResponse{Error: err.Error(), Diagnostics: ve.Diags})
+			return
 		}
 		fail(code, "%v", err)
 		return

@@ -126,6 +126,8 @@ func submitConv(t convTask) {
 // batch items: the machine holds n·batch rows (item b's row group lives
 // at rows [b·n, (b+1)·n)) and each strip's program runs once for the
 // whole batch.
+//
+//rtmap:noalloc
 func runConvTask(t convTask, m *ap.Machine) {
 	ctx := t.ctx
 	defer ctx.wg.Done()

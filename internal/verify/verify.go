@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"rtmap/internal/ap"
+	"rtmap/internal/codegen"
+)
+
+// Ref locates a tile program inside a compiled artifact so a diagnostic
+// can name exactly which plan failed.
+type Ref struct {
+	Model     string
+	Layer     int
+	LayerName string
+	Strip     int
+	Tile      int
+}
+
+// Diagnostic is one verifier finding, fully located: which model, layer,
+// strip, tile, plan op, and which invariant it violates. It marshals to
+// JSON so serve can return it in an HTTP 400 body.
+type Diagnostic struct {
+	Model     string `json:"model,omitempty"`
+	Layer     int    `json:"layer"`
+	LayerName string `json:"layer_name,omitempty"`
+	Strip     int    `json:"strip"`
+	Tile      int    `json:"tile"`
+	Op        int    `json:"op"` // plan op index; -1 = plan-level
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Model != "" {
+		fmt.Fprintf(&b, "model %s: ", d.Model)
+	}
+	fmt.Fprintf(&b, "layer %d", d.Layer)
+	if d.LayerName != "" {
+		fmt.Fprintf(&b, " (%s)", d.LayerName)
+	}
+	fmt.Fprintf(&b, " strip %d tile %d op %d: %s: %s", d.Strip, d.Tile, d.Op, d.Invariant, d.Detail)
+	return b.String()
+}
+
+// Error aggregates every diagnostic of one verification sweep. Callers
+// use errors.As to recover the structured findings from a failed
+// compile or admit.
+type Error struct {
+	Diags []Diagnostic
+}
+
+func (e *Error) Error() string {
+	if len(e.Diags) == 0 {
+		return "verify: plan verification failed"
+	}
+	msg := fmt.Sprintf("verify: %s", e.Diags[0])
+	if n := len(e.Diags) - 1; n > 0 {
+		msg += fmt.Sprintf(" (and %d more)", n)
+	}
+	return msg
+}
+
+// CheckTileProgram audits one tile program's execution plan against its
+// source AP program (see ap.AuditPlan for the proved invariants) and
+// returns the findings located under ref. A program whose plan cannot
+// even be built is itself a finding: serving would hit the same error
+// on first execution.
+func CheckTileProgram(ref Ref, tp *codegen.TileProgram) []Diagnostic {
+	located := func(op int, invariant, detail string) Diagnostic {
+		return Diagnostic{
+			Model: ref.Model, Layer: ref.Layer, LayerName: ref.LayerName,
+			Strip: ref.Strip, Tile: ref.Tile,
+			Op: op, Invariant: invariant, Detail: detail,
+		}
+	}
+	if tp == nil || tp.Prog == nil {
+		return []Diagnostic{located(-1, ap.InvProgram, "tile has no program")}
+	}
+	plan, err := tp.ExecPlan()
+	if err != nil {
+		return []Diagnostic{located(-1, ap.InvProgram, err.Error())}
+	}
+	var out []Diagnostic
+	for _, v := range ap.AuditPlan(tp.Prog, plan) {
+		out = append(out, located(v.Op, v.Invariant, v.Detail))
+	}
+	return out
+}

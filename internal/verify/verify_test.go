@@ -1,0 +1,104 @@
+package verify_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rtmap/internal/ap"
+	"rtmap/internal/codegen"
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/verify"
+)
+
+func compileKept(t *testing.T, net *model.Network) *core.Compiled {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.KeepPrograms = true
+	comp, err := core.Compile(net, cfg)
+	if err != nil {
+		t.Fatalf("compile %s: %v", net.Name, err)
+	}
+	return comp
+}
+
+// The acceptance bar of the verifier: every builtin model's plans are
+// independently confirmed with zero diagnostics. A failure here means
+// either the compiler emits an unsound plan or the verifier reports
+// false positives — both ship-blockers.
+func TestBuiltinModelPlansVerifyClean(t *testing.T) {
+	nets := []*model.Network{
+		model.TinyCNN(model.DefaultConfig()),
+		model.TinyResNet(model.DefaultConfig()),
+	}
+	if !testing.Short() {
+		nets = append(nets, model.MiniResNet18(model.DefaultConfig(), 16, 16))
+	}
+	for _, net := range nets {
+		comp := compileKept(t, net)
+		programs := 0
+		for _, lp := range comp.Layers {
+			for _, sp := range lp.StripPlans {
+				programs += len(sp.Programs)
+			}
+		}
+		if programs == 0 {
+			t.Fatalf("%s: no tile programs retained; sweep is vacuous", net.Name)
+		}
+		if err := core.VerifyCompiled(comp); err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+	}
+}
+
+// Config.VerifyPlans makes Compile itself run the sweep (the debug/CI
+// mode serve and rtmap-vet build on).
+func TestCompileVerifyPlansFlag(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.KeepPrograms = true
+	cfg.VerifyPlans = true
+	if _, err := core.Compile(model.TinyCNN(model.DefaultConfig()), cfg); err != nil {
+		t.Fatalf("verified compile: %v", err)
+	}
+}
+
+// Diagnostics are fully located and survive the error-wrapping path the
+// serving layer relies on (errors.As to *verify.Error).
+func TestCheckTileProgramDiagnostics(t *testing.T) {
+	ref := verify.Ref{Model: "m", Layer: 3, LayerName: "conv2", Strip: 1, Tile: 2}
+	diags := verify.CheckTileProgram(ref, &codegen.TileProgram{})
+	if len(diags) != 1 || diags[0].Invariant != ap.InvProgram || diags[0].Op != -1 {
+		t.Fatalf("nil program: %v", diags)
+	}
+	s := diags[0].String()
+	for _, part := range []string{"model m", "layer 3", "conv2", "strip 1", "tile 2"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("diagnostic %q missing %q", s, part)
+		}
+	}
+
+	// A structurally invalid program must fail the sweep, not execution.
+	badProg := &ap.Program{
+		Cols:   []ap.Col{{Name: "carry", Width: 1}, {Name: "c", Width: 4}},
+		Instrs: []ap.Instr{{Op: ap.OpClear, Dst: 99, Width: 4}},
+	}
+	diags = verify.CheckTileProgram(ref, &codegen.TileProgram{Prog: badProg})
+	if len(diags) != 1 || diags[0].Invariant != ap.InvProgram {
+		t.Fatalf("invalid program: %v", diags)
+	}
+
+	verr := &verify.Error{Diags: diags}
+	var wrapped error = verr
+	var got *verify.Error
+	if !errors.As(wrapped, &got) || len(got.Diags) != 1 {
+		t.Fatalf("errors.As failed to recover diagnostics")
+	}
+	if msg := verr.Error(); !strings.Contains(msg, "layer 3") {
+		t.Fatalf("error message %q not located", msg)
+	}
+	two := &verify.Error{Diags: append(diags, diags[0])}
+	if msg := two.Error(); !strings.Contains(msg, "and 1 more") {
+		t.Fatalf("multi-diagnostic message %q missing count", msg)
+	}
+}
