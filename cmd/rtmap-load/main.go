@@ -7,6 +7,13 @@
 //	rtmap-load -url http://127.0.0.1:8080 -model tinycnn -duration 5s -concurrency 8
 //	rtmap-load -model tinycnn -rate 200 -duration 10s     # open loop, 200 req/s
 //	rtmap-load -model tinycnn -batch 4 -bit-exact -json
+//	rtmap-load -model tinycnn -trace-sample 16            # trace 1-in-16, join vs server spans
+//
+// With -trace-sample N, one in N requests carries an X-Rtmap-Trace
+// header; after the run the generator scrapes the server's /debug/traces
+// and joins each sampled request's client wall time against the server's
+// phase breakdown (wait/queue/exec/stage/hop), so queueing delay is
+// attributable from a single report.
 package main
 
 import (
@@ -18,13 +25,17 @@ import (
 	"log"
 	"math"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtmap/internal/serve"
 	"rtmap/internal/tensor"
+	"rtmap/internal/trace"
 	"rtmap/internal/workload"
 )
 
@@ -46,6 +57,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the results as JSON")
 		outFile     = flag.String("out", "", "also write the JSON report to this file (BENCH_*.json artifact feed)")
 		inspect     = flag.Bool("inspect", false, "print one response's batch accounting (device path, pipeline stages, simulated cost) before the run")
+		traceSample = flag.Int("trace-sample", 0, "send an X-Rtmap-Trace header on 1-in-N requests and join client wall time against the server's /debug/traces phase breakdown (0 disables)")
 	)
 	flag.Parse()
 
@@ -67,7 +79,7 @@ func main() {
 
 	// Warm-up: admit (compile) the model and open connections before the
 	// measurement window.
-	if err := post(client, inferURL, bodies[0]); err != nil {
+	if err := post(client, inferURL, bodies[0], ""); err != nil {
 		log.Fatalf("warm-up request: %v", err)
 	}
 	if *inspect {
@@ -91,18 +103,21 @@ func main() {
 		latencies = append(latencies, d)
 	}
 
+	tj := newTraceJoin(*traceSample)
+
 	start := time.Now()
 	deadline := start.Add(*duration)
 	if *rate > 0 {
-		openLoop(client, inferURL, bodies, *rate, deadline, record)
+		openLoop(client, inferURL, bodies, *rate, deadline, tj, record)
 	} else {
-		closedLoop(client, inferURL, bodies, *concurrency, deadline, record)
+		closedLoop(client, inferURL, bodies, *concurrency, deadline, tj, record)
 	}
 	elapsed := time.Since(start)
 
 	report(reportInput{
 		model: *modelName, mode: mode(*rate), bitExact: *bitExact,
 		batch: *batch, latencies: latencies, errs: errs, elapsed: elapsed,
+		trace: tj.join(*url, *modelName),
 	}, *jsonOut, *outFile)
 	if errs > 0 {
 		os.Exit(1)
@@ -180,8 +195,16 @@ func buildPayloads(s payloadSpec) [][]byte {
 	return bodies
 }
 
-func post(client *http.Client, url string, body []byte) error {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func post(client *http.Client, url string, body []byte, traceID string) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(serve.TraceHeader, traceID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -198,16 +221,21 @@ func post(client *http.Client, url string, body []byte) error {
 // closedLoop runs `workers` goroutines that each fire the next request as
 // soon as the previous one returns.
 func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
-	deadline time.Time, record func(time.Duration, error)) {
+	deadline time.Time, tj *traceJoin, record func(time.Duration, error)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; time.Now().Before(deadline); i++ {
+				id := tj.id()
 				t0 := time.Now()
-				err := post(client, url, bodies[i%len(bodies)])
-				record(time.Since(t0), err)
+				err := post(client, url, bodies[i%len(bodies)], id)
+				d := time.Since(t0)
+				record(d, err)
+				if err == nil {
+					tj.record(id, d)
+				}
 			}
 		}(w)
 	}
@@ -218,7 +246,7 @@ func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
 // (up to a bounded number in flight), which measures latency under a
 // target arrival rate rather than a target concurrency.
 func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
-	deadline time.Time, record func(time.Duration, error)) {
+	deadline time.Time, tj *traceJoin, record func(time.Duration, error)) {
 	interval := time.Duration(float64(time.Second) / rate)
 	sem := make(chan struct{}, 1024)
 	var wg sync.WaitGroup
@@ -231,12 +259,153 @@ func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			id := tj.id()
 			t0 := time.Now()
-			err := post(client, url, bodies[i%len(bodies)])
-			record(time.Since(t0), err)
+			err := post(client, url, bodies[i%len(bodies)], id)
+			d := time.Since(t0)
+			record(d, err)
+			if err == nil {
+				tj.record(id, d)
+			}
 		}(i)
 	}
 	wg.Wait()
+}
+
+// traceJoin samples 1-in-N requests with a client-chosen trace ID and,
+// after the run, joins each sampled request's client wall time against
+// the server-side span breakdown scraped from /debug/traces. IDs carry a
+// run-unique prefix so back-to-back runs against one server don't mix.
+type traceJoin struct {
+	every  int
+	prefix string
+	n      atomic.Uint64
+
+	mu   sync.Mutex
+	wall map[string]time.Duration
+}
+
+func newTraceJoin(every int) *traceJoin {
+	if every <= 0 {
+		return nil
+	}
+	return &traceJoin{
+		every:  every,
+		prefix: fmt.Sprintf("load%09x.", time.Now().UnixNano()&0xfffffffff),
+		wall:   map[string]time.Duration{},
+	}
+}
+
+// id returns the trace ID the next request should carry, or "" when that
+// request is unsampled. Safe on a nil receiver (tracing disabled).
+func (t *traceJoin) id() string {
+	if t == nil {
+		return ""
+	}
+	n := t.n.Add(1)
+	if n%uint64(t.every) != 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s%d", t.prefix, n)
+}
+
+// record stores a sampled request's client-observed wall time.
+func (t *traceJoin) record(id string, wall time.Duration) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.wall[id] = wall
+	t.mu.Unlock()
+}
+
+// join scrapes /debug/traces and aggregates the server's spans for every
+// sampled request: wait/queue/http take the max across a trace's spans
+// (requeues re-emit them), exec/stage/hop sum (a sharded request spends
+// exec time in several stage spans). Returns nil when tracing is off;
+// logs and returns a partial report when the scrape fails, so a load run
+// never fails on the join.
+func (t *traceJoin) join(baseURL, model string) map[string]any {
+	if t == nil {
+		return nil
+	}
+	sampled := len(t.wall)
+	out := map[string]any{"sampled": sampled, "joined": 0}
+	if sampled == 0 {
+		return out
+	}
+	resp, err := http.Get(baseURL + "/debug/traces?model=" + neturl.QueryEscape(model))
+	if err != nil {
+		log.Printf("trace join: %v", err)
+		return out
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("trace join: /debug/traces: HTTP %d", resp.StatusCode)
+		return out
+	}
+	var body struct {
+		Spans []trace.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		log.Printf("trace join: decoding /debug/traces: %v", err)
+		return out
+	}
+
+	maxPhases := map[string]bool{"http": true, "wait": true, "queue": true}
+	agg := map[string]map[string]time.Duration{} // trace ID -> phase -> ns
+	for _, sp := range body.Spans {
+		if !strings.HasPrefix(sp.TraceID, t.prefix) {
+			continue
+		}
+		if _, ours := t.wall[sp.TraceID]; !ours {
+			continue
+		}
+		p := agg[sp.TraceID]
+		if p == nil {
+			p = map[string]time.Duration{}
+			agg[sp.TraceID] = p
+		}
+		d := time.Duration(sp.Dur)
+		if maxPhases[sp.Name] {
+			if d > p[sp.Name] {
+				p[sp.Name] = d
+			}
+		} else {
+			p[sp.Name] += d
+		}
+	}
+
+	byPhase := map[string][]time.Duration{}
+	var walls []time.Duration
+	for id, phases := range agg {
+		walls = append(walls, t.wall[id])
+		for name, d := range phases {
+			byPhase[name] = append(byPhase[name], d)
+		}
+	}
+	out["joined"] = len(agg)
+	if len(agg) < sampled {
+		log.Printf("trace join: %d of %d sampled traces missing from /debug/traces (ring buffer wrapped? raise rtmap-serve -trace-buf)",
+			sampled-len(agg), sampled)
+	}
+	quantiles := func(ds []time.Duration) map[string]float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return map[string]float64{
+			"p50": percentileMS(ds, 0.50), "p95": percentileMS(ds, 0.95), "p99": percentileMS(ds, 0.99),
+		}
+	}
+	if len(walls) > 0 {
+		out["client_wall_ms"] = quantiles(walls)
+	}
+	server := map[string]map[string]float64{}
+	for name, ds := range byPhase {
+		server[name] = quantiles(ds)
+	}
+	if len(server) > 0 {
+		out["server_phase_ms"] = server
+	}
+	return out
 }
 
 type reportInput struct {
@@ -247,6 +416,7 @@ type reportInput struct {
 	latencies []time.Duration
 	errs      int
 	elapsed   time.Duration
+	trace     map[string]any // traceJoin.join output; nil when -trace-sample is off
 }
 
 // inspectOnce fires one request and prints the server's batch accounting
@@ -325,6 +495,9 @@ func report(in reportInput, jsonOut bool, outFile string) {
 		"infer_per_s": reqPerSec * float64(in.batch),
 		"latency_ms":  map[string]float64{"mean": meanMS, "p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1.0)},
 	}
+	if in.trace != nil {
+		out["trace"] = in.trace
+	}
 	if outFile != "" {
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -348,4 +521,17 @@ func report(in reportInput, jsonOut bool, outFile string) {
 	fmt.Printf("throughput: %.1f req/s (%.1f inferences/s)\n", reqPerSec, reqPerSec*float64(in.batch))
 	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		meanMS, pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	if in.trace != nil {
+		fmt.Printf("trace join: %v sampled, %v joined via /debug/traces\n", in.trace["sampled"], in.trace["joined"])
+		if phases, ok := in.trace["server_phase_ms"].(map[string]map[string]float64); ok {
+			wall, _ := in.trace["client_wall_ms"].(map[string]float64)
+			fmt.Printf("  p50 ms: client %.2f", wall["p50"])
+			for _, name := range []string{"http", "wait", "queue", "exec", "stage", "hop"} {
+				if q, ok := phases[name]; ok {
+					fmt.Printf("  %s %.2f", name, q["p50"])
+				}
+			}
+			fmt.Println()
+		}
+	}
 }

@@ -9,10 +9,13 @@
 //	rtmap-serve -devices 4 -replicas 2           # data-parallel replication
 //	rtmap-serve -replicas 2 -fail-device 0 -fail-after 2s   # failover demo
 //	rtmap-serve -model mynet=net.json            # serve a JSON model file
+//	rtmap-serve -trace-sample 16 -trace-out spans.jsonl -pprof   # observability on
 //
 // Endpoints: POST /v1/infer, GET /v1/models, GET /healthz, GET /metrics
-// (Prometheus text format). SIGINT/SIGTERM drain gracefully: in-flight
-// requests finish, queued batches execute, then the process exits 0.
+// (Prometheus text format), GET /debug/traces (span ring buffer; requests
+// carrying an X-Rtmap-Trace header are always traced), and /debug/pprof/
+// behind -pprof. SIGINT/SIGTERM drain gracefully: in-flight requests
+// finish, queued batches execute, then the process exits 0.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -42,9 +46,14 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "data-parallel copies of each model placed on disjoint devices; batches balance across live replicas and fail over on device loss")
 		failDev   = flag.Int("fail-device", -1, "fault injection: mark this device dead -fail-after into the run (-1 disables)")
 		failAfter = flag.Duration("fail-after", 2*time.Second, "delay before the -fail-device fault fires")
-		queue     = flag.Int("queue", 64, "per-model and per-device queue capacity")
-		maxInputs = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
-		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
+		queue      = flag.Int("queue", 64, "per-model and per-device queue capacity")
+		maxInputs  = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
+		noCache    = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
+		traceBuf   = flag.Int("trace-buf", 4096, "span ring-buffer capacity behind /debug/traces")
+		traceSamp  = flag.Int("trace-sample", 0, "trace 1-in-N requests without an X-Rtmap-Trace header (0 = header-only tracing)")
+		traceLayer = flag.Int("trace-layer-sample", 8, "record per-layer execution spans for 1-in-N traced requests (0 disables layer spans)")
+		traceOut   = flag.String("trace-out", "", "append every span as a JSON line to this file (rtmap-trace -in reads it)")
+		pprofOn    = flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "serve a JSON model file as `name=path` (repeatable; decoded at admission, malformed files answer HTTP 400)", func(v string) error {
@@ -72,25 +81,49 @@ func main() {
 		}
 	}
 
+	var traceSink *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		traceSink = f
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	err := rtmap.Serve(ctx, rtmap.ServeOptions{
-		Addr:        *addr,
-		Devices:     *devices,
-		MaxBatch:    *maxBatch,
-		Window:      *window,
-		MaxModels:   *maxModels,
-		ShardStages: *shards,
-		Replicas:    *replicas,
-		FailDevice:  *failDev,
-		FailAfter:   fa,
-		ModelFiles:  modelFiles,
-		Queue:       *queue,
-		MaxInputs:   *maxInputs,
-		NoCache:     *noCache,
-		Logf:        log.Printf,
-	})
+	opts := rtmap.ServeOptions{
+		Addr:             *addr,
+		Devices:          *devices,
+		MaxBatch:         *maxBatch,
+		Window:           *window,
+		MaxModels:        *maxModels,
+		ShardStages:      *shards,
+		Replicas:         *replicas,
+		FailDevice:       *failDev,
+		FailAfter:        fa,
+		ModelFiles:       modelFiles,
+		Queue:            *queue,
+		MaxInputs:        *maxInputs,
+		NoCache:          *noCache,
+		TraceBuf:         *traceBuf,
+		TraceSample:      *traceSamp,
+		TraceLayerSample: *traceLayer,
+		EnablePprof:      *pprofOn,
+		Logf:             log.Printf,
+	}
+	if traceSink != nil {
+		opts.TraceOut = traceSink
+	}
+	err := rtmap.Serve(ctx, opts)
+	if traceSink != nil {
+		// The server flushed its buffered span encoder during Shutdown;
+		// close surfaces any write error the flush could not.
+		if cerr := traceSink.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

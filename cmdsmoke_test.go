@@ -36,7 +36,7 @@ func TestCmdSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the command-line tools")
 	}
-	bin := buildTools(t, "rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim", "rtmap-load", "rtmap-vet")
+	bin := buildTools(t, "rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim", "rtmap-load", "rtmap-trace", "rtmap-vet")
 
 	cases := []struct {
 		tool string
@@ -53,6 +53,7 @@ func TestCmdSmoke(t *testing.T) {
 		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1"}, "OK"},
 		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1", "-json"}, `"ok": true`},
 		{"rtmap-load", []string{"-h"}, "closed-loop"},
+		{"rtmap-trace", []string{"-h"}, "/debug/traces"},
 		{"rtmap-vet", []string{"-h"}, "plans"},
 		// Lint mode over the repo: exit 0, no findings printed.
 		{"rtmap-vet", []string{"./..."}, ""},
@@ -82,11 +83,11 @@ func TestServeSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and boots the serving binaries")
 	}
-	bin := buildTools(t, "rtmap-serve", "rtmap-load")
+	bin := buildTools(t, "rtmap-serve", "rtmap-load", "rtmap-trace")
 
 	srv := exec.Command(filepath.Join(bin, "rtmap-serve"),
 		"-addr", "127.0.0.1:0", "-devices", "2", "-max-batch", "4", "-batch-window", "1ms",
-		"-shard-stages", "2")
+		"-shard-stages", "2", "-trace-sample", "4")
 	stderr, err := srv.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -180,16 +181,32 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	// Drive it with the real load generator for a moment; -inspect prints
-	// the pipeline path the sharded server reports.
+	// the pipeline path the sharded server reports, and -trace-sample
+	// exercises the client-side trace join against /debug/traces.
 	load := exec.Command(filepath.Join(bin, "rtmap-load"),
-		"-url", base, "-model", "tinycnn", "-duration", "300ms", "-concurrency", "2", "-json", "-inspect")
+		"-url", base, "-model", "tinycnn", "-duration", "300ms", "-concurrency", "2",
+		"-trace-sample", "2", "-json", "-inspect")
 	out, err := load.CombinedOutput()
 	if err != nil {
 		t.Fatalf("rtmap-load: %v\n%s", err, out)
 	}
-	for _, want := range []string{`"req_per_s"`, `"p95"`, `"errors": 0`, "pipeline stages via devices"} {
+	for _, want := range []string{`"req_per_s"`, `"p95"`, `"errors": 0`, "pipeline stages via devices",
+		`"sampled"`, `"client_wall_ms"`, `"server_phase_ms"`} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("rtmap-load output missing %s:\n%s", want, out)
+		}
+	}
+
+	// The trace analyzer must see the sampled spans on the live server and
+	// attribute the two pipeline stages.
+	tout, err := exec.Command(filepath.Join(bin, "rtmap-trace"),
+		"-url", base, "-model", "tinycnn").CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtmap-trace: %v\n%s", err, tout)
+	}
+	for _, want := range []string{"model tinycnn", "stage 0:", "stage 1:", "bottleneck"} {
+		if !strings.Contains(string(tout), want) {
+			t.Errorf("rtmap-trace output missing %q:\n%s", want, tout)
 		}
 	}
 

@@ -1,0 +1,23 @@
+package energy
+
+// Meter accumulates the modeled energy and wear a device has spent over
+// its lifetime of dispatches: the telemetry counterpart of Breakdown
+// (which prices one inference) feeding the per-device
+// rtmap_device_energy_pj_total and rtmap_device_writes_total series.
+// Meter is a plain value; callers guard it with whatever lock already
+// protects the device it describes.
+type Meter struct {
+	// EnergyPJ is the cumulative modeled energy in picojoules.
+	EnergyPJ float64
+	// Writes is the cumulative busiest-cell write count (the §V-C
+	// endurance currency; see sim.LayerWrites).
+	Writes float64
+}
+
+// Spend adds one dispatch's modeled cost: energyPJ picojoules and
+// writes busiest-cell writes, each already multiplied by batch size
+// where the model says so.
+func (m *Meter) Spend(energyPJ, writes float64) {
+	m.EnergyPJ += energyPJ
+	m.Writes += writes
+}

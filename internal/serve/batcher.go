@@ -20,6 +20,17 @@ type item struct {
 	bitExact bool
 	enq      time.Time
 	res      chan itemResult
+
+	// dispatch is stamped by the batcher when the item's micro-batch is
+	// handed to the fleet; enq→dispatch is the "wait" phase. Work
+	// submitted to the fleet directly (tests, benchmarks) leaves it zero
+	// and the fleet falls back to enq.
+	dispatch time.Time
+	// trace, when non-empty, is the request's trace ID: the fleet emits
+	// spans for this item's phases. layers additionally samples per-layer
+	// execution spans.
+	trace  string
+	layers bool
 }
 
 type itemResult struct {
@@ -127,6 +138,10 @@ func (b *batcher) run() {
 			timer.Stop()
 		}
 		wait = nextWindow(wait, len(batch), b.opts)
+		now := time.Now()
+		for _, it := range batch {
+			it.dispatch = now
+		}
 		b.fleet.Submit(newAPBatch(b.e, batch))
 	}
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 )
 
 // errNoReplica reports a batch that found no live replica (or, for
@@ -48,8 +50,10 @@ func (f *Fleet) FailDevice(id int) error {
 // requeue in flight; the send runs off this goroutine so the dead device
 // keeps draining even when the target queue is full.
 func (f *Fleet) requeue(from *device, b *apBatch) {
+	now := time.Now()
 	b.stage, b.runs, b.path = 0, nil, nil
-	b.simNS, b.simPJ = 0, 0
+	b.simNS, b.simPJ, b.execNS = 0, 0, 0
+	b.hop = time.Time{}
 	b.attempts++
 	if b.attempts > maxFailoverAttempts {
 		fail(b, fmt.Errorf("serve: batch lost device %d and exhausted %d failover attempts",
@@ -68,6 +72,15 @@ func (f *Fleet) requeue(from *device, b *apBatch) {
 	f.mu.Unlock()
 	if f.metrics != nil {
 		f.metrics.ObserveRequeue()
+	}
+	// Cold path: the batch just lost its device, so span formatting cost
+	// is irrelevant. Device records the DEAD device the batch bounced
+	// off; the new placement shows up in the retry's queue/stage spans.
+	for i, it := range b.items {
+		if !b.done[i] && b.firstTraced(i) {
+			f.itemSpan(it, b, "requeue", from.id, -1, now, 0,
+				"attempt "+strconv.Itoa(b.attempts))
+		}
 	}
 	go func() { d.ch <- b }()
 }

@@ -6,9 +6,11 @@ import (
 	"sync"
 	"time"
 
+	"rtmap/internal/energy"
 	"rtmap/internal/model"
 	"rtmap/internal/sim"
 	"rtmap/internal/tensor"
+	"rtmap/internal/trace"
 )
 
 // BatchInfo is the per-batch accounting attached to every result: which
@@ -74,11 +76,35 @@ type apBatch struct {
 	simNS   float64
 	simPJ   float64
 	started time.Time // execution start of stage 0
+
+	// hop is stamped by forward so the next stage can attribute the
+	// inter-stage transfer wall time; execNS accumulates execution wall
+	// time across stages for the per-item phase decomposition.
+	hop    time.Time
+	execNS int64
 }
 
 // newAPBatch wraps coalesced items into a dispatchable batch.
 func newAPBatch(e *entry, items []*item) *apBatch {
 	return &apBatch{e: e, items: items, done: make([]bool, len(items)), replica: -1}
+}
+
+// firstTraced reports whether item i is the first item carrying its
+// trace ID in the batch. Span emission dedupes on it: a multi-sample
+// request contributes one span per event rather than one per sample, so
+// a trace's phase durations stay comparable to its wall time. Batches
+// are small (MaxBatch-bounded), so the scan beats a map.
+func (b *apBatch) firstTraced(i int) bool {
+	it := b.items[i]
+	if it.trace == "" {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if b.items[j].trace == it.trace {
+			return false
+		}
+	}
+	return true
 }
 
 // device is one simulated AP array pool. Batches assigned to it execute
@@ -89,10 +115,11 @@ func newAPBatch(e *entry, items []*item) *apBatch {
 type device struct {
 	id      int
 	ch      chan *apBatch
-	queued  int     // guarded by Fleet.mu
-	busyNS  float64 // guarded by Fleet.mu
-	batches int64   // guarded by Fleet.mu
-	dead    bool    // guarded by Fleet.mu; set by FailDevice
+	queued  int          // guarded by Fleet.mu
+	busyNS  float64      // guarded by Fleet.mu
+	batches int64        // guarded by Fleet.mu
+	meter   energy.Meter // modeled energy/wear spent; guarded by Fleet.mu
+	dead    bool         // guarded by Fleet.mu; set by FailDevice
 }
 
 // Fleet is the device-fleet scheduler: N simulated AP devices with
@@ -107,6 +134,9 @@ type device struct {
 //     batches (ties to the least simulated busy time).
 type Fleet struct {
 	metrics *Metrics
+	// tracer, when non-nil, receives spans for items carrying a trace ID
+	// (set once by serve.New before traffic; a bare Fleet works without).
+	tracer *trace.Tracer
 
 	mu      sync.Mutex // guards device counters, replica counters, pending
 	cond    *sync.Cond // signalled when pending drops
@@ -302,11 +332,76 @@ func (f *Fleet) Submit(b *apBatch) {
 // full queue (queues of different models may point at each other).
 func (f *Fleet) forward(dev int, b *apBatch) {
 	d := f.devices[dev]
+	b.hop = time.Now()
 	f.mu.Lock()
 	d.queued++
 	f.pending++
 	f.mu.Unlock()
 	go func() { d.ch <- b }()
+}
+
+// dispatchOf returns when the item's batch was handed to the fleet,
+// falling back to the enqueue stamp for work submitted directly
+// (benchmarks and tests that bypass the batcher).
+func dispatchOf(it *item) time.Time {
+	if it.dispatch.IsZero() {
+		return it.enq
+	}
+	return it.dispatch
+}
+
+// itemSpan emits one span for a traced item; a nil tracer or an
+// untraced item costs one branch.
+func (f *Fleet) itemSpan(it *item, b *apBatch, name string, dev, stage int, start time.Time, dur time.Duration, detail string) {
+	if f.tracer == nil || it.trace == "" {
+		return
+	}
+	f.tracer.Record(trace.Span{
+		TraceID: it.trace, Name: name, Model: b.e.spec.Model,
+		Device: dev, Replica: b.replica, Stage: stage, Batch: len(b.items),
+		Start: start.UnixNano(), Dur: dur.Nanoseconds(), Detail: detail,
+	})
+}
+
+// waitQueueSpans emits the wait (enqueue→dispatch) and queue
+// (dispatch→execution start) spans for every live traced item of a
+// batch about to execute. A requeued batch re-enters the queue, so its
+// second queue span overlaps the first attempt's execution — the
+// overlap is the failover cost, worth seeing.
+func (f *Fleet) waitQueueSpans(b *apBatch, dev int, start time.Time) {
+	if f.tracer == nil {
+		return
+	}
+	for i, it := range b.items {
+		if b.done[i] || !b.firstTraced(i) {
+			continue
+		}
+		disp := dispatchOf(it)
+		f.itemSpan(it, b, "wait", -1, -1, it.enq, disp.Sub(it.enq), "")
+		f.itemSpan(it, b, "queue", dev, -1, disp, start.Sub(disp), "")
+	}
+}
+
+// layerHook builds the sampled per-layer span hook for a batch when a
+// live item asked for layer attribution; nil otherwise, which the
+// engine turns into zero overhead.
+func (f *Fleet) layerHook(b *apBatch, dev, stage int) sim.LayerHook {
+	if f.tracer == nil {
+		return nil
+	}
+	for i, it := range b.items {
+		if !b.done[i] && it.trace != "" && it.layers {
+			tid := it.trace
+			return func(layer int, name string, startNS, durNS int64) {
+				f.tracer.Record(trace.Span{
+					TraceID: tid, Name: "layer", Model: b.e.spec.Model,
+					Device: dev, Replica: b.replica, Stage: stage, Batch: len(b.items),
+					Start: startNS, Dur: durNS, Detail: name,
+				})
+			}
+		}
+	}
+	return nil
 }
 
 // fail delivers err to every item that does not have a result yet.
@@ -357,7 +452,9 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	f.mu.Lock()
 	d.busyNS += br.LatencyNS
 	d.batches++
+	d.meter.Spend(br.EnergyPJ, b.e.writesPerSample(0)*float64(len(b.items)))
 	f.mu.Unlock()
+	f.waitQueueSpans(b, d.id, start)
 
 	// The whole batch executes in one engine pass: bit-exact items run
 	// through sim.ForwardAPBatch (one program interpretation per (strip,
@@ -373,7 +470,7 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	var exactTrs []*model.IntTrace
 	var exactErr error
 	if len(exactIns) > 0 {
-		exactTrs, exactErr = sim.ForwardAPBatch(b.e.comp, exactIns)
+		exactTrs, exactErr = sim.ForwardAPBatchHook(b.e.comp, exactIns, f.layerHook(b, d.id, -1))
 	}
 
 	next := 0
@@ -412,8 +509,19 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 		b.done[i] = true
 		it.res <- res
 	}
+	execDur := time.Since(start)
 	if f.metrics != nil {
 		f.metrics.ObserveBatch(len(b.items), br.LatencyNS, br.EnergyPJ)
+		f.metrics.ObserveExec(0, execDur)
+		for _, it := range b.items {
+			disp := dispatchOf(it)
+			f.metrics.ObserveItemPhases(disp.Sub(it.enq), start.Sub(disp), execDur)
+		}
+	}
+	for i, it := range b.items {
+		if b.firstTraced(i) {
+			f.itemSpan(it, b, "exec", d.id, -1, start, execDur, "")
+		}
 	}
 }
 
@@ -422,8 +530,9 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 // the pipeline cost model, and the batch either hops to the next stage's
 // device or delivers its results.
 func (f *Fleet) execStage(d *device, b *apBatch) {
+	stageStart := time.Now()
 	if b.stage == 0 {
-		b.started = time.Now()
+		b.started = stageStart
 		b.runs = make([]*sim.ShardRun, len(b.items))
 		for i, it := range b.items {
 			if b.done[i] {
@@ -437,12 +546,20 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 			}
 			b.runs[i] = run
 		}
+		f.waitQueueSpans(b, d.id, stageStart)
+	} else if f.tracer != nil && !b.hop.IsZero() {
+		for i, it := range b.items {
+			if !b.done[i] && b.firstTraced(i) {
+				f.itemSpan(it, b, "hop", d.id, b.stage, b.hop, stageStart.Sub(b.hop), "")
+			}
+		}
 	}
 
 	br := sim.AnalyzeStageBatch(b.e.pipeline, b.stage, len(b.items))
 	f.mu.Lock()
 	d.busyNS += br.LatencyNS
 	d.batches++
+	d.meter.Spend(br.EnergyPJ, b.e.writesPerSample(b.stage)*float64(len(b.items)))
 	f.mu.Unlock()
 	b.simNS += br.LatencyNS
 	b.simPJ += br.EnergyPJ
@@ -451,6 +568,7 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 	// Advance every live run one stage in one batched engine pass per
 	// bit-exactness mode (a coalesced batch can mix modes; each group's
 	// runs share their stage's program interpretations).
+	hook := f.layerHook(b, d.id, b.stage)
 	for _, exact := range []bool{true, false} {
 		var group []*sim.ShardRun
 		var idx []int
@@ -461,13 +579,24 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 			group = append(group, b.runs[i])
 			idx = append(idx, i)
 		}
-		for k, err := range sim.StepBatch(group, exact) {
+		for k, err := range sim.StepBatchHook(group, exact, hook) {
 			if err != nil {
 				i := idx[k]
 				b.done[i] = true
 				b.items[i].res <- itemResult{err: err}
 				b.runs[i] = nil
 			}
+		}
+	}
+
+	stageDur := time.Since(stageStart)
+	b.execNS += stageDur.Nanoseconds()
+	if f.metrics != nil {
+		f.metrics.ObserveExec(b.stage, stageDur)
+	}
+	for i, it := range b.items {
+		if !b.done[i] && b.firstTraced(i) {
+			f.itemSpan(it, b, "stage", d.id, b.stage, stageStart, stageDur, "")
 		}
 	}
 
@@ -499,6 +628,10 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 				Path:           b.path,
 			},
 		}
+		if f.metrics != nil {
+			disp := dispatchOf(it)
+			f.metrics.ObserveItemPhases(disp.Sub(it.enq), b.started.Sub(disp), time.Duration(b.execNS))
+		}
 	}
 	if f.metrics != nil {
 		f.metrics.ObserveBatch(len(b.items), b.simNS, b.simPJ)
@@ -512,6 +645,11 @@ type DeviceStat struct {
 	Queued    int
 	Batches   int64
 	SimBusyNS float64
+	// EnergyPJ and Writes are the device's cumulative modeled energy and
+	// busiest-cell write wear (energy.Meter, fed from the batch cost and
+	// endurance models at each dispatch).
+	EnergyPJ float64
+	Writes   float64
 }
 
 // Stats snapshots every device. Negative counters would mean the
@@ -526,7 +664,10 @@ func (f *Fleet) Stats() []DeviceStat {
 		if d.queued < 0 {
 			panic(fmt.Sprintf("serve: device %d queued count %d < 0", d.id, d.queued))
 		}
-		out[i] = DeviceStat{ID: d.id, Up: !d.dead, Queued: d.queued, Batches: d.batches, SimBusyNS: d.busyNS}
+		out[i] = DeviceStat{
+			ID: d.id, Up: !d.dead, Queued: d.queued, Batches: d.batches, SimBusyNS: d.busyNS,
+			EnergyPJ: d.meter.EnergyPJ, Writes: d.meter.Writes,
+		}
 	}
 	return out
 }

@@ -7,11 +7,77 @@ import (
 	"time"
 )
 
-// latencyBuckets are the upper bounds (seconds) of the request wall-time
+// latencyBuckets are the upper bounds (seconds) of every latency
 // histogram — Prometheus classic-histogram layout, le="+Inf" implied.
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
+
+// hist is one classic Prometheus histogram over latencyBuckets.
+// Observations are stored per-bucket and accumulated into cumulative
+// counts at render time; the +Inf line is cross-checked against the
+// observation count so a storage/render mismatch can never ship a
+// histogram whose buckets disagree with its _count.
+type hist struct {
+	counts []int64 // per-bucket; counts[len(latencyBuckets)] is the overflow
+	sum    float64
+	count  int64
+}
+
+func newHist() hist {
+	return hist{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+// observe records one measurement in seconds.
+func (h *hist) observe(s float64) {
+	i := len(latencyBuckets)
+	for j, ub := range latencyBuckets {
+		if s <= ub {
+			i = j
+			break
+		}
+	}
+	h.counts[i]++
+	h.sum += s
+	h.count++
+}
+
+// clone snapshots the histogram for render outside the metrics lock.
+func (h *hist) clone() hist {
+	return hist{counts: append([]int64(nil), h.counts...), sum: h.sum, count: h.count}
+}
+
+// write renders the histogram's bucket/sum/count series. name is the
+// metric family; labels, when non-empty, is a comma-terminated label
+// prefix (e.g. `phase="wait",`) composed with the le label. The
+// cumulative +Inf count must equal the observation count — a mismatch
+// means the bucket accounting broke, an internal invariant per the
+// panic-vs-error boundary in docs/ARCHITECTURE.md.
+func (h *hist) write(w io.Writer, name, labels string) {
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, fmt.Sprintf("%g", ub), cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	if cum != h.count {
+		panic(fmt.Sprintf("serve: histogram %s{%s} +Inf count %d != observation count %d",
+			name, labels, cum, h.count))
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels[:len(labels)-1], h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels[:len(labels)-1], h.count)
+}
+
+// phaseNames orders the request-phase decomposition: wait (enqueue to
+// batch dispatch), queue (dispatch to execution start), exec (execution
+// proper; summed over stages for sharded models).
+var phaseNames = [...]string{"wait", "queue", "exec"}
 
 // Metrics accumulates the serving counters exposed at /metrics in
 // Prometheus text exposition format. Hand-rolled: the module carries no
@@ -33,13 +99,22 @@ type Metrics struct {
 
 	planVerifyFails int64 // model admissions rejected by the plan verifier
 
-	latCounts []int64 // cumulative-style on render; stored per-bucket
-	latSum    float64
-	latCount  int64
+	lat hist // whole-request wall time
+
+	// phases decomposes request wall time per delivered item, indexed
+	// like phaseNames; stageExec attributes execution wall time to
+	// pipeline stages (index 0 doubles as the unsharded exec histogram),
+	// grown on demand to the deepest stage observed.
+	phases    [len(phaseNames)]hist
+	stageExec []hist
 }
 
 func NewMetrics() *Metrics {
-	return &Metrics{latCounts: make([]int64, len(latencyBuckets)+1)}
+	m := &Metrics{lat: newHist()}
+	for i := range m.phases {
+		m.phases[i] = newHist()
+	}
+	return m
 }
 
 // ObserveRequest records one finished /v1/infer request.
@@ -52,16 +127,32 @@ func (m *Metrics) ObserveRequest(wall time.Duration, samples int, failed bool) {
 	if failed {
 		m.errors++
 	}
-	i := len(latencyBuckets)
-	for j, ub := range latencyBuckets {
-		if s <= ub {
-			i = j
-			break
-		}
+	m.lat.observe(s)
+}
+
+// ObserveItemPhases records one delivered item's wall-time
+// decomposition: batcher wait, fleet queue, and execution (summed over
+// pipeline stages for sharded models).
+func (m *Metrics) ObserveItemPhases(wait, queue, exec time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.phases[0].observe(wait.Seconds())
+	m.phases[1].observe(queue.Seconds())
+	m.phases[2].observe(exec.Seconds())
+}
+
+// ObserveExec attributes one batch's execution wall time to a pipeline
+// stage (stage 0 for unsharded dispatch).
+func (m *Metrics) ObserveExec(stage int, wall time.Duration) {
+	if stage < 0 {
+		stage = 0
 	}
-	m.latCounts[i]++
-	m.latSum += s
-	m.latCount++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.stageExec) <= stage {
+		m.stageExec = append(m.stageExec, newHist())
+	}
+	m.stageExec[stage].observe(wall.Seconds())
 }
 
 // ObserveBatch records one batch dispatched to a device.
@@ -105,12 +196,18 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 		requests, inferences, errors, batches, batchSizeSum int64
 		requeues, deviceFailures, planVerifyFails           int64
 		simLatencyNS, simEnergyPJ                           float64
-		latSum                                              float64
-		latCount                                            int64
 	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
 		m.requeues, m.deviceFailures, m.planVerifyFails,
-		m.simLatencyNS, m.simEnergyPJ, m.latSum, m.latCount}
-	counts := append([]int64(nil), m.latCounts...)
+		m.simLatencyNS, m.simEnergyPJ}
+	lat := m.lat.clone()
+	var phases [len(phaseNames)]hist
+	for i := range m.phases {
+		phases[i] = m.phases[i].clone()
+	}
+	stageExec := make([]hist, len(m.stageExec))
+	for i := range m.stageExec {
+		stageExec[i] = m.stageExec[i].clone()
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintf(w, "# TYPE rtmap_requests_total counter\nrtmap_requests_total %d\n", snap.requests)
@@ -125,15 +222,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# TYPE rtmap_plan_verify_failures_total counter\nrtmap_plan_verify_failures_total %d\n", snap.planVerifyFails)
 
 	fmt.Fprintf(w, "# TYPE rtmap_request_seconds histogram\n")
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += counts[i]
-		fmt.Fprintf(w, "rtmap_request_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	lat.write(w, "rtmap_request_seconds", "")
+
+	fmt.Fprintf(w, "# TYPE rtmap_request_phase_seconds histogram\n")
+	for i, name := range phaseNames {
+		phases[i].write(w, "rtmap_request_phase_seconds", fmt.Sprintf("phase=%q,", name))
 	}
-	cum += counts[len(latencyBuckets)]
-	fmt.Fprintf(w, "rtmap_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "rtmap_request_seconds_sum %g\n", snap.latSum)
-	fmt.Fprintf(w, "rtmap_request_seconds_count %d\n", snap.latCount)
+
+	if len(stageExec) > 0 {
+		fmt.Fprintf(w, "# TYPE rtmap_stage_exec_seconds histogram\n")
+		for i := range stageExec {
+			stageExec[i].write(w, "rtmap_stage_exec_seconds", fmt.Sprintf("stage=\"%d\",", i))
+		}
+	}
 
 	if extra != nil {
 		extra(w)

@@ -110,11 +110,26 @@ type entry struct {
 	// least-loaded live device.
 	replicas []*replica
 
+	// stageWrites is the per-sample busiest-cell write cost of each
+	// pipeline stage (one element — the whole model — when unsharded),
+	// from sim.LayerWrites. Feeds the per-device wear meter at dispatch.
+	stageWrites []float64
+
 	batcher *batcher
 
 	// Guarded by the owning registry's mu.
 	lastUsed int64
 	evicted  bool
+}
+
+// writesPerSample returns the stage's per-sample write wear (stage 0
+// for unsharded dispatch). Entries placed before the wear model was
+// computed (hand-built test entries) report 0.
+func (e *entry) writesPerSample(stage int) float64 {
+	if stage < 0 || stage >= len(e.stageWrites) {
+		return 0
+	}
+	return e.stageWrites[stage]
 }
 
 // Registry resolves Specs to compiled models. Compilation happens on
@@ -335,6 +350,24 @@ func (r *Registry) admit(e *entry) {
 	if err := r.placeEntry(e); err != nil {
 		e.err = fmt.Errorf("serve: placing %s: %w", e.key, err)
 		return
+	}
+	// Per-stage wear costs (after placement, which fixes the stage
+	// partition): the fleet meters cumulative device writes from these at
+	// each dispatch.
+	lw := sim.LayerWrites(comp)
+	if e.shard != nil {
+		e.stageWrites = make([]float64, len(e.shard.Stages))
+		for si, st := range e.shard.Stages {
+			for i := st.Lo; i < st.Hi; i++ {
+				e.stageWrites[si] += lw[i]
+			}
+		}
+	} else {
+		total := 0.0
+		for _, wv := range lw {
+			total += wv
+		}
+		e.stageWrites = []float64{total}
 	}
 	b := newBatcher(e, r.fleet, r.batch)
 

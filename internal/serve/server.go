@@ -9,12 +9,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rtmap/internal/core"
 	"rtmap/internal/tensor"
+	"rtmap/internal/trace"
 	"rtmap/internal/verify"
 )
 
@@ -62,6 +64,21 @@ type Options struct {
 	// MaxInputs caps the number of samples one /v1/infer request may
 	// carry (default 64).
 	MaxInputs int
+	// TraceBuf is the span ring-buffer capacity behind /debug/traces
+	// (default trace.DefaultCapacity). TraceSample traces 1-in-N requests
+	// that carry no X-Rtmap-Trace header (0 honors only explicit
+	// headers); TraceLayerSample additionally records per-layer execution
+	// spans for 1-in-N traced requests (0 disables layer spans).
+	TraceBuf         int
+	TraceSample      int
+	TraceLayerSample int
+	// TraceOut, when non-nil, receives every span as JSONL (the
+	// rtmap-serve -trace-out sink; cmd/rtmap-trace reads it).
+	TraceOut io.Writer
+	// EnablePprof mounts the stdlib net/http/pprof handlers under
+	// /debug/pprof/ (off by default: profiling endpoints are an
+	// operational opt-in).
+	EnablePprof bool
 	// Logf receives serving log lines; nil uses the standard logger.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +117,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts     Options
 	metrics  *Metrics
+	tracer   *trace.Tracer
 	fleet    *Fleet
 	reg      *Registry
 	mux      *http.ServeMux
@@ -135,14 +153,32 @@ func New(opts Options) *Server {
 		}
 	}
 
-	s := &Server{opts: opts, metrics: m, fleet: fleet, reg: reg, mux: http.NewServeMux()}
+	tr := trace.New(opts.TraceBuf, opts.TraceSample, opts.TraceLayerSample)
+	if opts.TraceOut != nil {
+		tr.SetSink(opts.TraceOut)
+	}
+	fleet.tracer = tr
+
+	s := &Server{opts: opts, metrics: m, tracer: tr, fleet: fleet, reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: s.mux}
 	return s
 }
+
+// Tracer exposes the span collector (tests; embedding servers that want
+// to record their own spans).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Handler exposes the route table (httptest servers, embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -210,6 +246,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.http.Shutdown(ctx)
 	s.reg.Close()
 	s.fleet.Close()
+	if ferr := s.tracer.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("serve: flushing trace sink: %w", ferr)
+	}
 	return err
 }
 
@@ -274,6 +313,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE rtmap_device_sim_busy_ns_total counter\n")
 		for _, d := range stats {
 			fmt.Fprintf(w, "rtmap_device_sim_busy_ns_total{device=\"%d\"} %g\n", d.ID, d.SimBusyNS)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_device_energy_pj_total counter\n")
+		for _, d := range stats {
+			fmt.Fprintf(w, "rtmap_device_energy_pj_total{device=\"%d\"} %g\n", d.ID, d.EnergyPJ)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_device_writes_total counter\n")
+		for _, d := range stats {
+			fmt.Fprintf(w, "rtmap_device_writes_total{device=\"%d\"} %g\n", d.ID, d.Writes)
 		}
 		loaded := s.reg.Loaded()
 		fmt.Fprintf(w, "# TYPE rtmap_model_stages gauge\n")
@@ -343,10 +390,41 @@ type errorResponse struct {
 	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
 }
 
+// TraceHeader is the HTTP header carrying a client-chosen trace ID:
+// requests bearing it are always traced (IDs longer than 64 bytes are
+// ignored); requests without it are traced 1-in-Options.TraceSample.
+// Traced responses echo the ID back in the same header.
+const TraceHeader = "X-Rtmap-Trace"
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+
+	// Resolve the request's trace identity up front so even failed
+	// requests leave an http span behind.
+	traceID := r.Header.Get(TraceHeader)
+	if len(traceID) > 64 {
+		traceID = ""
+	}
+	if traceID == "" && s.tracer.SampleRequest() {
+		traceID = trace.NewID()
+	}
+	traceLayers := traceID != "" && s.tracer.SampleLayers()
+	model := ""
+	httpSpan := func(detail string) {
+		if traceID == "" {
+			return
+		}
+		w.Header().Set(TraceHeader, traceID)
+		s.tracer.Record(trace.Span{
+			TraceID: traceID, Name: "http", Model: model,
+			Device: -1, Replica: -1, Stage: -1,
+			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(), Detail: detail,
+		})
+	}
+
 	fail := func(code int, format string, args ...any) {
 		s.metrics.ObserveRequest(time.Since(start), 0, true)
+		httpSpan(fmt.Sprintf("error %d", code))
 		httpJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 	}
 	var req InferRequest
@@ -363,6 +441,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := Spec{Model: req.Model, ActBits: req.ActBits, Sparsity: 0.8, Seed: req.Seed}
+	model = spec.Model
 	if spec.ActBits == 0 {
 		spec.ActBits = 4
 	}
@@ -397,6 +476,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			// Verifier rejections return the full located diagnostics so
 			// the client sees exactly which plan op violated what.
 			s.metrics.ObserveRequest(time.Since(start), 0, true)
+			httpSpan(fmt.Sprintf("error %d", code))
 			httpJSON(w, code, errorResponse{Error: err.Error(), Diagnostics: ve.Diags})
 			return
 		}
@@ -414,7 +494,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		t := tensor.NewFloat(shape)
 		copy(t.Data, vals)
-		items[i] = &item{in: t, bitExact: req.BitExact, enq: time.Now(), res: make(chan itemResult, 1)}
+		items[i] = &item{
+			in: t, bitExact: req.BitExact, enq: time.Now(), res: make(chan itemResult, 1),
+			trace: traceID, layers: traceLayers,
+		}
 	}
 
 	// Submit with eviction retry: a concurrently evicted entry refuses
@@ -452,7 +535,44 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	s.metrics.ObserveRequest(time.Since(start), len(items), false)
+	httpSpan("")
 	httpJSON(w, http.StatusOK, resp)
+}
+
+// tracesResponse is the /debug/traces wire format: the retained spans
+// (oldest first, after filters), how many spans were ever recorded, and
+// how many the bounded ring has dropped.
+type tracesResponse struct {
+	Spans         []trace.Span `json:"spans"`
+	TotalRecorded uint64       `json:"total_recorded"`
+	Dropped       uint64       `json:"dropped"`
+}
+
+// handleTraces serves the span ring buffer as JSON. Query parameters
+// trace= and model= filter to one trace ID / one model name.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	wantTrace, wantModel := q.Get("trace"), q.Get("model")
+	spans := s.tracer.Snapshot()
+	total := s.tracer.Total()
+	dropped := total - uint64(len(spans))
+	if wantTrace != "" || wantModel != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if wantTrace != "" && sp.TraceID != wantTrace {
+				continue
+			}
+			if wantModel != "" && sp.Model != wantModel {
+				continue
+			}
+			kept = append(kept, sp)
+		}
+		spans = kept
+	}
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	httpJSON(w, http.StatusOK, tracesResponse{Spans: spans, TotalRecorded: total, Dropped: dropped})
 }
 
 func httpJSON(w http.ResponseWriter, code int, v any) {

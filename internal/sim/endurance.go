@@ -25,11 +25,14 @@ type EnduranceReport struct {
 
 const nsPerYear = 365.25 * 24 * 3600 * 1e9
 
-// Endurance estimates device lifetime under continuous inference.
-func Endurance(c *core.Compiled, rep *Report) EnduranceReport {
-	out := EnduranceReport{}
-	var worst float64
-	for _, plan := range c.Layers {
+// LayerWrites returns the per-inference write count of the busiest cell
+// of each layer — the §V-C wear pressure model, exposed per layer so
+// the serving stack can meter cumulative writes per device (the
+// rtmap_device_writes_total gauge and, eventually, wear-aware
+// placement). Non-conv layers write nothing (0).
+func LayerWrites(c *core.Compiled) []float64 {
+	writes := make([]float64, len(c.Layers))
+	for i, plan := range c.Layers {
 		if plan.Class != core.ClassConv {
 			continue
 		}
@@ -38,10 +41,19 @@ func Endurance(c *core.Compiled, rep *Report) EnduranceReport {
 		// clear. Each strip accumulates its resident channels into the
 		// same physical accumulator columns across all tiles.
 		chansPerStrip := (plan.InCEffective() + plan.Strips - 1) / max(1, plan.Strips)
-		writes := float64(plan.Tiles) * (float64(chansPerStrip)*4*tagFraction + 1)
+		writes[i] = float64(plan.Tiles) * (float64(chansPerStrip)*4*tagFraction + 1)
+	}
+	return writes
+}
+
+// Endurance estimates device lifetime under continuous inference.
+func Endurance(c *core.Compiled, rep *Report) EnduranceReport {
+	out := EnduranceReport{}
+	var worst float64
+	for i, writes := range LayerWrites(c) {
 		if writes > worst {
 			worst = writes
-			out.WorstLayer = plan.Name
+			out.WorstLayer = c.Layers[i].Name
 			out.WritesPerInference = writes
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rtmap/internal/ap"
 	"rtmap/internal/core"
@@ -301,11 +302,24 @@ func RunConvBatch(c *core.Compiled, layerIdx int, ins []*tensor.Int) ([]*tensor.
 	return outs, nil
 }
 
+// LayerHook observes one layer's execution on the functional engine:
+// its index and name, the wall-clock start (UnixNano) and duration of
+// the interpretation. Hooks feed the sampled per-layer tracing spans of
+// the serving stack; a nil hook costs one branch per layer and no clock
+// reads, so the untraced hot path is unchanged.
+type LayerHook func(layer int, name string, startUnixNS, durNS int64)
+
 // ForwardAPBatch runs the full network functionally for a batch of
 // inputs, every conv/linear layer executed once per (strip, tile,
 // row-group) across the whole batch. Each returned trace is bit-identical
 // to ForwardAP on the corresponding input.
 func ForwardAPBatch(c *core.Compiled, ins []*tensor.Float) ([]*model.IntTrace, error) {
+	return ForwardAPBatchHook(c, ins, nil)
+}
+
+// ForwardAPBatchHook is ForwardAPBatch with a per-layer observation
+// hook (nil behaves exactly like ForwardAPBatch).
+func ForwardAPBatchHook(c *core.Compiled, ins []*tensor.Float, hook LayerHook) ([]*model.IntTrace, error) {
 	if len(ins) == 0 {
 		return nil, nil
 	}
@@ -313,7 +327,7 @@ func ForwardAPBatch(c *core.Compiled, ins []*tensor.Float) ([]*model.IntTrace, e
 	for i, in := range ins {
 		trs[i] = quantizeInput(c, in)
 	}
-	if err := execLayersBatch(c, trs, 0, len(c.Net.Layers), true); err != nil {
+	if err := execLayersBatch(c, trs, 0, len(c.Net.Layers), true, hook); err != nil {
 		return nil, err
 	}
 	return trs, nil
@@ -322,8 +336,8 @@ func ForwardAPBatch(c *core.Compiled, ins []*tensor.Float) ([]*model.IntTrace, e
 // execLayers executes the layer range [lo, hi) of the compiled network on
 // one trace — the single-item view of execLayersBatch, kept as the entry
 // point of the sharded stage runner.
-func execLayers(c *core.Compiled, tr *model.IntTrace, lo, hi int, bitExact bool) error {
-	return execLayersBatch(c, []*model.IntTrace{tr}, lo, hi, bitExact)
+func execLayers(c *core.Compiled, tr *model.IntTrace, lo, hi int, bitExact bool, hook LayerHook) error {
+	return execLayersBatch(c, []*model.IntTrace{tr}, lo, hi, bitExact, hook)
 }
 
 // execLayersBatch executes the layer range [lo, hi) on every trace,
@@ -333,7 +347,9 @@ func execLayers(c *core.Compiled, tr *model.IntTrace, lo, hi int, bitExact bool)
 // batch) or the integer software reference — the two are proved
 // bit-identical. An input tensor a trace does not hold is an error, so a
 // sharded stage run proves its boundary transfer set is sufficient.
-func execLayersBatch(c *core.Compiled, trs []*model.IntTrace, lo, hi int, bitExact bool) error {
+// hook, when non-nil, observes every layer's wall-clock interpretation
+// time (one call per layer for the whole batch, not per item).
+func execLayersBatch(c *core.Compiled, trs []*model.IntTrace, lo, hi int, bitExact bool, hook LayerHook) error {
 	n := c.Net
 	getT := func(tr *model.IntTrace, idx int) (*tensor.Int, error) {
 		if idx == model.InputRef {
@@ -357,6 +373,10 @@ func execLayersBatch(c *core.Compiled, trs []*model.IntTrace, lo, hi int, bitExa
 	convOuts := make([]*tensor.Int, len(trs))
 	for i := lo; i < hi; i++ {
 		l := &n.Layers[i]
+		var layerStart time.Time
+		if hook != nil {
+			layerStart = time.Now()
+		}
 		if (l.Kind == model.KindConv || l.Kind == model.KindLinear) && bitExact {
 			for j, tr := range trs {
 				x, err := getT(tr, l.Inputs[0])
@@ -372,6 +392,9 @@ func execLayersBatch(c *core.Compiled, trs []*model.IntTrace, lo, hi int, bitExa
 			for j, tr := range trs {
 				tr.Outputs[i] = convOuts[j]
 				tr.Scales[i] = getS(tr, l.Inputs[0]) * float64(l.WScale)
+			}
+			if hook != nil {
+				hook(i, l.Name, layerStart.UnixNano(), time.Since(layerStart).Nanoseconds())
 			}
 			continue
 		}
@@ -417,6 +440,9 @@ func execLayersBatch(c *core.Compiled, trs []*model.IntTrace, lo, hi int, bitExa
 			default:
 				return fmt.Errorf("sim: unknown layer kind %v", l.Kind)
 			}
+		}
+		if hook != nil {
+			hook(i, l.Name, layerStart.UnixNano(), time.Since(layerStart).Nanoseconds())
 		}
 	}
 	return nil

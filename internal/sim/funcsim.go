@@ -174,7 +174,7 @@ func execLayersBaseline(c *core.Compiled, tr *model.IntTrace, lo, hi int) error 
 			tr.Scales[i] = s * float64(l.WScale)
 			continue
 		}
-		if err := execLayersBatch(c, []*model.IntTrace{tr}, i, i+1, false); err != nil {
+		if err := execLayersBatch(c, []*model.IntTrace{tr}, i, i+1, false, nil); err != nil {
 			return err
 		}
 	}

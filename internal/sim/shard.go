@@ -63,7 +63,7 @@ func (r *ShardRun) Step(bitExact bool) error {
 	}
 	st := r.sp.Stages[r.stage]
 	tr := r.buildStore()
-	if err := execLayers(r.c, tr, st.Lo, st.Hi, bitExact); err != nil {
+	if err := execLayers(r.c, tr, st.Lo, st.Hi, bitExact, nil); err != nil {
 		return fmt.Errorf("sim: stage %d [%d,%d): %w", r.stage, st.Lo, st.Hi, err)
 	}
 	return r.finishStage(tr)
@@ -79,6 +79,14 @@ func (r *ShardRun) Step(bitExact bool) error {
 // too). Runs that are mismatched or already complete fall back to
 // individual Steps.
 func StepBatch(runs []*ShardRun, bitExact bool) []error {
+	return StepBatchHook(runs, bitExact, nil)
+}
+
+// StepBatchHook is StepBatch with a per-layer observation hook (nil
+// behaves exactly like StepBatch). The non-uniform fallback path steps
+// runs individually and drops the hook — mixed batches are a recovery
+// corner, not an attribution target.
+func StepBatchHook(runs []*ShardRun, bitExact bool, hook LayerHook) []error {
 	errs := make([]error, len(runs))
 	if len(runs) == 0 {
 		return errs
@@ -101,7 +109,7 @@ func StepBatch(runs []*ShardRun, bitExact bool) []error {
 	for i, r := range runs {
 		trs[i] = r.buildStore()
 	}
-	if err := execLayersBatch(runs[0].c, trs, st.Lo, st.Hi, bitExact); err != nil {
+	if err := execLayersBatch(runs[0].c, trs, st.Lo, st.Hi, bitExact, hook); err != nil {
 		err = fmt.Errorf("sim: stage %d [%d,%d): %w", runs[0].stage, st.Lo, st.Hi, err)
 		for i := range errs {
 			errs[i] = err

@@ -1,0 +1,16 @@
+// Package trace is the serving stack's zero-dependency request-tracing
+// layer: every traced /v1/infer request (an X-Rtmap-Trace header, or a
+// 1-in-N sample) emits Spans for each phase of its life — HTTP
+// handling, micro-batcher wait, fleet queueing, per-device execution,
+// pipeline-stage hops, sampled per-layer ExecPlan interpretation, and
+// failover requeues. Spans land in a bounded in-memory ring buffer
+// (exported at /debug/traces) and, optionally, a JSONL sink
+// (rtmap-serve -trace-out), which cmd/rtmap-trace turns into per-model
+// breakdowns, critical-path analysis and per-phase percentile tables.
+//
+// The layer is allocation-conscious by construction: recording a span
+// is one fixed-size struct copy into a preallocated ring slot (the
+// Record fast path is //rtmap:noalloc-gated), and an untraced request
+// pays a single string comparison per phase, so the 0-alloc batch hot
+// path stays 0-alloc when tracing is off.
+package trace
