@@ -14,6 +14,8 @@
 //	rtmap-bench -exec 8 -json -out DIR                  # BENCH_exec.json
 //	rtmap-bench -trace-overhead    # serving-path tracing overhead (off/sampled/full)
 //	rtmap-bench -trace-overhead -json -out DIR          # BENCH_trace.json
+//	rtmap-bench -slo               # SLO scheduler vs static config: goodput under mixed deadlines
+//	rtmap-bench -slo -json -out DIR                     # BENCH_slo.json
 //
 // Outputs are printed and, with -out DIR, also written as TSV files.
 // With -json, results are emitted as one machine-readable JSON document
@@ -55,6 +57,8 @@ func main() {
 		execB     = flag.Int("exec", 0, "sweep the batched functional execution engine at batch sizes 1..N (powers of two) against the retained baseline interpreter")
 		replicas  = flag.Int("replicas", 0, "sweep data-parallel replication from 1 to N replicas and report the aggregate-throughput frontier")
 		traceOH   = flag.Bool("trace-overhead", false, "measure the serving path's tracing overhead: tinycnn request cost with tracing off, 1-in-16 sampled, and fully traced with layer spans")
+		sloB      = flag.Bool("slo", false, "drive a mixed-deadline workload against a static configuration and the SLO scheduler (deadline-aware batching, shedding, autoscaling) at the same offered load and compare goodput")
+		sloDur    = flag.Duration("slo-duration", 3*time.Second, "measurement window per -slo arm")
 		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11); also selects the -shards model (default resnet18; tiny models allowed) and the -replicas models (default tinycnn+resnet18)")
 		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
@@ -64,7 +68,7 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
-	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 && *replicas <= 0 && *execB <= 0 && !*traceOH {
+	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 && *replicas <= 0 && *execB <= 0 && !*traceOH && !*sloB {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -251,6 +255,26 @@ func main() {
 			}
 		}
 		addJSON("trace", sec)
+	}
+
+	if *sloB {
+		sec, err := sloSweep(*seed, *sloDur, *noCache, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("\nSLO scheduling — %s (mixed-deadline open loop at %.0f req/s, %.1fs per arm)\n",
+				sec.Network, sec.OfferedPerSec, sec.DurationS)
+			printArm := func(a sloArm) {
+				fmt.Printf("%-45s goodput %6.1f req/s  (ok %d  shed %d  expired %d  failed %d of %d; replicas %d)\n",
+					a.Config+":", a.GoodputPerSec, a.Accepted, a.Shed, a.Expired, a.Failed, a.Sent, a.FinalReplicas)
+			}
+			printArm(sec.Static)
+			printArm(sec.SLO)
+			fmt.Printf("goodput ratio (slo/static): %.2fx   bit-exact spot checks: %d, violations: %d\n",
+				sec.GoodputRatio, sec.BitExactChecked, sec.BitExactViolations)
+		}
+		addJSON("slo", sec)
 	}
 
 	if *replicas > 0 {

@@ -8,6 +8,14 @@
 //	rtmap-load -model tinycnn -rate 200 -duration 10s     # open loop, 200 req/s
 //	rtmap-load -model tinycnn -batch 4 -bit-exact -json
 //	rtmap-load -model tinycnn -trace-sample 16            # trace 1-in-16, join vs server spans
+//	rtmap-load -model tinycnn -rate 400 -mix "interactive:50:25,standard:30:100,bulk:20:0"
+//
+// With -mix, each request carries a priority class and deadline drawn
+// from a deterministic 100-slot schedule of class:weight:deadline_ms
+// entries (deadline 0 = none). Sheds (HTTP 429) and expiries (HTTP 503
+// kind "expired") are counted per class rather than as errors, and the
+// report adds goodput: requests that returned 200 within their own
+// deadline budget — the serving metric the SLO scheduler optimizes.
 //
 // With -trace-sample N, one in N requests carries an X-Rtmap-Trace
 // header; after the run the generator scrapes the server's /debug/traces
@@ -58,8 +66,14 @@ func main() {
 		outFile     = flag.String("out", "", "also write the JSON report to this file (BENCH_*.json artifact feed)")
 		inspect     = flag.Bool("inspect", false, "print one response's batch accounting (device path, pipeline stages, simulated cost) before the run")
 		traceSample = flag.Int("trace-sample", 0, "send an X-Rtmap-Trace header on 1-in-N requests and join client wall time against the server's /debug/traces phase breakdown (0 disables)")
+		mixSpec     = flag.String("mix", "", "per-request SLO mix as class:weight:deadline_ms entries, e.g. \"interactive:50:25,standard:30:100,bulk:20:0\" (deadline 0 = none); sheds and expiries count per class, and the report adds goodput")
 	)
 	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("-mix: %v", err)
+	}
 
 	shape, err := discoverShape(*url, *modelName)
 	if err != nil {
@@ -79,7 +93,7 @@ func main() {
 
 	// Warm-up: admit (compile) the model and open connections before the
 	// measurement window.
-	if err := post(client, inferURL, bodies[0], ""); err != nil {
+	if _, err := post(client, inferURL, bodies[0], "", nil); err != nil {
 		log.Fatalf("warm-up request: %v", err)
 	}
 	if *inspect {
@@ -92,15 +106,54 @@ func main() {
 		mu        sync.Mutex
 		latencies []time.Duration
 		errs      int
+		slo       map[string]*classTally
 	)
-	record := func(d time.Duration, err error) {
+	if mix != nil {
+		slo = map[string]*classTally{}
+		for _, c := range mix.classes {
+			slo[c.name] = &classTally{deadlineMS: c.deadlineMS}
+		}
+	}
+	record := func(d time.Duration, sc *sloClass, sh shot, err error) {
 		mu.Lock()
 		defer mu.Unlock()
-		if err != nil {
+		var ct *classTally
+		if sc != nil {
+			ct = slo[sc.name]
+			ct.sent++
+		}
+		switch {
+		case err != nil:
+			errs++
+			if ct != nil {
+				ct.failed++
+			}
+			return
+		case sh.status == http.StatusOK:
+			latencies = append(latencies, d)
+			if ct != nil {
+				ct.accepted++
+				if sc.deadlineMS == 0 || d.Seconds()*1e3 <= sc.deadlineMS {
+					ct.goodput++
+				}
+			}
+			return
+		}
+		// Non-200. Without a mix, any of them is an error (legacy
+		// contract); with one, sheds and expiries are expected outcomes.
+		if ct == nil {
 			errs++
 			return
 		}
-		latencies = append(latencies, d)
+		switch {
+		case sh.status == http.StatusTooManyRequests:
+			ct.shed++
+		case sh.status == http.StatusServiceUnavailable && sh.kind == "expired":
+			ct.expired++
+		default:
+			ct.failed++
+			errs++
+		}
 	}
 
 	tj := newTraceJoin(*traceSample)
@@ -108,20 +161,101 @@ func main() {
 	start := time.Now()
 	deadline := start.Add(*duration)
 	if *rate > 0 {
-		openLoop(client, inferURL, bodies, *rate, deadline, tj, record)
+		openLoop(client, inferURL, bodies, *rate, deadline, tj, mix, record)
 	} else {
-		closedLoop(client, inferURL, bodies, *concurrency, deadline, tj, record)
+		closedLoop(client, inferURL, bodies, *concurrency, deadline, tj, mix, record)
 	}
 	elapsed := time.Since(start)
 
 	report(reportInput{
 		model: *modelName, mode: mode(*rate), bitExact: *bitExact,
 		batch: *batch, latencies: latencies, errs: errs, elapsed: elapsed,
-		trace: tj.join(*url, *modelName),
+		trace: tj.join(*url, *modelName), slo: slo,
 	}, *jsonOut, *outFile)
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// sloClass is one -mix entry: a priority class and the deadline budget
+// its requests carry (0 = no deadline).
+type sloClass struct {
+	name       string
+	weight     int
+	deadlineMS float64
+}
+
+// sloMix assigns each request a class from a deterministic 100-slot
+// schedule proportional to the entry weights, so two runs with the same
+// flags offer the same class sequence regardless of worker interleaving.
+type sloMix struct {
+	classes  []sloClass
+	schedule []*sloClass
+	n        atomic.Uint64
+}
+
+// parseMix decodes "class:weight:deadline_ms,..." into a mix; an empty
+// spec returns nil (SLO headers off).
+func parseMix(spec string) (*sloMix, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m := &sloMix{}
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("entry %q: want class:weight:deadline_ms", part)
+		}
+		var c sloClass
+		c.name = strings.TrimSpace(fields[0])
+		if _, err := fmt.Sscanf(fields[1], "%d", &c.weight); err != nil || c.weight <= 0 {
+			return nil, fmt.Errorf("entry %q: weight must be a positive integer", part)
+		}
+		if _, err := fmt.Sscanf(fields[2], "%g", &c.deadlineMS); err != nil || c.deadlineMS < 0 {
+			return nil, fmt.Errorf("entry %q: deadline_ms must be a non-negative number", part)
+		}
+		m.classes = append(m.classes, c)
+		total += c.weight
+	}
+	// Proportional fill by running quota (Bresenham-style): slot i goes
+	// to the class furthest behind its weight share, which interleaves
+	// classes instead of batching each one's slots together.
+	const slots = 100
+	assigned := make([]int, len(m.classes))
+	for i := 0; i < slots; i++ {
+		best, bestLag := 0, -1.0
+		for j, c := range m.classes {
+			lag := float64(c.weight)*float64(i+1)/float64(total) - float64(assigned[j])
+			if lag > bestLag {
+				best, bestLag = j, lag
+			}
+		}
+		assigned[best]++
+		m.schedule = append(m.schedule, &m.classes[best])
+	}
+	return m, nil
+}
+
+// next returns the class of the next request. Safe on a nil receiver
+// (mix disabled): every request is classless.
+func (m *sloMix) next() *sloClass {
+	if m == nil {
+		return nil
+	}
+	return m.schedule[(m.n.Add(1)-1)%uint64(len(m.schedule))]
+}
+
+// classTally is the client-side per-class ledger; the accounting-audit
+// test in internal/serve checks the server agrees with the same sums.
+type classTally struct {
+	deadlineMS float64
+	sent       int64
+	accepted   int64
+	shed       int64
+	expired    int64
+	failed     int64
+	goodput    int64 // accepted AND inside the class deadline budget
 }
 
 func mode(rate float64) string {
@@ -195,33 +329,65 @@ func buildPayloads(s payloadSpec) [][]byte {
 	return bodies
 }
 
-func post(client *http.Client, url string, body []byte, traceID string) error {
+// shot is one request's classified outcome: the HTTP status plus, for
+// non-200 answers, the structured error kind the server attached.
+type shot struct {
+	status int
+	kind   string
+}
+
+// post fires one request, attaching the trace header and the class's
+// SLO headers when set. The returned error covers transport failures
+// only — HTTP-level rejections come back classified in the shot, and
+// the caller decides whether they are errors (no -mix) or expected
+// outcomes (sheds and expiries under a mix). Without a mix (sc nil), a
+// non-200 status is also returned as an error to keep the legacy
+// contract for warm-up and plain runs.
+func post(client *http.Client, url string, body []byte, traceID string, sc *sloClass) (shot, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return shot{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceID != "" {
 		req.Header.Set(serve.TraceHeader, traceID)
 	}
+	if sc != nil {
+		req.Header.Set(serve.ClassHeader, sc.name)
+		if sc.deadlineMS > 0 {
+			req.Header.Set(serve.DeadlineHeader, fmt.Sprintf("%g", sc.deadlineMS))
+		}
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return err
+		return shot{}, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+	sh := shot{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return sh, err
+		}
+		return sh, nil
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	var eresp struct {
+		Kind string `json:"kind"`
 	}
-	return nil
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err == nil {
+		sh.kind = eresp.Kind
+	}
+	io.Copy(io.Discard, resp.Body)
+	if sc == nil {
+		return sh, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return sh, nil
 }
 
 // closedLoop runs `workers` goroutines that each fire the next request as
 // soon as the previous one returns.
 func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
-	deadline time.Time, tj *traceJoin, record func(time.Duration, error)) {
+	deadline time.Time, tj *traceJoin, mix *sloMix,
+	record func(time.Duration, *sloClass, shot, error)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -229,11 +395,12 @@ func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
 			defer wg.Done()
 			for i := w; time.Now().Before(deadline); i++ {
 				id := tj.id()
+				sc := mix.next()
 				t0 := time.Now()
-				err := post(client, url, bodies[i%len(bodies)], id)
+				sh, err := post(client, url, bodies[i%len(bodies)], id, sc)
 				d := time.Since(t0)
-				record(d, err)
-				if err == nil {
+				record(d, sc, sh, err)
+				if err == nil && sh.status == http.StatusOK {
 					tj.record(id, d)
 				}
 			}
@@ -246,7 +413,8 @@ func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
 // (up to a bounded number in flight), which measures latency under a
 // target arrival rate rather than a target concurrency.
 func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
-	deadline time.Time, tj *traceJoin, record func(time.Duration, error)) {
+	deadline time.Time, tj *traceJoin, mix *sloMix,
+	record func(time.Duration, *sloClass, shot, error)) {
 	interval := time.Duration(float64(time.Second) / rate)
 	sem := make(chan struct{}, 1024)
 	var wg sync.WaitGroup
@@ -260,11 +428,12 @@ func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
 			defer wg.Done()
 			defer func() { <-sem }()
 			id := tj.id()
+			sc := mix.next()
 			t0 := time.Now()
-			err := post(client, url, bodies[i%len(bodies)], id)
+			sh, err := post(client, url, bodies[i%len(bodies)], id, sc)
 			d := time.Since(t0)
-			record(d, err)
-			if err == nil {
+			record(d, sc, sh, err)
+			if err == nil && sh.status == http.StatusOK {
 				tj.record(id, d)
 			}
 		}(i)
@@ -416,7 +585,8 @@ type reportInput struct {
 	latencies []time.Duration
 	errs      int
 	elapsed   time.Duration
-	trace     map[string]any // traceJoin.join output; nil when -trace-sample is off
+	trace     map[string]any         // traceJoin.join output; nil when -trace-sample is off
+	slo       map[string]*classTally // per-class ledger; nil when -mix is off
 }
 
 // inspectOnce fires one request and prints the server's batch accounting
@@ -498,6 +668,27 @@ func report(in reportInput, jsonOut bool, outFile string) {
 	if in.trace != nil {
 		out["trace"] = in.trace
 	}
+	var goodputTotal int64
+	if in.slo != nil {
+		classes := map[string]any{}
+		for name, ct := range in.slo {
+			classes[name] = map[string]any{
+				"deadline_ms": ct.deadlineMS,
+				"sent":        ct.sent,
+				"accepted":    ct.accepted,
+				"shed":        ct.shed,
+				"expired":     ct.expired,
+				"failed":      ct.failed,
+				"goodput":     ct.goodput,
+			}
+			goodputTotal += ct.goodput
+		}
+		out["slo"] = map[string]any{
+			"classes":       classes,
+			"goodput":       goodputTotal,
+			"goodput_per_s": float64(goodputTotal) / in.elapsed.Seconds(),
+		}
+	}
 	if outFile != "" {
 		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -521,6 +712,24 @@ func report(in reportInput, jsonOut bool, outFile string) {
 	fmt.Printf("throughput: %.1f req/s (%.1f inferences/s)\n", reqPerSec, reqPerSec*float64(in.batch))
 	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		meanMS, pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	if in.slo != nil {
+		var sentTotal int64
+		for _, ct := range in.slo {
+			sentTotal += ct.sent
+		}
+		fmt.Printf("goodput: %.1f req/s in-deadline (%d of %d sent)\n",
+			float64(goodputTotal)/in.elapsed.Seconds(), goodputTotal, sentTotal)
+		names := make([]string, 0, len(in.slo))
+		for name := range in.slo {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ct := in.slo[name]
+			fmt.Printf("  %-11s deadline %6.1fms: sent %5d  ok %5d  goodput %5d  shed %5d  expired %5d  failed %3d\n",
+				name, ct.deadlineMS, ct.sent, ct.accepted, ct.goodput, ct.shed, ct.expired, ct.failed)
+		}
+	}
 	if in.trace != nil {
 		fmt.Printf("trace join: %v sampled, %v joined via /debug/traces\n", in.trace["sampled"], in.trace["joined"])
 		if phases, ok := in.trace["server_phase_ms"].(map[string]map[string]float64); ok {

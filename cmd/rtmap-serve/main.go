@@ -10,6 +10,8 @@
 //	rtmap-serve -replicas 2 -fail-device 0 -fail-after 2s   # failover demo
 //	rtmap-serve -model mynet=net.json            # serve a JSON model file
 //	rtmap-serve -trace-sample 16 -trace-out spans.jsonl -pprof   # observability on
+//	rtmap-serve -max-queue-delay 50ms            # shed (HTTP 429) past this backlog
+//	rtmap-serve -autoscale -scale-interval 250ms # grow/shrink replicas and stages from live load
 //
 // Endpoints: POST /v1/infer, GET /v1/models, GET /healthz, GET /metrics
 // (Prometheus text format), GET /debug/traces (span ring buffer; requests
@@ -37,15 +39,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtmap-serve: ")
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		devices   = flag.Int("devices", 4, "simulated AP devices in the fleet")
-		maxBatch  = flag.Int("max-batch", 8, "micro-batch size cap (1 disables coalescing)")
-		window    = flag.Duration("batch-window", 2*time.Millisecond, "max wait for follow-up requests when forming a batch")
-		maxModels = flag.Int("max-models", 4, "compiled models resident before LRU eviction")
-		shards    = flag.Int("shard-stages", 0, "serve each model as a pipeline of N layer-range stages pinned to distinct devices (0/1 = whole-model dispatch; clamped to -devices)")
-		replicas  = flag.Int("replicas", 1, "data-parallel copies of each model placed on disjoint devices; batches balance across live replicas and fail over on device loss")
-		failDev   = flag.Int("fail-device", -1, "fault injection: mark this device dead -fail-after into the run (-1 disables)")
-		failAfter = flag.Duration("fail-after", 2*time.Second, "delay before the -fail-device fault fires")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		devices    = flag.Int("devices", 4, "simulated AP devices in the fleet")
+		maxBatch   = flag.Int("max-batch", 8, "micro-batch size cap (1 disables coalescing)")
+		window     = flag.Duration("batch-window", 2*time.Millisecond, "max wait for follow-up requests when forming a batch")
+		maxModels  = flag.Int("max-models", 4, "compiled models resident before LRU eviction")
+		shards     = flag.Int("shard-stages", 0, "serve each model as a pipeline of N layer-range stages pinned to distinct devices (0/1 = whole-model dispatch; clamped to -devices)")
+		replicas   = flag.Int("replicas", 1, "data-parallel copies of each model placed on disjoint devices; batches balance across live replicas and fail over on device loss")
+		failDev    = flag.Int("fail-device", -1, "fault injection: mark this device dead -fail-after into the run (-1 disables)")
+		failAfter  = flag.Duration("fail-after", 2*time.Second, "delay before the -fail-device fault fires")
 		queue      = flag.Int("queue", 64, "per-model and per-device queue capacity")
 		maxInputs  = flag.Int("max-inputs", 64, "samples accepted per /v1/infer request")
 		noCache    = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
@@ -54,6 +56,10 @@ func main() {
 		traceLayer = flag.Int("trace-layer-sample", 8, "record per-layer execution spans for 1-in-N traced requests (0 disables layer spans)")
 		traceOut   = flag.String("trace-out", "", "append every span as a JSON line to this file (rtmap-trace -in reads it)")
 		pprofOn    = flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/")
+		maxQDelay  = flag.Duration("max-queue-delay", 0, "shed requests (HTTP 429 + Retry-After) when the estimated queue delay exceeds this bound (0 = deadline-driven shedding only)")
+		autoscale  = flag.Bool("autoscale", false, "resize each model's replicas and pipeline stages from live queue depth (bounded by -devices and -shard-stages)")
+		scaleEvery = flag.Duration("scale-interval", 250*time.Millisecond, "autoscaler evaluation period (with -autoscale)")
+		wallScale  = flag.Float64("wall-scale", 0, "dilate simulated device latency into wall time by this factor, so service time follows the cost model instead of host speed (0 disables)")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "serve a JSON model file as `name=path` (repeatable; decoded at admission, malformed files answer HTTP 400)", func(v string) error {
@@ -94,24 +100,28 @@ func main() {
 	defer stop()
 
 	opts := rtmap.ServeOptions{
-		Addr:             *addr,
-		Devices:          *devices,
-		MaxBatch:         *maxBatch,
-		Window:           *window,
-		MaxModels:        *maxModels,
-		ShardStages:      *shards,
-		Replicas:         *replicas,
-		FailDevice:       *failDev,
-		FailAfter:        fa,
-		ModelFiles:       modelFiles,
-		Queue:            *queue,
-		MaxInputs:        *maxInputs,
-		NoCache:          *noCache,
-		TraceBuf:         *traceBuf,
-		TraceSample:      *traceSamp,
-		TraceLayerSample: *traceLayer,
-		EnablePprof:      *pprofOn,
-		Logf:             log.Printf,
+		Addr:              *addr,
+		Devices:           *devices,
+		MaxBatch:          *maxBatch,
+		Window:            *window,
+		MaxModels:         *maxModels,
+		ShardStages:       *shards,
+		Replicas:          *replicas,
+		FailDevice:        *failDev,
+		FailAfter:         fa,
+		ModelFiles:        modelFiles,
+		Queue:             *queue,
+		MaxInputs:         *maxInputs,
+		NoCache:           *noCache,
+		TraceBuf:          *traceBuf,
+		TraceSample:       *traceSamp,
+		TraceLayerSample:  *traceLayer,
+		EnablePprof:       *pprofOn,
+		MaxQueueDelay:     *maxQDelay,
+		Autoscale:         *autoscale,
+		AutoscaleInterval: *scaleEvery,
+		WallScale:         *wallScale,
+		Logf:              log.Printf,
 	}
 	if traceSink != nil {
 		opts.TraceOut = traceSink

@@ -240,7 +240,7 @@ func stats(name string, durs []float64) phaseStat {
 }
 
 // phaseOrder fixes the display order of the span taxonomy.
-var phaseOrder = []string{"http", "wait", "queue", "hop", "exec", "stage", "layer", "requeue"}
+var phaseOrder = []string{"http", "wait", "queue", "hop", "exec", "stage", "layer", "requeue", "shed", "expired"}
 
 func analyze(spans []trace.Span) analysis {
 	byModel := map[string]map[string][]float64{} // model -> phase -> ms

@@ -1,0 +1,35 @@
+package dispatch
+
+import "time"
+
+// Clock abstracts wall-clock reads so scheduling policy can be driven
+// by a fake clock in tests. Production code uses RealClock; the policy
+// types themselves take explicit time.Time parameters and never read a
+// clock behind the caller's back.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the system clock.
+type RealClock struct{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Manual is a hand-advanced fake clock for deterministic scheduler
+// tests: Now returns exactly what the test set, and Advance moves it
+// forward. Not safe for concurrent use — scripted tests are
+// single-threaded by design.
+type Manual struct{ now time.Time }
+
+// NewManual returns a fake clock pinned at start.
+func NewManual(start time.Time) *Manual { return &Manual{now: start} }
+
+// Now returns the current fake time.
+func (m *Manual) Now() time.Time { return m.now }
+
+// Advance moves the fake clock forward by d and returns the new time.
+func (m *Manual) Advance(d time.Duration) time.Time {
+	m.now = m.now.Add(d)
+	return m.now
+}

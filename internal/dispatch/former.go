@@ -1,0 +1,197 @@
+package dispatch
+
+import "time"
+
+// FormerOptions sizes a Former. Zero values select the documented
+// defaults.
+type FormerOptions struct {
+	// MaxBatch caps batch size (default 8; 1 disables coalescing).
+	MaxBatch int
+	// Window bounds how long formation waits for follow-up work after
+	// the first ticket of a batch (default 2ms). The effective wait is
+	// adaptive — see NextWindow.
+	Window time.Duration
+	// StarveLimit bounds bulk starvation: a bulk ticket that has waited
+	// at least this long is promoted into the next batch ahead of the
+	// priority order, so sustained interactive pressure can slow bulk
+	// down but never park it forever. Default 8×Window.
+	StarveLimit time.Duration
+}
+
+func (o FormerOptions) withDefaults() FormerOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.StarveLimit <= 0 {
+		o.StarveLimit = 8 * o.Window
+	}
+	return o
+}
+
+// Former is deadline- and class-aware micro-batch formation policy. The
+// caller pushes tickets as they arrive and asks Form whether a batch
+// should dispatch now; Former owns only the pending set and the
+// decision, never a clock or a goroutine, so scripted tests drive it
+// deterministically.
+//
+// Decision rules, in order:
+//
+//   - tickets whose deadline has already passed are cancelled (returned
+//     as expired) before they can occupy batch capacity;
+//   - a full batch (MaxBatch pending) dispatches immediately;
+//   - otherwise the batch dispatches when the coalescing window closes —
+//     or EARLIER, at the latest instant that still leaves the tightest
+//     pending deadline its estimated execution time (early close: a
+//     tight deadline is never sacrificed to batching opportunity);
+//   - composition takes interactive first, then standard, then bulk,
+//     FIFO within a class, so interactive never queues behind bulk; a
+//     bulk ticket that has starved past StarveLimit is promoted to the
+//     front of the next batch.
+//
+// Not safe for concurrent use: one Former belongs to one batcher
+// goroutine.
+type Former struct {
+	opts FormerOptions
+	wait time.Duration // adaptive window, see NextWindow
+	// perItem is the caller-refreshed per-item execution estimate the
+	// early-close rule prices dispatch-to-completion with.
+	perItem time.Duration
+	q       [NumClasses][]Ticket // pending, indexed by Class.rank()
+	n       int
+}
+
+// NewFormer returns an empty Former.
+func NewFormer(opts FormerOptions) *Former {
+	opts = opts.withDefaults()
+	return &Former{opts: opts, wait: opts.Window}
+}
+
+// Push adds one ticket to the pending set.
+func (f *Former) Push(t Ticket) {
+	f.q[t.Class.rank()] = append(f.q[t.Class.rank()], t)
+	f.n++
+}
+
+// Pending returns the number of tickets waiting to be formed.
+func (f *Former) Pending() int { return f.n }
+
+// Window returns the current adaptive coalescing window.
+func (f *Former) Window() time.Duration { return f.wait }
+
+// SetPerItemEstimate refreshes the per-item execution time estimate
+// used by the early-close rule (0 disables early close until the
+// caller has a measurement).
+func (f *Former) SetPerItemEstimate(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	f.perItem = d
+}
+
+// Form decides whether a batch should dispatch at now. It returns the
+// formed batch (nil when formation should keep waiting), the tickets
+// cancelled because their deadline already passed, and — when batch is
+// nil and tickets remain — the wake time at which the decision changes
+// without further arrivals. force dispatches whatever is pending
+// regardless of the window (drain paths). Callers loop until batch
+// comes back nil: one call forms at most MaxBatch.
+func (f *Former) Form(now time.Time, force bool) (batch, expired []Ticket, wake time.Time) {
+	expired = f.dropExpired(now)
+	if f.n == 0 {
+		return nil, expired, time.Time{}
+	}
+	if !force && f.n < f.opts.MaxBatch {
+		close := f.closeTime()
+		if close.After(now) {
+			return nil, expired, close
+		}
+	}
+	return f.compose(now), expired, time.Time{}
+}
+
+// dropExpired removes every pending ticket whose deadline has passed.
+func (f *Former) dropExpired(now time.Time) []Ticket {
+	var out []Ticket
+	for c := range f.q {
+		kept := f.q[c][:0]
+		for _, t := range f.q[c] {
+			if t.Expired(now) {
+				out = append(out, t)
+				f.n--
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		f.q[c] = kept
+	}
+	return out
+}
+
+// closeTime is the instant formation stops waiting: the adaptive
+// window measured from the oldest pending ticket, pulled earlier by any
+// pending deadline so that dispatch still leaves it the estimated
+// execution time of the would-be batch.
+func (f *Former) closeTime() time.Time {
+	var close time.Time
+	est := time.Duration(min(f.n, f.opts.MaxBatch)) * f.perItem
+	if est <= 0 {
+		// Cold start: no execution estimate yet. Still close strictly
+		// before the deadline — dispatching AT the deadline guarantees a
+		// miss, and real timers always overshoot their wake a little.
+		est = f.opts.Window / 8
+	}
+	for c := range f.q {
+		for _, t := range f.q[c] {
+			windowEnd := t.Enqueued.Add(f.wait)
+			if close.IsZero() || windowEnd.Before(close) {
+				close = windowEnd
+			}
+			if !t.Deadline.IsZero() {
+				if latest := t.Deadline.Add(-est); latest.Before(close) {
+					close = latest
+				}
+			}
+		}
+	}
+	return close
+}
+
+// compose pops up to MaxBatch tickets in priority order: a starved
+// bulk ticket first (anti-starvation), then interactive, standard,
+// bulk, FIFO within each class. Updates the adaptive window.
+func (f *Former) compose(now time.Time) []Ticket {
+	batch := make([]Ticket, 0, min(f.n, f.opts.MaxBatch))
+	bulk := ClassBulk.rank()
+	if len(f.q[bulk]) > 0 && now.Sub(f.q[bulk][0].Enqueued) >= f.opts.StarveLimit {
+		batch = append(batch, f.q[bulk][0])
+		f.q[bulk] = f.q[bulk][1:]
+		f.n--
+	}
+	for c := range f.q {
+		for len(batch) < f.opts.MaxBatch && len(f.q[c]) > 0 {
+			batch = append(batch, f.q[c][0])
+			f.q[c] = f.q[c][1:]
+			f.n--
+		}
+	}
+	f.wait = NextWindow(f.wait, len(batch), f.opts.MaxBatch, f.opts.Window)
+	return batch
+}
+
+// NextWindow is the adaptive coalescing-window update: full batches
+// halve the wait (floored at window/8) because traffic is dense enough
+// that waiting longer only adds latency; everything else doubles it
+// back (capped at the configured window) to recover batching
+// opportunity. The restore must trigger on every non-full batch, not
+// just singletons: under moderate traffic that fills 2..MaxBatch-1
+// items per window a singleton may never occur, and a once-halved
+// window would otherwise stay small forever.
+func NextWindow(wait time.Duration, size, maxBatch int, window time.Duration) time.Duration {
+	if size >= maxBatch {
+		return max(wait/2, window/8)
+	}
+	return min(wait*2, window)
+}

@@ -1,0 +1,263 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// t0 anchors every scripted schedule; the Manual clock starts here.
+var t0 = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+func ticket(c Class, enq time.Time, deadline time.Duration) Ticket {
+	t := Ticket{Class: c, Enqueued: enq}
+	if deadline > 0 {
+		t.Deadline = enq.Add(deadline)
+	}
+	return t
+}
+
+// payloads labels tickets so composition order is assertable.
+func labeled(c Class, enq time.Time, deadline time.Duration, label string) Ticket {
+	t := ticket(c, enq, deadline)
+	t.Payload = label
+	return t
+}
+
+func labels(batch []Ticket) []string {
+	out := make([]string, len(batch))
+	for i, t := range batch {
+		out[i] = t.Payload.(string)
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Formation order: interactive before standard before bulk, FIFO
+// within a class, regardless of arrival order — an interactive arrival
+// never queues behind earlier bulk work.
+func TestFormationPriorityOrder(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 8, Window: time.Millisecond})
+	f.Push(labeled(ClassBulk, clk.Now(), 0, "b1"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s1"))
+	f.Push(labeled(ClassBulk, clk.Now(), 0, "b2"))
+	f.Push(labeled(ClassInteractive, clk.Now(), 0, "i1"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s2"))
+
+	clk.Advance(2 * time.Millisecond) // window expired
+	batch, expired, _ := f.Form(clk.Now(), false)
+	if len(expired) != 0 {
+		t.Fatalf("%d tickets expired, want 0", len(expired))
+	}
+	want := []string{"i1", "s1", "s2", "b1", "b2"}
+	if !eq(labels(batch), want) {
+		t.Fatalf("batch order %v, want %v", labels(batch), want)
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("%d pending after full drain", f.Pending())
+	}
+}
+
+// A full batch dispatches immediately, without waiting for the window,
+// and composition still honors priority.
+func TestFormationFullBatchDispatchesEagerly(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 2, Window: time.Hour})
+	f.Push(labeled(ClassBulk, clk.Now(), 0, "b1"))
+	f.Push(labeled(ClassInteractive, clk.Now(), 0, "i1"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s1"))
+
+	batch, _, _ := f.Form(clk.Now(), false) // same instant: no time passed
+	if !eq(labels(batch), []string{"i1", "s1"}) {
+		t.Fatalf("first batch %v, want [i1 s1]", labels(batch))
+	}
+	// One pending item < MaxBatch: formation waits for the window again.
+	batch, _, wake := f.Form(clk.Now(), false)
+	if batch != nil {
+		t.Fatalf("undersized batch dispatched immediately: %v", labels(batch))
+	}
+	if wake.IsZero() || !wake.After(clk.Now()) {
+		t.Fatalf("no future wake time for the pending remainder (wake %v)", wake)
+	}
+}
+
+// Early close: a tight deadline pulls dispatch to deadline−exec rather
+// than the window end.
+func TestFormationEarlyCloseOnTightDeadline(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 8, Window: 10 * time.Millisecond})
+	f.SetPerItemEstimate(time.Millisecond)
+
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s1"))
+	batch, _, wake := f.Form(clk.Now(), false)
+	if batch != nil {
+		t.Fatal("deadline-less singleton dispatched before its window")
+	}
+	if got := wake.Sub(clk.Now()); got != 10*time.Millisecond {
+		t.Fatalf("deadline-less wake after %v, want the full 10ms window", got)
+	}
+
+	// A 4ms-deadline interactive arrival must close the window at
+	// deadline − 2 items × 1ms/item = t+2ms, not t+10ms.
+	f.Push(labeled(ClassInteractive, clk.Now(), 4*time.Millisecond, "i1"))
+	batch, _, wake = f.Form(clk.Now(), false)
+	if batch != nil {
+		t.Fatal("dispatched before the early-close instant")
+	}
+	if got := wake.Sub(clk.Now()); got != 2*time.Millisecond {
+		t.Fatalf("early close after %v, want 2ms (deadline 4ms − 2×1ms exec)", got)
+	}
+
+	clk.Advance(2 * time.Millisecond)
+	batch, expired, _ := f.Form(clk.Now(), false)
+	if len(expired) != 0 {
+		t.Fatalf("expired %d tickets at the early-close instant", len(expired))
+	}
+	if !eq(labels(batch), []string{"i1", "s1"}) {
+		t.Fatalf("early-closed batch %v, want [i1 s1]", labels(batch))
+	}
+}
+
+// Tickets whose deadline passed while queued are cancelled, never
+// dispatched.
+func TestFormationCancelsExpired(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 8, Window: time.Millisecond})
+	f.Push(labeled(ClassInteractive, clk.Now(), 500*time.Microsecond, "dead"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "alive"))
+
+	clk.Advance(2 * time.Millisecond)
+	batch, expired, _ := f.Form(clk.Now(), false)
+	if len(expired) != 1 || expired[0].Payload.(string) != "dead" {
+		t.Fatalf("expired %v, want exactly [dead]", labels(expired))
+	}
+	if !eq(labels(batch), []string{"alive"}) {
+		t.Fatalf("batch %v, want [alive]", labels(batch))
+	}
+}
+
+// Non-starvation: under sustained interactive pressure that always
+// fills MaxBatch, a bulk ticket older than StarveLimit is promoted so
+// bulk still drains.
+func TestFormationBulkNeverStarves(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 2, Window: time.Millisecond, StarveLimit: 4 * time.Millisecond})
+	f.Push(labeled(ClassBulk, clk.Now(), 0, "bulk"))
+
+	// Keep two interactive tickets pending at every formation: without
+	// the anti-starvation rule, bulk would never be chosen.
+	served := 0
+	for round := 0; round < 10; round++ {
+		f.Push(labeled(ClassInteractive, clk.Now(), 0, "i"))
+		f.Push(labeled(ClassInteractive, clk.Now(), 0, "i"))
+		batch, _, _ := f.Form(clk.Now(), false)
+		if batch == nil {
+			t.Fatalf("round %d: full queue did not dispatch", round)
+		}
+		for _, tk := range batch {
+			if tk.Payload.(string) == "bulk" {
+				served++
+				age := clk.Now().Sub(tk.Enqueued)
+				if age < 4*time.Millisecond {
+					t.Fatalf("bulk promoted after only %v, before the 4ms starve limit", age)
+				}
+				if batch[0].Payload.(string) != "bulk" {
+					t.Fatalf("starved bulk not at the front of its batch: %v", labels(batch))
+				}
+			}
+		}
+		clk.Advance(time.Millisecond)
+	}
+	if served != 1 {
+		t.Fatalf("bulk ticket served %d times under interactive pressure, want exactly 1", served)
+	}
+}
+
+// force drains everything pending regardless of windows (shutdown
+// path), in priority order, MaxBatch at a time.
+func TestFormationForceDrains(t *testing.T) {
+	clk := NewManual(t0)
+	f := NewFormer(FormerOptions{MaxBatch: 2, Window: time.Hour})
+	f.Push(labeled(ClassBulk, clk.Now(), 0, "b1"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s1"))
+	f.Push(labeled(ClassStandard, clk.Now(), 0, "s2"))
+
+	var got []string
+	for f.Pending() > 0 {
+		batch, _, _ := f.Form(clk.Now(), true)
+		if len(batch) == 0 {
+			t.Fatal("force formation returned an empty batch with tickets pending")
+		}
+		if len(batch) > 2 {
+			t.Fatalf("force batch of %d exceeds MaxBatch 2", len(batch))
+		}
+		got = append(got, labels(batch)...)
+	}
+	if !eq(got, []string{"s1", "s2", "b1"}) {
+		t.Fatalf("forced drain order %v, want [s1 s2 b1]", got)
+	}
+}
+
+// The adaptive window halves on full batches (floored) and restores on
+// any non-full batch (capped) — ported from the serve batcher, which
+// now delegates here.
+func TestNextWindowRestores(t *testing.T) {
+	const maxBatch = 8
+	window := 8 * time.Millisecond
+
+	w := window
+	for i := 0; i < 10; i++ {
+		w = NextWindow(w, maxBatch, maxBatch, window)
+	}
+	if w != window/8 {
+		t.Fatalf("dense traffic drove the window to %v, want floor %v", w, window/8)
+	}
+	// Mid-size batches (never a singleton) must restore the full window.
+	for i := 0; i < 10; i++ {
+		w = NextWindow(w, maxBatch/2, maxBatch, window)
+	}
+	if w != window {
+		t.Fatalf("mid-size batches restored the window to %v, want %v", w, window)
+	}
+	if got := NextWindow(window, 1, maxBatch, window); got != window {
+		t.Fatalf("window overshot to %v", got)
+	}
+}
+
+// ParseClass round-trips the wire names, defaults the empty string to
+// standard, and rejects junk.
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", ClassStandard, true},
+		{"standard", ClassStandard, true},
+		{"interactive", ClassInteractive, true},
+		{"bulk", ClassBulk, true},
+		{"Interactive", ClassStandard, false},
+		{"junk", ClassStandard, false},
+	} {
+		got, err := ParseClass(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, c := range []Class{ClassInteractive, ClassStandard, ClassBulk} {
+		if back, err := ParseClass(c.String()); err != nil || back != c {
+			t.Errorf("round-trip %v -> %q -> %v, %v", c, c.String(), back, err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// linearTP models a deployment whose throughput scales linearly with
+// replicas at base req/s each, with stages adding nothing (the
+// conservative shape for scaler tests).
+func linearTP(base float64) func(Config) float64 {
+	return func(c Config) float64 { return base * float64(c.Replicas) }
+}
+
+func sig(arrival float64, tp func(Config) float64) Signal {
+	return Signal{ArrivalPerSec: arrival, MaxDevices: 4, MaxStages: 1, Throughput: tp}
+}
+
+// Sustained overload scales up — but only after HoldTicks consecutive
+// ticks, and exactly once per cooldown.
+func TestScalerScalesUpAfterHold(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 3, CooldownTicks: 2}, Config{Replicas: 1, Stages: 1})
+	over := sig(250, linearTP(100)) // needs ~313/s with headroom -> 4 replicas
+
+	for tick := 1; tick <= 2; tick++ {
+		if _, changed, _ := s.Evaluate(over); changed {
+			t.Fatalf("scaled after only %d ticks, hold is 3", tick)
+		}
+	}
+	cfg, changed, reason := s.Evaluate(over)
+	if !changed {
+		t.Fatal("no scale-up after 3 consecutive overloaded ticks")
+	}
+	if cfg.Replicas != 4 || cfg.Stages != 1 {
+		t.Fatalf("scaled to %v, want 4r×1s (reason %q)", cfg, reason)
+	}
+	// Cooldown: the next 2 ticks are quiet even under continued overload.
+	for tick := 0; tick < 2; tick++ {
+		if _, changed, _ := s.Evaluate(over); changed {
+			t.Fatal("resized during cooldown")
+		}
+	}
+}
+
+// Sustained idleness shrinks back — to the cheapest config covering
+// the (tiny) demand.
+func TestScalerShrinksWhenIdle(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 2, CooldownTicks: 1}, Config{Replicas: 4, Stages: 1})
+	idle := sig(10, linearTP(100)) // 12.5/s with headroom: one replica is plenty
+
+	if _, changed, _ := s.Evaluate(idle); changed {
+		t.Fatal("shrank on the first idle tick, hold is 2")
+	}
+	cfg, changed, _ := s.Evaluate(idle)
+	if !changed || cfg.Replicas != 1 {
+		t.Fatalf("after 2 idle ticks: %v changed=%v, want shrink to 1 replica", cfg, changed)
+	}
+}
+
+// Oscillating load — overloaded one tick, idle the next — must never
+// resize: the consecutive-tick streak resets every flip. This is the
+// no-flapping property.
+func TestScalerHysteresisNoFlapping(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 2, CooldownTicks: 1}, Config{Replicas: 2, Stages: 1})
+	over := sig(500, linearTP(100))
+	idle := sig(10, linearTP(100))
+
+	for i := 0; i < 20; i++ {
+		in := over
+		if i%2 == 1 {
+			in = idle
+		}
+		if cfg, changed, reason := s.Evaluate(in); changed {
+			t.Fatalf("tick %d: flapped to %v (%s)", i, cfg, reason)
+		}
+	}
+	if s.Current() != (Config{Replicas: 2, Stages: 1}) {
+		t.Fatalf("config drifted to %v under oscillating load", s.Current())
+	}
+}
+
+// Steady load inside the hysteresis band (between ShrinkAt and
+// 1/Headroom of capacity) never resizes.
+func TestScalerSteadyStateQuiet(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 2, CooldownTicks: 1}, Config{Replicas: 2, Stages: 1})
+	steady := sig(120, linearTP(100)) // 150/s with headroom vs 200/s capacity: fine
+	for i := 0; i < 50; i++ {
+		if _, changed, _ := s.Evaluate(steady); changed {
+			t.Fatalf("tick %d: resized under steady in-band load", i)
+		}
+	}
+}
+
+// When demand exceeds every candidate, the scaler saturates at the
+// highest-throughput config instead of thrashing.
+func TestScalerSaturatesAtMaxDevices(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 1, CooldownTicks: 1}, Config{Replicas: 1, Stages: 1})
+	flood := sig(10000, linearTP(100))
+	cfg, changed, _ := s.Evaluate(flood)
+	if !changed || cfg.Replicas != 4 {
+		t.Fatalf("flood scaled to %v, want saturation at 4 replicas", cfg)
+	}
+	s.Evaluate(flood) // cooldown tick
+	if _, changed, _ := s.Evaluate(flood); changed {
+		t.Fatal("resized again while already saturated")
+	}
+}
+
+// Stage candidates: when the pipeline cost model says 2 stages beat 2
+// replicas (same device count, higher throughput priced in), the
+// scaler picks stages.
+func TestScalerConsidersStages(t *testing.T) {
+	tp := func(c Config) float64 {
+		// A model whose pipeline parallelism is super-linear: 2 stages
+		// yield 3x, replicas only 1x each.
+		perReplica := 100.0
+		if c.Stages == 2 {
+			perReplica = 300
+		}
+		return perReplica * float64(c.Replicas)
+	}
+	s := NewScaler(ScalerOptions{HoldTicks: 1, CooldownTicks: 1}, Config{Replicas: 1, Stages: 1})
+	in := Signal{ArrivalPerSec: 200, MaxDevices: 4, MaxStages: 2, Throughput: tp}
+	cfg, changed, _ := s.Evaluate(in)
+	if !changed || cfg != (Config{Replicas: 1, Stages: 2}) {
+		t.Fatalf("scaled to %v, want 1r×2s (2 devices) over 3r×1s (3 devices)", cfg)
+	}
+}
+
+// A deep backlog counts as demand even when arrivals paused: the queue
+// must drain.
+func TestScalerBacklogForcesGrowth(t *testing.T) {
+	s := NewScaler(ScalerOptions{HoldTicks: 1, CooldownTicks: 1}, Config{Replicas: 1, Stages: 1})
+	backlog := Signal{
+		ArrivalPerSec: 0, QueueDepth: 500, QueueDelay: 5 * time.Second,
+		MaxDevices: 4, MaxStages: 1, Throughput: linearTP(100),
+	}
+	cfg, changed, _ := s.Evaluate(backlog)
+	if !changed || cfg.Replicas <= 1 {
+		t.Fatalf("5s of backlog with arrivals paused scaled to %v, want growth", cfg)
+	}
+}

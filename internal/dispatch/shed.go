@@ -1,0 +1,125 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DelayEstimator tracks the live per-item service interval of one model
+// as an EWMA and prices queue delay from it: a queue of depth d drains
+// in roughly d × perItem. The fleet feeds it one observation per
+// executed batch (wall time, item count, and the parallelism that wall
+// time was amortized over); admission control reads it on every
+// request. Safe for concurrent use.
+type DelayEstimator struct {
+	mu        sync.Mutex
+	perItemNS float64
+	samples   int64
+}
+
+// ewmaAlpha weights the newest batch observation. 0.2 smooths over ~5
+// recent batches: reactive enough to track a load shift within a few
+// windows, smooth enough that one slow batch does not trigger a shed
+// storm.
+const ewmaAlpha = 0.2
+
+// Observe records one executed batch: items samples completed in wall
+// time, with the service spread across par parallel servers (replicas).
+// The per-item interval sample is wall/(items×par) — the interval at
+// which the whole deployment retires items, which is what queue drain
+// time depends on.
+func (e *DelayEstimator) Observe(items int, wall time.Duration, par int) {
+	if items <= 0 || wall <= 0 {
+		return
+	}
+	if par < 1 {
+		par = 1
+	}
+	sample := float64(wall.Nanoseconds()) / float64(items*par)
+	e.mu.Lock()
+	if e.samples == 0 {
+		e.perItemNS = sample
+	} else {
+		e.perItemNS = ewmaAlpha*sample + (1-ewmaAlpha)*e.perItemNS
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// PerItem returns the current per-item service interval estimate (0
+// before the first observation).
+func (e *DelayEstimator) PerItem() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.perItemNS)
+}
+
+// Estimate prices the queue delay a new arrival behind depth items
+// would see. 0 before the first observation — cold starts admit.
+func (e *DelayEstimator) Estimate(depth int) time.Duration {
+	if depth < 0 {
+		depth = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.perItemNS * float64(depth))
+}
+
+// ShedPolicy decides admission: requests whose estimated queue delay
+// makes them pointless (deadline unmeetable) or harmful (queue past the
+// operator's bound) are rejected at the door with a Retry-After derived
+// from the same estimate, instead of being accepted and then missed.
+type ShedPolicy struct {
+	// MaxQueueDelay is the operator bound on estimated queue delay.
+	// Bulk sheds at half this bound (it is the first class to go under
+	// pressure); 0 disables the bound and sheds only on unmeetable
+	// deadlines.
+	MaxQueueDelay time.Duration
+}
+
+// Verdict is one admission decision.
+type Verdict struct {
+	Accept bool
+	// RetryAfter is how long the client should back off before
+	// retrying (rejections only): the estimated time for the queue to
+	// drain back under the violated bound.
+	RetryAfter time.Duration
+	// Reason is the human-readable rejection cause.
+	Reason string
+}
+
+// Admit decides whether a request of the given class and deadline
+// (zero = none) may enter a queue whose current delay estimate is est.
+func (p ShedPolicy) Admit(class Class, deadline, now time.Time, est time.Duration) Verdict {
+	if !deadline.IsZero() {
+		budget := deadline.Sub(now)
+		if budget <= 0 {
+			return Verdict{
+				RetryAfter: time.Second,
+				Reason:     "deadline already expired at admission",
+			}
+		}
+		if est > budget {
+			return Verdict{
+				RetryAfter: est - budget,
+				Reason: fmt.Sprintf("estimated queue delay %v exceeds deadline budget %v",
+					est.Round(time.Microsecond), budget.Round(time.Microsecond)),
+			}
+		}
+	}
+	if p.MaxQueueDelay > 0 {
+		limit := p.MaxQueueDelay
+		if class == ClassBulk {
+			limit = p.MaxQueueDelay / 2
+		}
+		if est > limit {
+			return Verdict{
+				RetryAfter: est - limit,
+				Reason: fmt.Sprintf("estimated queue delay %v exceeds the %v %s bound",
+					est.Round(time.Microsecond), limit.Round(time.Microsecond), class),
+			}
+		}
+	}
+	return Verdict{Accept: true}
+}

@@ -1,0 +1,90 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+// The estimator converges on the true per-item interval and prices
+// queue depth linearly from it.
+func TestDelayEstimatorConverges(t *testing.T) {
+	var e DelayEstimator
+	if e.Estimate(100) != 0 {
+		t.Fatal("cold estimator must estimate 0 (admit everything)")
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(4, 8*time.Millisecond, 2) // 8ms / (4 items × 2 replicas) = 1ms/item
+	}
+	per := e.PerItem()
+	if per < 900*time.Microsecond || per > 1100*time.Microsecond {
+		t.Fatalf("per-item estimate %v, want ~1ms", per)
+	}
+	est := e.Estimate(10)
+	if est < 9*time.Millisecond || est > 11*time.Millisecond {
+		t.Fatalf("depth-10 delay estimate %v, want ~10ms", est)
+	}
+}
+
+// Degenerate observations never corrupt the estimate.
+func TestDelayEstimatorIgnoresDegenerate(t *testing.T) {
+	var e DelayEstimator
+	e.Observe(0, time.Second, 1)
+	e.Observe(4, 0, 1)
+	e.Observe(4, -time.Second, 1)
+	if e.PerItem() != 0 {
+		t.Fatalf("degenerate observations moved the estimate to %v", e.PerItem())
+	}
+	e.Observe(1, time.Millisecond, 0) // par clamps to 1
+	if e.PerItem() != time.Millisecond {
+		t.Fatalf("par=0 observation gave %v, want 1ms", e.PerItem())
+	}
+}
+
+func TestShedPolicyDeadlines(t *testing.T) {
+	now := t0
+	p := ShedPolicy{} // no operator bound: deadline-driven only
+
+	// No deadline, no bound: always admit.
+	if v := p.Admit(ClassStandard, time.Time{}, now, time.Hour); !v.Accept {
+		t.Fatalf("unbounded policy shed a deadline-less request: %q", v.Reason)
+	}
+	// Meetable deadline admits.
+	if v := p.Admit(ClassInteractive, now.Add(10*time.Millisecond), now, 5*time.Millisecond); !v.Accept {
+		t.Fatalf("meetable deadline shed: %q", v.Reason)
+	}
+	// Unmeetable deadline sheds with RetryAfter = excess delay.
+	v := p.Admit(ClassInteractive, now.Add(10*time.Millisecond), now, 30*time.Millisecond)
+	if v.Accept {
+		t.Fatal("admitted a request whose queue delay exceeds its deadline budget")
+	}
+	if v.RetryAfter != 20*time.Millisecond {
+		t.Fatalf("RetryAfter %v, want the 20ms excess", v.RetryAfter)
+	}
+	// Already-expired deadline sheds immediately.
+	if v := p.Admit(ClassStandard, now.Add(-time.Millisecond), now, 0); v.Accept {
+		t.Fatal("admitted an already-expired request")
+	}
+}
+
+func TestShedPolicyQueueBound(t *testing.T) {
+	now := t0
+	p := ShedPolicy{MaxQueueDelay: 10 * time.Millisecond}
+
+	if v := p.Admit(ClassStandard, time.Time{}, now, 9*time.Millisecond); !v.Accept {
+		t.Fatalf("under-bound request shed: %q", v.Reason)
+	}
+	v := p.Admit(ClassStandard, time.Time{}, now, 15*time.Millisecond)
+	if v.Accept {
+		t.Fatal("admitted past the queue-delay bound")
+	}
+	if v.RetryAfter != 5*time.Millisecond {
+		t.Fatalf("RetryAfter %v, want 5ms (excess over the bound)", v.RetryAfter)
+	}
+	// Bulk sheds at half the bound: first class to go under pressure.
+	if v := p.Admit(ClassBulk, time.Time{}, now, 7*time.Millisecond); v.Accept {
+		t.Fatal("bulk admitted past half the bound")
+	}
+	if v := p.Admit(ClassInteractive, time.Time{}, now, 7*time.Millisecond); !v.Accept {
+		t.Fatalf("interactive shed under the bound: %q", v.Reason)
+	}
+}

@@ -3,8 +3,10 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rtmap/internal/dispatch"
 	"rtmap/internal/tensor"
 )
 
@@ -20,6 +22,14 @@ type item struct {
 	bitExact bool
 	enq      time.Time
 	res      chan itemResult
+
+	// class and deadline are the request's SLO metadata: formation
+	// orders batches by class, the early-close rule prices deadlines,
+	// and an item whose deadline passes anywhere before execution is
+	// cancelled with errExpired instead of run. Zero values mean
+	// standard class with no deadline — exactly the pre-SLO behavior.
+	class    dispatch.Class
+	deadline time.Time
 
 	// dispatch is stamped by the batcher when the item's micro-batch is
 	// handed to the fleet; enq→dispatch is the "wait" phase. Work
@@ -41,24 +51,25 @@ type itemResult struct {
 }
 
 // batcher coalesces queued items for one model into micro-batches. The
-// first item of a batch opens a coalescing window; the batch dispatches
-// when it reaches MaxBatch items or the window expires, whichever comes
-// first — so an idle server adds at most Window of latency and a loaded
-// server batches at line rate (a backlogged queue fills batches without
-// ever arming the timer).
-//
-// The window is adaptive: dispatching a full batch halves the wait (down
-// to Window/8) because traffic is dense enough that waiting longer only
-// adds latency, while any batch that dispatched on window expiry doubles
-// the wait back (up to the configured Window) to recover batching
-// opportunity. The restore must trigger on every non-full batch, not
-// just singletons: under moderate traffic that fills 2..MaxBatch-1 items
-// per window, a singleton may never occur, and a once-halved window
-// would otherwise stay small forever.
+// formation policy — priority classes, deadline early-close, adaptive
+// coalescing window, bulk anti-starvation — lives in dispatch.Former;
+// this goroutine owns only the clock, the channel, and the handoff to
+// the fleet. The first item of a batch opens a coalescing window; the
+// batch dispatches when it reaches MaxBatch items, the (adaptive)
+// window expires, or a pending deadline forces an early close —
+// whichever comes first. Items whose deadline passes while they wait
+// are cancelled with errExpired, never dispatched.
 type batcher struct {
 	e     *entry
 	fleet *Fleet
 	opts  BatchOptions
+
+	// depth counts items admitted but not yet dispatched or cancelled —
+	// the backlog admission control prices with the entry's delay
+	// estimator. arrivals counts admissions monotonically; the
+	// autoscaler differentiates it into an arrival rate.
+	depth    atomic.Int64
+	arrivals atomic.Int64
 
 	mu     sync.RWMutex // guards closed vs in-flight sends
 	closed bool
@@ -96,6 +107,8 @@ func (b *batcher) submit(it *item) error {
 	if b.closed {
 		return errClosed
 	}
+	b.depth.Add(1)
+	b.arrivals.Add(1)
 	b.ch <- it
 	return nil
 }
@@ -114,44 +127,80 @@ func (b *batcher) close() {
 
 func (b *batcher) run() {
 	defer close(b.done)
-	wait := b.opts.Window
+	f := dispatch.NewFormer(dispatch.FormerOptions{MaxBatch: b.opts.MaxBatch, Window: b.opts.Window})
 	for {
-		first, ok := <-b.ch
+		it, ok := <-b.ch
 		if !ok {
+			b.drain(f)
 			return
 		}
-		batch := []*item{first}
-		if b.opts.MaxBatch > 1 {
-			timer := time.NewTimer(wait)
-		fill:
-			for len(batch) < b.opts.MaxBatch {
-				select {
-				case it, ok := <-b.ch:
-					if !ok {
-						break fill // draining: dispatch what we have
-					}
-					batch = append(batch, it)
-				case <-timer.C:
-					break fill
-				}
+		f.Push(ticketOf(it))
+		// Form until the Former wants to wait for arrivals that haven't
+		// happened yet, then sleep until its wake time or the next item.
+		for f.Pending() > 0 {
+			f.SetPerItemEstimate(b.e.est.PerItem())
+			batch, expired, wake := f.Form(time.Now(), false)
+			b.retire(expired)
+			if len(batch) > 0 {
+				b.dispatch(batch)
+				continue
 			}
-			timer.Stop()
+			if f.Pending() == 0 {
+				break
+			}
+			timer := time.NewTimer(time.Until(wake))
+			select {
+			case it, ok := <-b.ch:
+				timer.Stop()
+				if !ok {
+					b.drain(f)
+					return
+				}
+				f.Push(ticketOf(it))
+			case <-timer.C:
+			}
 		}
-		wait = nextWindow(wait, len(batch), b.opts)
-		now := time.Now()
-		for _, it := range batch {
-			it.dispatch = now
-		}
-		b.fleet.Submit(newAPBatch(b.e, batch))
 	}
 }
 
-// nextWindow is the adaptive coalescing-window update: full batches
-// halve the wait (floored at Window/8), everything else doubles it back
-// (capped at the configured Window).
-func nextWindow(wait time.Duration, size int, opts BatchOptions) time.Duration {
-	if size >= opts.MaxBatch {
-		return max(wait/2, opts.Window/8)
+// drain force-forms everything pending and hands it to the fleet: the
+// shutdown path dispatches queued work rather than dropping it (items
+// whose deadline already passed still cancel).
+func (b *batcher) drain(f *dispatch.Former) {
+	for f.Pending() > 0 {
+		batch, expired, _ := f.Form(time.Now(), true)
+		b.retire(expired)
+		if len(batch) > 0 {
+			b.dispatch(batch)
+		}
 	}
-	return min(wait*2, opts.Window)
+}
+
+func ticketOf(it *item) dispatch.Ticket {
+	return dispatch.Ticket{Class: it.class, Deadline: it.deadline, Enqueued: it.enq, Payload: it}
+}
+
+// dispatch stamps one formed batch and submits it to the fleet.
+func (b *batcher) dispatch(batch []dispatch.Ticket) {
+	items := make([]*item, len(batch))
+	now := time.Now()
+	for i, tk := range batch {
+		it := tk.Payload.(*item)
+		it.dispatch = now
+		items[i] = it
+	}
+	b.depth.Add(-int64(len(items)))
+	b.fleet.Submit(newAPBatch(b.e, items))
+}
+
+// retire cancels tickets whose deadline passed while they waited in
+// formation.
+func (b *batcher) retire(expired []dispatch.Ticket) {
+	if len(expired) == 0 {
+		return
+	}
+	b.depth.Add(-int64(len(expired)))
+	for _, tk := range expired {
+		b.fleet.expireItem(b.e, tk.Payload.(*item), "in formation queue")
+	}
 }

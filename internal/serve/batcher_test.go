@@ -155,31 +155,9 @@ func TestFleetSpreadsLoad(t *testing.T) {
 	}
 }
 
-// The adaptive window must recover from its dense-traffic minimum on ANY
-// non-full batch, not only singletons: under sustained mid-size batches a
-// once-halved window previously stayed small forever.
-func TestNextWindowRestores(t *testing.T) {
-	opts := BatchOptions{MaxBatch: 8, Window: 8 * time.Millisecond}
-
-	w := opts.Window
-	for i := 0; i < 10; i++ {
-		w = nextWindow(w, opts.MaxBatch, opts)
-	}
-	if w != opts.Window/8 {
-		t.Fatalf("dense traffic drove the window to %v, want floor %v", w, opts.Window/8)
-	}
-	// Mid-size batches (never a singleton) must restore the full window.
-	for i := 0; i < 10; i++ {
-		w = nextWindow(w, opts.MaxBatch/2, opts)
-	}
-	if w != opts.Window {
-		t.Fatalf("mid-size batches restored the window to %v, want %v", w, opts.Window)
-	}
-	// And never beyond it.
-	if got := nextWindow(opts.Window, 1, opts); got != opts.Window {
-		t.Fatalf("window overshot to %v", got)
-	}
-}
+// The adaptive-window policy itself (halve on full batches, restore on
+// any non-full batch) moved to dispatch.NextWindow; its unit test lives
+// there as TestNextWindowRestores.
 
 func TestRegistryUnknownModel(t *testing.T) {
 	fleet := NewFleet(1, 4, nil)

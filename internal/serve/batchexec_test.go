@@ -59,10 +59,10 @@ func TestBatchedFailoverRequeueBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.replicas) != 2 {
-		t.Fatalf("%d replicas placed, want 2", len(e.replicas))
+	if len(e.placed().replicas) != 2 {
+		t.Fatalf("%d replicas placed, want 2", len(e.placed().replicas))
 	}
-	deadDev := e.replicas[0].devs[0]
+	deadDev := e.placed().replicas[0].devs[0]
 	if err := s.FailDevice(deadDev); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestBatchedShardedExecBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.shard == nil {
+	if e.placed().shard == nil {
 		t.Fatal("entry not sharded")
 	}
 	items := makeItems(t, "tinyresnet", 8, 79)

@@ -76,10 +76,10 @@ func TestFailoverRequeueBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.replicas) != 2 {
-		t.Fatalf("%d replicas placed, want 2", len(e.replicas))
+	if len(e.placed().replicas) != 2 {
+		t.Fatalf("%d replicas placed, want 2", len(e.placed().replicas))
 	}
-	deadDev := e.replicas[0].devs[0]
+	deadDev := e.placed().replicas[0].devs[0]
 	if err := s.FailDevice(deadDev); err != nil {
 		t.Fatal(err)
 	}
@@ -113,9 +113,9 @@ func TestFailoverRequeueBitExact(t *testing.T) {
 		if res.info.Device == deadDev {
 			t.Errorf("item %d executed on the dead device %d", i, deadDev)
 		}
-		if res.info.Replica != e.replicas[1].id {
+		if res.info.Replica != e.placed().replicas[1].id {
 			t.Errorf("item %d served by replica %d, want surviving replica %d",
-				i, res.info.Replica, e.replicas[1].id)
+				i, res.info.Replica, e.placed().replicas[1].id)
 		}
 		tr, err := sim.ForwardAP(comp, it.in)
 		if err != nil {
@@ -158,7 +158,7 @@ func TestFailoverUnderLoadBitExact(t *testing.T) {
 				return
 			}
 			if i == n/2 { // kill replica 0's device with work queued and in flight
-				if err := s.FailDevice(e.replicas[0].devs[0]); err != nil {
+				if err := s.FailDevice(e.placed().replicas[0].devs[0]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -190,11 +190,11 @@ func TestShardedFailoverBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.replicas) != 2 || len(e.replicas[0].devs) != 2 {
-		t.Fatalf("placement %+v, want 2 replicas × 2 stages", e.replicas)
+	if len(e.placed().replicas) != 2 || len(e.placed().replicas[0].devs) != 2 {
+		t.Fatalf("placement %+v, want 2 replicas × 2 stages", e.placed().replicas)
 	}
 	seen := map[int]bool{}
-	for _, rep := range e.replicas {
+	for _, rep := range e.placed().replicas {
 		for _, d := range rep.devs {
 			if seen[d] {
 				t.Fatalf("device %d appears in two placements (must be disjoint)", d)
@@ -216,7 +216,7 @@ func TestShardedFailoverBitExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i == n/2 { // kill the second stage of replica 0 mid-pipeline
-			if err := s.FailDevice(e.replicas[0].devs[1]); err != nil {
+			if err := s.FailDevice(e.placed().replicas[0].devs[1]); err != nil {
 				t.Fatal(err)
 			}
 		}

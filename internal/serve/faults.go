@@ -12,6 +12,13 @@ import (
 // 503: the model is resident but its capacity is gone.
 var errNoReplica = errors.New("serve: no live replica for model")
 
+// errExpired reports an item cancelled because its deadline passed
+// before execution (in the formation queue, on a device queue, or
+// across a failover detour). The HTTP layer maps it to 503 with kind
+// "expired": the server was too slow for the request's budget, and the
+// work was shed rather than executed late.
+var errExpired = errors.New("serve: deadline expired before execution")
+
 // maxFailoverAttempts bounds how many device failures one batch may
 // survive before its items fail: a batch is requeued at most this many
 // times.
@@ -60,6 +67,15 @@ func (f *Fleet) requeue(from *device, b *apBatch) {
 			from.id, maxFailoverAttempts))
 		return
 	}
+	// Deadlines don't survive the detour for free: items that expired
+	// while the batch sat on the dead device's queue are cancelled here,
+	// never re-executed. A batch with nothing left alive retires.
+	if f.expireDue(b, now, "on failover from device "+strconv.Itoa(from.id)) == 0 {
+		return
+	}
+	// A rescale may have replaced the entry's placement while this batch
+	// was queued; re-read it so the retry lands on current replicas.
+	b.pl = b.e.placed()
 	f.mu.Lock()
 	d, ok := f.placeLocked(b)
 	if !ok {

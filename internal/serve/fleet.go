@@ -2,10 +2,10 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"rtmap/internal/dispatch"
 	"rtmap/internal/energy"
 	"rtmap/internal/model"
 	"rtmap/internal/sim"
@@ -62,6 +62,17 @@ type apBatch struct {
 	e     *entry
 	items []*item
 	done  []bool
+	// cancelled marks items retired by the deadline gate (expireDue):
+	// they are done without having executed, so the post-execution span
+	// and phase-metric loops must skip them. Allocated lazily — the
+	// no-deadline hot path never pays for it.
+	cancelled []bool
+
+	// pl is the entry placement captured at dispatch: the batch keeps
+	// one consistent view of shard plan, replicas, and wear costs even
+	// if the autoscaler swaps the entry's placement mid-flight. Failover
+	// refreshes it (see requeue), so retries land on current replicas.
+	pl *placement
 
 	// Placement: the replica serving this attempt and its device list
 	// (one per stage). replica is -1 and devs nil for unpinned dispatch.
@@ -84,9 +95,10 @@ type apBatch struct {
 	execNS int64
 }
 
-// newAPBatch wraps coalesced items into a dispatchable batch.
+// newAPBatch wraps coalesced items into a dispatchable batch,
+// capturing the entry's current placement.
 func newAPBatch(e *entry, items []*item) *apBatch {
-	return &apBatch{e: e, items: items, done: make([]bool, len(items)), replica: -1}
+	return &apBatch{e: e, items: items, done: make([]bool, len(items)), replica: -1, pl: e.placed()}
 }
 
 // firstTraced reports whether item i is the first item carrying its
@@ -138,11 +150,24 @@ type Fleet struct {
 	// (set once by serve.New before traffic; a bare Fleet works without).
 	tracer *trace.Tracer
 
+	// WallScale dilates simulated device latency into wall time (set
+	// once before traffic, like tracer): each batch or pipeline stage
+	// occupies its device for at least WallScale × the cost model's
+	// latency estimate. Zero disables dilation. See Options.WallScale.
+	WallScale float64
+
 	mu      sync.Mutex // guards device counters, replica counters, pending
 	cond    *sync.Cond // signalled when pending drops
 	pending int        // batches admitted but not yet retired
 	devices []*device
 	wg      sync.WaitGroup
+
+	// devScratch and repScratch are reusable load-snapshot buffers for
+	// the dispatch policy functions, guarded by mu like the counters
+	// they snapshot, so the per-batch placement path stays allocation-
+	// free.
+	devScratch []dispatch.DeviceLoad
+	repScratch []dispatch.ReplicaLoad
 
 	// closeMu orders Submit's channel sends against Close closing the
 	// device channels: senders hold the read side across the send, so
@@ -202,19 +227,7 @@ func (f *Fleet) PinReplicas(r, s int) []*replica {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var order []int
-	for i, d := range f.devices {
-		if !d.dead {
-			order = append(order, i)
-		}
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := f.devices[order[a]], f.devices[order[b]]
-		if da.queued != db.queued {
-			return da.queued < db.queued
-		}
-		return da.busyNS < db.busyNS
-	})
+	order := dispatch.PlacementOrder(f.deviceLoadsLocked())
 	if maxR := len(order) / s; r > maxR {
 		r = maxR
 	}
@@ -248,57 +261,55 @@ func (f *Fleet) ReplicaStats(reps []*replica) (live []bool, batches []int64) {
 	return live, batches
 }
 
-// placeLocked routes a batch to its target device and records the chosen
-// replica on the batch. Replicated entries pick the live replica whose
-// entry device has the fewest outstanding batches (ties to the fewest
-// dispatches, then least busy time — least-load with a round-robin tilt);
-// unpinned entries pick the least-loaded live device. Returns false when
-// nothing is alive to run the batch. Called with f.mu held.
+// deviceLoadsLocked snapshots per-device load for the dispatch policy
+// functions, reusing the fleet's scratch buffer. Called with f.mu held.
+func (f *Fleet) deviceLoadsLocked() []dispatch.DeviceLoad {
+	if cap(f.devScratch) < len(f.devices) {
+		f.devScratch = make([]dispatch.DeviceLoad, len(f.devices))
+	}
+	loads := f.devScratch[:len(f.devices)]
+	for i, d := range f.devices {
+		loads[i] = dispatch.DeviceLoad{Queued: d.queued, BusyNS: d.busyNS, Dead: d.dead}
+	}
+	return loads
+}
+
+// placeLocked routes a batch to its target device and records the
+// chosen replica on the batch, delegating the policy to the dispatch
+// package: replicated entries via dispatch.PickReplica (least head-load
+// with a round-robin tilt), unpinned entries via dispatch.LeastLoaded.
+// Returns false when nothing is alive to run the batch. Called with
+// f.mu held.
 func (f *Fleet) placeLocked(b *apBatch) (*device, bool) {
-	if reps := b.e.replicas; len(reps) > 0 {
-		var best *replica
-		for _, rep := range reps {
-			if !f.replicaLiveLocked(rep) {
-				continue
-			}
-			if best == nil || f.lessLoadedLocked(rep, best) {
-				best = rep
+	if reps := b.pl.replicas; len(reps) > 0 {
+		if cap(f.repScratch) < len(reps) {
+			f.repScratch = make([]dispatch.ReplicaLoad, len(reps))
+		}
+		loads := f.repScratch[:len(reps)]
+		for i, rep := range reps {
+			head := f.devices[rep.devs[0]]
+			loads[i] = dispatch.ReplicaLoad{
+				Head:    dispatch.DeviceLoad{Queued: head.queued, BusyNS: head.busyNS, Dead: head.dead},
+				Batches: rep.batches,
+				Live:    f.replicaLiveLocked(rep),
 			}
 		}
-		if best == nil {
+		pick := dispatch.PickReplica(loads)
+		if pick < 0 {
 			return nil, false
 		}
+		best := reps[pick]
 		best.batches++
 		b.replica = best.id
 		b.devs = best.devs
 		return f.devices[best.devs[0]], true
 	}
-	var d *device
-	for _, c := range f.devices {
-		if c.dead {
-			continue
-		}
-		if d == nil || c.queued < d.queued || (c.queued == d.queued && c.busyNS < d.busyNS) {
-			d = c
-		}
-	}
-	if d == nil {
+	pick := dispatch.LeastLoaded(f.deviceLoadsLocked())
+	if pick < 0 {
 		return nil, false
 	}
 	b.replica, b.devs = -1, nil
-	return d, true
-}
-
-// lessLoadedLocked orders replicas for placement. Called with f.mu held.
-func (f *Fleet) lessLoadedLocked(a, b *replica) bool {
-	da, db := f.devices[a.devs[0]], f.devices[b.devs[0]]
-	if da.queued != db.queued {
-		return da.queued < db.queued
-	}
-	if a.batches != b.batches {
-		return a.batches < b.batches
-	}
-	return da.busyNS < db.busyNS
+	return f.devices[pick], true
 }
 
 // Submit schedules the batch onto the fleet. Batches arriving after Close
@@ -415,6 +426,63 @@ func fail(b *apBatch, err error) {
 	}
 }
 
+// expireDue cancels every undelivered item of the batch whose deadline
+// has passed: a request its client already gave up on is not worth
+// device time. Returns the number of live items remaining; a zero
+// return means the whole batch can be skipped. Traced cancellations
+// leave an "expired" span behind so latency attribution sees them.
+func (f *Fleet) expireDue(b *apBatch, now time.Time, where string) int {
+	live := 0
+	for i, it := range b.items {
+		if b.done[i] {
+			continue
+		}
+		if it.deadline.IsZero() || it.deadline.After(now) {
+			live++
+			continue
+		}
+		if b.firstTraced(i) {
+			f.itemSpan(it, b, "expired", -1, -1, now, 0, where)
+		}
+		if b.cancelled == nil {
+			b.cancelled = make([]bool, len(b.items))
+		}
+		b.cancelled[i] = true
+		b.done[i] = true
+		it.res <- itemResult{err: errExpired}
+	}
+	return live
+}
+
+// wasCancelled reports whether item i was retired by the deadline gate.
+func (b *apBatch) wasCancelled(i int) bool {
+	return b.cancelled != nil && b.cancelled[i]
+}
+
+// expireItem cancels one item that expired before ever reaching the
+// fleet (formation-queue cancellation by the batcher) — there is no
+// batch context, so the span carries only the trace identity.
+func (f *Fleet) expireItem(e *entry, it *item, where string) {
+	if f.tracer != nil && it.trace != "" {
+		f.tracer.Record(trace.Span{
+			TraceID: it.trace, Name: "expired", Model: e.spec.Model,
+			Device: -1, Replica: -1, Stage: -1,
+			Start: time.Now().UnixNano(), Detail: where,
+		})
+	}
+	it.res <- itemResult{err: errExpired}
+}
+
+// parallelism is how many batches the batch's deployment can execute
+// concurrently: its replica count, or the whole live fleet for
+// unpinned entries. Scales the entry's per-item interval estimate.
+func (f *Fleet) parallelism(b *apBatch) int {
+	if n := len(b.pl.replicas); n > 0 {
+		return n
+	}
+	return f.NumLive()
+}
+
 func (f *Fleet) run(d *device) {
 	defer f.wg.Done()
 	for b := range d.ch {
@@ -438,21 +506,41 @@ func (f *Fleet) run(d *device) {
 	}
 }
 
+// dilate holds the device until WallScale × the simulated latency of the
+// work it just priced has elapsed on the wall clock, counting from start
+// (engine compute already spent is credited, never doubled). The sleep
+// happens before results are delivered, so clients, the delay estimator,
+// and the autoscaler all observe cost-model-governed service times.
+func (f *Fleet) dilate(simNS float64, start time.Time) {
+	if f.WallScale <= 0 {
+		return
+	}
+	target := time.Duration(simNS * f.WallScale)
+	if spent := time.Since(start); spent < target {
+		time.Sleep(target - spent)
+	}
+}
+
 // execBatch runs every item of the batch on this device and prices the
 // batch on the simulated hardware. Bit-exact items replay the compiled AP
 // programs (sim.ForwardAP); reference items run the quantized software
 // reference — both paths produce identical logits.
 func (f *Fleet) execBatch(d *device, b *apBatch) {
-	if b.e.shard != nil {
+	if b.pl.shard != nil {
 		f.execStage(d, b)
 		return
 	}
 	start := time.Now()
+	// Deadline gate: items that expired while queued are cancelled, not
+	// executed. A fully expired batch never touches the device.
+	if f.expireDue(b, start, "before execution") == 0 {
+		return
+	}
 	br := sim.AnalyzeBatch(b.e.report, len(b.items))
 	f.mu.Lock()
 	d.busyNS += br.LatencyNS
 	d.batches++
-	d.meter.Spend(br.EnergyPJ, b.e.writesPerSample(0)*float64(len(b.items)))
+	d.meter.Spend(br.EnergyPJ, b.pl.writesPerSample(0)*float64(len(b.items)))
 	f.mu.Unlock()
 	f.waitQueueSpans(b, d.id, start)
 
@@ -472,6 +560,7 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 	if len(exactIns) > 0 {
 		exactTrs, exactErr = sim.ForwardAPBatchHook(b.e.comp, exactIns, f.layerHook(b, d.id, -1))
 	}
+	f.dilate(br.LatencyNS, start)
 
 	next := 0
 	for i, it := range b.items {
@@ -510,18 +599,23 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 		it.res <- res
 	}
 	execDur := time.Since(start)
+	b.e.est.Observe(len(b.items), execDur, f.parallelism(b))
 	if f.metrics != nil {
 		f.metrics.ObserveBatch(len(b.items), br.LatencyNS, br.EnergyPJ)
 		f.metrics.ObserveExec(0, execDur)
-		for _, it := range b.items {
+		for i, it := range b.items {
+			if b.wasCancelled(i) {
+				continue // never executed: no phases to attribute
+			}
 			disp := dispatchOf(it)
 			f.metrics.ObserveItemPhases(disp.Sub(it.enq), start.Sub(disp), execDur)
 		}
 	}
 	for i, it := range b.items {
-		if b.firstTraced(i) {
-			f.itemSpan(it, b, "exec", d.id, -1, start, execDur, "")
+		if b.wasCancelled(i) || !b.firstTraced(i) {
+			continue
 		}
+		f.itemSpan(it, b, "exec", d.id, -1, start, execDur, "")
 	}
 }
 
@@ -532,13 +626,18 @@ func (f *Fleet) execBatch(d *device, b *apBatch) {
 func (f *Fleet) execStage(d *device, b *apBatch) {
 	stageStart := time.Now()
 	if b.stage == 0 {
+		// Deadline gate, stage 0 only: once a batch has bought pipeline
+		// work, finishing beats discarding it partway through.
+		if f.expireDue(b, stageStart, "before stage 0") == 0 {
+			return
+		}
 		b.started = stageStart
 		b.runs = make([]*sim.ShardRun, len(b.items))
 		for i, it := range b.items {
 			if b.done[i] {
 				continue
 			}
-			run, err := sim.NewShardRun(b.e.comp, b.e.shard, it.in)
+			run, err := sim.NewShardRun(b.e.comp, b.pl.shard, it.in)
 			if err != nil {
 				b.done[i] = true
 				it.res <- itemResult{err: err}
@@ -555,11 +654,11 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 		}
 	}
 
-	br := sim.AnalyzeStageBatch(b.e.pipeline, b.stage, len(b.items))
+	br := sim.AnalyzeStageBatch(b.pl.pipeline, b.stage, len(b.items))
 	f.mu.Lock()
 	d.busyNS += br.LatencyNS
 	d.batches++
-	d.meter.Spend(br.EnergyPJ, b.e.writesPerSample(b.stage)*float64(len(b.items)))
+	d.meter.Spend(br.EnergyPJ, b.pl.writesPerSample(b.stage)*float64(len(b.items)))
 	f.mu.Unlock()
 	b.simNS += br.LatencyNS
 	b.simPJ += br.EnergyPJ
@@ -589,6 +688,8 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 		}
 	}
 
+	f.dilate(br.LatencyNS, stageStart)
+
 	stageDur := time.Since(stageStart)
 	b.execNS += stageDur.Nanoseconds()
 	if f.metrics != nil {
@@ -600,7 +701,7 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 		}
 	}
 
-	if b.stage < len(b.e.shard.Stages)-1 {
+	if b.stage < len(b.pl.shard.Stages)-1 {
 		b.stage++
 		f.forward(b.devs[b.stage], b)
 		return
@@ -624,7 +725,7 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 				SimLatencyNS:   b.simNS,
 				SimPerSampleNS: b.simNS / float64(len(b.items)),
 				SimEnergyPJ:    b.simPJ,
-				Stages:         len(b.e.shard.Stages),
+				Stages:         len(b.pl.shard.Stages),
 				Path:           b.path,
 			},
 		}
@@ -636,6 +737,7 @@ func (f *Fleet) execStage(d *device, b *apBatch) {
 	if f.metrics != nil {
 		f.metrics.ObserveBatch(len(b.items), b.simNS, b.simPJ)
 	}
+	b.e.est.Observe(len(b.items), time.Duration(b.execNS), f.parallelism(b))
 }
 
 // DeviceStat is a snapshot of one simulated device for /metrics.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"rtmap/internal/dispatch"
 )
 
 // latencyBuckets are the upper bounds (seconds) of every latency
@@ -79,6 +81,41 @@ func (h *hist) write(w io.Writer, name, labels string) {
 // proper; summed over stages for sharded models).
 var phaseNames = [...]string{"wait", "queue", "exec"}
 
+// SLOOutcome classifies one /v1/infer request for the per-class SLO
+// accounting: every submitted request lands in exactly one outcome, so
+// the per-class outcome counts always sum to the submitted count — the
+// invariant TestSLOAccountingAudit holds the server to.
+type SLOOutcome int
+
+const (
+	// OutcomeAccepted: the request was served (HTTP 200).
+	OutcomeAccepted SLOOutcome = iota
+	// OutcomeShed: admission control refused it (HTTP 429).
+	OutcomeShed
+	// OutcomeExpired: admitted, but its deadline passed before execution
+	// and it was cancelled (HTTP 503, kind "expired").
+	OutcomeExpired
+	// OutcomeFailed: any other error (4xx/5xx).
+	OutcomeFailed
+
+	numOutcomes = 4
+)
+
+// outcomeNames index by SLOOutcome for the exposition labels.
+var outcomeNames = [numOutcomes]string{"accepted", "shed", "expired", "failed"}
+
+// classIndex clamps a class to a valid metrics row (classes come from
+// ParseClass, but the accounting must never index out of bounds).
+func classIndex(c dispatch.Class) int {
+	if c < 0 || int(c) >= dispatch.NumClasses {
+		return int(dispatch.ClassStandard)
+	}
+	return int(c)
+}
+
+// className returns the exposition label of a class row.
+func className(i int) string { return dispatch.Class(i).String() }
+
 // Metrics accumulates the serving counters exposed at /metrics in
 // Prometheus text exposition format. Hand-rolled: the module carries no
 // dependencies, and the format is a few lines of text.
@@ -98,6 +135,15 @@ type Metrics struct {
 	deviceFailures int64 // devices marked dead
 
 	planVerifyFails int64 // model admissions rejected by the plan verifier
+
+	// slo is the per-class request ledger, [class][outcome]; deadline
+	// counts met/missed results among accepted requests that carried a
+	// deadline. scaleUps/scaleDowns count autoscaler resizes.
+	slo            [dispatch.NumClasses][numOutcomes]int64
+	deadlineMet    [dispatch.NumClasses]int64
+	deadlineMissed [dispatch.NumClasses]int64
+	scaleUps       int64
+	scaleDowns     int64
 
 	lat hist // whole-request wall time
 
@@ -188,6 +234,40 @@ func (m *Metrics) ObservePlanVerifyFailure() {
 	m.planVerifyFails++
 }
 
+// ObserveSLO records one finished request in the per-class ledger.
+// Callers classify every request exactly once.
+func (m *Metrics) ObserveSLO(class dispatch.Class, outcome SLOOutcome) {
+	if outcome < 0 || int(outcome) >= numOutcomes {
+		outcome = OutcomeFailed
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slo[classIndex(class)][outcome]++
+}
+
+// ObserveDeadline records whether an accepted, deadline-bearing request
+// was served within its budget.
+func (m *Metrics) ObserveDeadline(class dispatch.Class, met bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if met {
+		m.deadlineMet[classIndex(class)]++
+	} else {
+		m.deadlineMissed[classIndex(class)]++
+	}
+}
+
+// ObserveScale records one applied autoscaler resize.
+func (m *Metrics) ObserveScale(up bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if up {
+		m.scaleUps++
+	} else {
+		m.scaleDowns++
+	}
+}
+
 // WritePrometheus renders the counters. extra, when non-nil, appends
 // caller-owned series (gauges that live outside Metrics).
 func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
@@ -199,6 +279,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
 		m.requeues, m.deviceFailures, m.planVerifyFails,
 		m.simLatencyNS, m.simEnergyPJ}
+	slo := m.slo
+	deadlineMet, deadlineMissed := m.deadlineMet, m.deadlineMissed
+	scaleUps, scaleDowns := m.scaleUps, m.scaleDowns
 	lat := m.lat.clone()
 	var phases [len(phaseNames)]hist
 	for i := range m.phases {
@@ -220,6 +303,34 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# TYPE rtmap_requeued_batches_total counter\nrtmap_requeued_batches_total %d\n", snap.requeues)
 	fmt.Fprintf(w, "# TYPE rtmap_device_failures_total counter\nrtmap_device_failures_total %d\n", snap.deviceFailures)
 	fmt.Fprintf(w, "# TYPE rtmap_plan_verify_failures_total counter\nrtmap_plan_verify_failures_total %d\n", snap.planVerifyFails)
+
+	// The SLO ledger emits every (class, outcome) cell — zeros included —
+	// so audits can assert exact equalities without guessing at absent
+	// series, and submitted is derived from the same snapshot so the
+	// accounting identity (sum of outcomes == submitted) holds exactly.
+	fmt.Fprintf(w, "# TYPE rtmap_slo_requests_total counter\n")
+	for c := range slo {
+		for o, n := range slo[c] {
+			fmt.Fprintf(w, "rtmap_slo_requests_total{class=%q,outcome=%q} %d\n",
+				className(c), outcomeNames[o], n)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE rtmap_slo_submitted_total counter\n")
+	for c := range slo {
+		var sum int64
+		for _, n := range slo[c] {
+			sum += n
+		}
+		fmt.Fprintf(w, "rtmap_slo_submitted_total{class=%q} %d\n", className(c), sum)
+	}
+	fmt.Fprintf(w, "# TYPE rtmap_slo_deadline_total counter\n")
+	for c := range deadlineMet {
+		fmt.Fprintf(w, "rtmap_slo_deadline_total{class=%q,result=\"met\"} %d\n", className(c), deadlineMet[c])
+		fmt.Fprintf(w, "rtmap_slo_deadline_total{class=%q,result=\"missed\"} %d\n", className(c), deadlineMissed[c])
+	}
+	fmt.Fprintf(w, "# TYPE rtmap_scaler_decisions_total counter\n")
+	fmt.Fprintf(w, "rtmap_scaler_decisions_total{direction=\"up\"} %d\n", scaleUps)
+	fmt.Fprintf(w, "rtmap_scaler_decisions_total{direction=\"down\"} %d\n", scaleDowns)
 
 	fmt.Fprintf(w, "# TYPE rtmap_request_seconds histogram\n")
 	lat.write(w, "rtmap_request_seconds", "")

@@ -7,9 +7,11 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtmap/internal/core"
+	"rtmap/internal/dispatch"
 	"rtmap/internal/model"
 	"rtmap/internal/sim"
 	"rtmap/internal/tensor"
@@ -98,22 +100,28 @@ type entry struct {
 	report *sim.Report
 	err    error
 
-	// Pipeline sharding (Registry.shardStages > 1 and a multi-device
-	// fleet): the layer-range shard plan and its pipeline pricing.
-	// nil for unsharded entries.
-	shard    *core.ShardPlan
-	pipeline *sim.PipelineReport
+	// place is the entry's current fleet placement, published atomically
+	// so the autoscaler can swap it under live traffic: a batch captures
+	// the pointer at dispatch and keeps one consistent view (shard plan,
+	// replicas, wear costs) for its whole flight, while failover re-reads
+	// the current pointer so requeues land on post-rescale replicas.
+	place atomic.Pointer[placement]
 
-	// replicas are the entry's data-parallel placements across the fleet
-	// (one device per stage each, device-disjoint). nil for unsharded
-	// entries serving with Replicas <= 1, which dispatch unpinned to the
-	// least-loaded live device.
-	replicas []*replica
+	// est tracks the measured per-item execution interval of this
+	// entry's deployment (fed by the fleet after every batch). Admission
+	// control prices queue delay from it; the autoscaler calibrates the
+	// analytic cost model against it.
+	est dispatch.DelayEstimator
 
-	// stageWrites is the per-sample busiest-cell write cost of each
-	// pipeline stage (one element — the whole model — when unsharded),
-	// from sim.LayerWrites. Feeds the per-device wear meter at dispatch.
-	stageWrites []float64
+	// layerWrites caches sim.LayerWrites(comp) so rescaling can rebuild
+	// per-stage wear costs without re-deriving the endurance model.
+	layerWrites []float64
+
+	// pipes memoizes the layer partition and pipeline pricing per stage
+	// count: the autoscaler flips between stage counts repeatedly and
+	// core.Partition is quadratic in layers.
+	pipeMu sync.Mutex
+	pipes  map[int]*pipePlan
 
 	batcher *batcher
 
@@ -122,14 +130,91 @@ type entry struct {
 	evicted  bool
 }
 
+// placement is one immutable snapshot of how an entry occupies the
+// fleet: the pipeline shard plan and its pricing (nil for unsharded),
+// the data-parallel replica placements (nil for unpinned whole-fleet
+// dispatch), and the per-stage wear costs. Registry.Rescale builds a
+// fresh placement and swaps the entry's pointer; the structs themselves
+// are never mutated after publication.
+type placement struct {
+	shard       *core.ShardPlan
+	pipeline    *sim.PipelineReport
+	replicas    []*replica
+	stageWrites []float64
+}
+
+// unplaced is the shared zero placement hand-built test entries (which
+// never run admit) observe: unpinned, unsharded, zero wear.
+var unplaced placement
+
+// placed returns the entry's current placement, never nil.
+func (e *entry) placed() *placement {
+	if pl := e.place.Load(); pl != nil {
+		return pl
+	}
+	return &unplaced
+}
+
+// stages returns the pipeline depth of the placement (1 when unsharded).
+func (pl *placement) stages() int {
+	if pl.shard != nil {
+		return len(pl.shard.Stages)
+	}
+	return 1
+}
+
+// config reports the placement as a scaler configuration.
+func (pl *placement) config() dispatch.Config {
+	c := dispatch.Config{Replicas: 1, Stages: pl.stages()}
+	if len(pl.replicas) > 0 {
+		c.Replicas = len(pl.replicas)
+	}
+	return c
+}
+
 // writesPerSample returns the stage's per-sample write wear (stage 0
 // for unsharded dispatch). Entries placed before the wear model was
 // computed (hand-built test entries) report 0.
-func (e *entry) writesPerSample(stage int) float64 {
-	if stage < 0 || stage >= len(e.stageWrites) {
+func (pl *placement) writesPerSample(stage int) float64 {
+	if stage < 0 || stage >= len(pl.stageWrites) {
 		return 0
 	}
-	return e.stageWrites[stage]
+	return pl.stageWrites[stage]
+}
+
+// pipePlan is one memoized stage partition: the layer-range shard plan
+// for a stage count plus its pipeline pricing.
+type pipePlan struct {
+	shard    *core.ShardPlan
+	pipeline *sim.PipelineReport
+}
+
+// pipePlanFor returns the entry's memoized partition for k stages,
+// computing it on first use. Requires a compiled entry (admit ran).
+func (e *entry) pipePlanFor(k int) (*pipePlan, error) {
+	e.pipeMu.Lock()
+	defer e.pipeMu.Unlock()
+	if pp, ok := e.pipes[k]; ok {
+		return pp, nil
+	}
+	costs := make([]float64, len(e.report.Layers))
+	for i, lr := range e.report.Layers {
+		costs[i] = lr.LatencyNS
+	}
+	sp, err := core.Partition(e.comp, k, costs)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := sim.AnalyzePipeline(e.comp, e.report, sp)
+	if err != nil {
+		return nil, err
+	}
+	pp := &pipePlan{shard: sp, pipeline: pr}
+	if e.pipes == nil {
+		e.pipes = map[int]*pipePlan{}
+	}
+	e.pipes[k] = pp
+	return pp, nil
 }
 
 // Registry resolves Specs to compiled models. Compilation happens on
@@ -146,6 +231,13 @@ type Registry struct {
 	batch       BatchOptions
 	shardStages int
 	replicas    int
+
+	// pinned forces every admission onto pinned replica placements even
+	// at one replica and one stage (where dispatch would otherwise go
+	// unpinned across the whole fleet). The autoscaler needs it: replica
+	// scaling only means something when the baseline is a placement it
+	// can grow. Set by serve.New when Options.Autoscale is on.
+	pinned bool
 
 	// files maps file-backed model names to their JSON paths (the zoo
 	// extension). Decoding happens at admit time, so a malformed file
@@ -347,28 +439,13 @@ func (r *Registry) admit(e *entry) {
 	e.net = net
 	e.comp = comp
 	e.report = sim.Analyze(comp)
-	if err := r.placeEntry(e); err != nil {
+	e.layerWrites = sim.LayerWrites(comp)
+	pl, err := r.buildPlacement(e, dispatch.Config{Replicas: r.replicas, Stages: r.shardStages})
+	if err != nil {
 		e.err = fmt.Errorf("serve: placing %s: %w", e.key, err)
 		return
 	}
-	// Per-stage wear costs (after placement, which fixes the stage
-	// partition): the fleet meters cumulative device writes from these at
-	// each dispatch.
-	lw := sim.LayerWrites(comp)
-	if e.shard != nil {
-		e.stageWrites = make([]float64, len(e.shard.Stages))
-		for si, st := range e.shard.Stages {
-			for i := st.Lo; i < st.Hi; i++ {
-				e.stageWrites[si] += lw[i]
-			}
-		}
-	} else {
-		total := 0.0
-		for _, wv := range lw {
-			total += wv
-		}
-		e.stageWrites = []float64{total}
-	}
+	e.place.Store(pl)
 	b := newBatcher(e, r.fleet, r.batch)
 
 	// Publish the batcher under the lock (Loaded/evictLocked may be
@@ -413,15 +490,17 @@ func (r *Registry) buildNet(spec Spec) (*model.Network, error) {
 	return net, nil
 }
 
-// placeEntry decides how a freshly compiled entry occupies the fleet:
-// the pipeline shard plan (when the registry runs in sharded mode) and
-// the data-parallel replica placements. The stage count clamps to the
-// live fleet size and the layer count; the replica count clamps to
+// buildPlacement realizes a (replicas, stages) configuration for a
+// compiled entry: the pipeline shard plan (memoized per stage count)
+// and the data-parallel replica placements. The stage count clamps to
+// the live fleet size and the layer count; the replica count clamps to
 // live-devices/stages so placements stay device-disjoint. A clamp down
 // to one stage and one replica leaves the entry on the plain unpinned
-// whole-model dispatch path.
-func (r *Registry) placeEntry(e *entry) error {
-	k := r.shardStages
+// whole-model dispatch path — unless the registry runs pinned
+// (autoscale mode), where even 1r×1s is a placement the scaler can grow.
+func (r *Registry) buildPlacement(e *entry, cfg dispatch.Config) (*placement, error) {
+	pl := &placement{}
+	k := cfg.Stages
 	if live := r.fleet.NumLive(); k > live {
 		k = live
 	}
@@ -429,38 +508,74 @@ func (r *Registry) placeEntry(e *entry) error {
 		k = len(e.comp.Layers)
 	}
 	if k > 1 {
-		costs := make([]float64, len(e.report.Layers))
-		for i, lr := range e.report.Layers {
-			costs[i] = lr.LatencyNS
-		}
-		sp, err := core.Partition(e.comp, k, costs)
+		pp, err := e.pipePlanFor(k)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		pr, err := sim.AnalyzePipeline(e.comp, e.report, sp)
-		if err != nil {
-			return err
-		}
-		e.shard = sp
-		e.pipeline = pr
+		pl.shard, pl.pipeline = pp.shard, pp.pipeline
 	}
 
-	stages := 1
-	if e.shard != nil {
-		stages = len(e.shard.Stages)
+	stages := pl.stages()
+	reps := cfg.Replicas
+	if reps < 1 {
+		reps = 1
 	}
-	if e.shard == nil && r.replicas <= 1 {
-		return nil // unpinned whole-fleet dispatch
+	if pl.shard != nil || reps > 1 || r.pinned {
+		placed := r.fleet.PinReplicas(reps, stages)
+		if len(placed) == 0 {
+			// Same condition as a resident model with every replica dead, so
+			// it classifies the same way (HTTP 503, not 500).
+			return nil, fmt.Errorf("%w: fewer than %d live devices for one %d-stage placement",
+				errNoReplica, stages, stages)
+		}
+		pl.replicas = placed
 	}
-	reps := r.fleet.PinReplicas(r.replicas, stages)
-	if len(reps) == 0 {
-		// Same condition as a resident model with every replica dead, so
-		// it classifies the same way (HTTP 503, not 500).
-		return fmt.Errorf("%w: fewer than %d live devices for one %d-stage placement",
-			errNoReplica, stages, stages)
+
+	// Per-stage wear costs from the cached endurance model: the fleet
+	// meters cumulative device writes from these at each dispatch.
+	if pl.shard != nil {
+		pl.stageWrites = make([]float64, len(pl.shard.Stages))
+		for si, st := range pl.shard.Stages {
+			for i := st.Lo; i < st.Hi; i++ {
+				pl.stageWrites[si] += e.layerWrites[i]
+			}
+		}
+	} else {
+		total := 0.0
+		for _, wv := range e.layerWrites {
+			total += wv
+		}
+		pl.stageWrites = []float64{total}
 	}
-	e.replicas = reps
-	return nil
+	return pl, nil
+}
+
+// Rescale rebuilds the entry's placement for cfg and publishes it
+// atomically. In-flight batches finish on the placement they dispatched
+// with; new dispatches and failover requeues pick up the fresh one.
+// Returns the configuration actually applied, which may be smaller than
+// asked — PinReplicas clamps to live fleet capacity.
+func (r *Registry) Rescale(e *entry, cfg dispatch.Config) (dispatch.Config, error) {
+	pl, err := r.buildPlacement(e, cfg)
+	if err != nil {
+		return dispatch.Config{}, err
+	}
+	e.place.Store(pl)
+	return pl.config(), nil
+}
+
+// Entries snapshots the resident entries that are ready to serve
+// (batcher published). The autoscaler iterates this each tick.
+func (r *Registry) Entries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.batcher != nil {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // evictLocked drops least-recently-used entries (never `keep`) until the
@@ -519,6 +634,11 @@ type LoadedInfo struct {
 	// report — while unpinned models (which have no replicas to count)
 	// omit it entirely.
 	LiveReplicas *int `json:"live_replicas,omitempty"`
+	// QueueDepth is the batcher's live backlog (items admitted but not
+	// yet dispatched); QueueDelayEstMS prices that backlog with the
+	// measured per-item interval — the figure admission control sheds on.
+	QueueDepth      int64   `json:"queue_depth"`
+	QueueDelayEstMS float64 `json:"queue_delay_est_ms"`
 }
 
 // Loaded snapshots the resident entries, most recently used first. The
@@ -539,19 +659,20 @@ func (r *Registry) Loaded() []LoadedInfo {
 			Sparsity: e.spec.Sparsity, Seed: e.spec.Seed,
 			Arrays: e.comp.PoolArrays, PerInferNS: e.report.TotalLatencyNS,
 		}
-		if e.shard != nil {
-			info.Stages = len(e.shard.Stages)
-			info.BottleneckNS = e.pipeline.BottleneckNS
+		pl := e.placed()
+		if pl.shard != nil {
+			info.Stages = len(pl.shard.Stages)
+			info.BottleneckNS = pl.pipeline.BottleneckNS
 		}
-		if len(e.replicas) > 0 {
-			if e.shard != nil {
-				info.StageDevices = append([]int(nil), e.replicas[0].devs...)
+		if len(pl.replicas) > 0 {
+			if pl.shard != nil {
+				info.StageDevices = append([]int(nil), pl.replicas[0].devs...)
 			}
-			info.Replicas = len(e.replicas)
-			live, batches := r.fleet.ReplicaStats(e.replicas)
+			info.Replicas = len(pl.replicas)
+			live, batches := r.fleet.ReplicaStats(pl.replicas)
 			info.ReplicaLive = live
 			info.ReplicaBatches = batches
-			for _, rep := range e.replicas {
+			for _, rep := range pl.replicas {
 				info.ReplicaDevices = append(info.ReplicaDevices, append([]int(nil), rep.devs...))
 			}
 			n := 0
@@ -562,6 +683,8 @@ func (r *Registry) Loaded() []LoadedInfo {
 			}
 			info.LiveReplicas = &n
 		}
+		info.QueueDepth = e.batcher.depth.Load()
+		info.QueueDelayEstMS = float64(e.est.Estimate(int(info.QueueDepth)).Nanoseconds()) / 1e6
 		out = append(out, info)
 		used = append(used, e.lastUsed)
 	}

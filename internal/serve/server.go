@@ -7,14 +7,17 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rtmap/internal/core"
+	"rtmap/internal/dispatch"
 	"rtmap/internal/tensor"
 	"rtmap/internal/trace"
 	"rtmap/internal/verify"
@@ -81,6 +84,34 @@ type Options struct {
 	EnablePprof bool
 	// Logf receives serving log lines; nil uses the standard logger.
 	Logf func(format string, args ...any)
+
+	// MaxQueueDelay arms load shedding: a request whose estimated queue
+	// delay exceeds this bound is refused with HTTP 429 and a Retry-After
+	// derived from the excess (bulk requests shed at half the bound).
+	// Zero disables the operator bound; deadline-driven shedding — a
+	// request that provably cannot meet its own deadline — is always on.
+	MaxQueueDelay time.Duration
+	// Autoscale starts the scheduler that grows and shrinks every
+	// model's replica/stage placement from live queue signals, pricing
+	// candidate configurations with the simulator's batch and pipeline
+	// cost models. Implies pinned placements (replica scaling needs a
+	// placement to grow, so even 1-replica models are pinned).
+	Autoscale bool
+	// AutoscaleInterval is the scaler's evaluation tick (default 250ms).
+	AutoscaleInterval time.Duration
+	// DisableSLO ignores per-request class/deadline metadata and
+	// disables shedding — the static, throughput-only configuration the
+	// SLO benchmark compares against.
+	DisableSLO bool
+	// WallScale dilates simulated device latency into wall time: each
+	// batch (or pipeline stage) holds its device for at least
+	// WallScale × the cost model's latency estimate. Zero disables
+	// dilation (devices run as fast as the functional engine allows).
+	// With dilation on, service time — and therefore queueing, deadline,
+	// and autoscaling behaviour — is governed by the paper's cost model
+	// rather than by host CPU speed, which is what the SLO benchmark and
+	// capacity demos need.
+	WallScale float64
 }
 
 func (o Options) withDefaults() Options {
@@ -105,6 +136,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxInputs <= 0 {
 		o.MaxInputs = 64
 	}
+	if o.AutoscaleInterval <= 0 {
+		o.AutoscaleInterval = 250 * time.Millisecond
+	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
@@ -124,6 +158,16 @@ type Server struct {
 	http     *http.Server
 	ln       net.Listener
 	draining atomic.Bool
+
+	// shed is the admission policy /v1/infer consults before accepting
+	// work (pure decision logic; the live delay estimate comes from the
+	// target model's entry).
+	shed dispatch.ShedPolicy
+	// scaleStop terminates the autoscale loop; scaleDone is closed when
+	// it exits. Both nil when Options.Autoscale is off.
+	scaleStop chan struct{}
+	scaleDone chan struct{}
+	scaleOnce sync.Once
 
 	// faultMu orders Serve's timer arm against Shutdown's stop (the two
 	// run on different goroutines under rtmap.Serve).
@@ -147,6 +191,7 @@ func New(opts Options) *Server {
 		BatchOptions{MaxBatch: opts.MaxBatch, Window: opts.Window, Queue: opts.Queue},
 		opts.ShardStages, opts.Replicas)
 	reg.metrics = m
+	reg.pinned = opts.Autoscale
 	for name, path := range opts.ModelFiles {
 		if err := reg.RegisterModelFile(name, path); err != nil {
 			opts.Logf("ignoring model file %s: %v", path, err)
@@ -158,8 +203,17 @@ func New(opts Options) *Server {
 		tr.SetSink(opts.TraceOut)
 	}
 	fleet.tracer = tr
+	fleet.WallScale = opts.WallScale
 
 	s := &Server{opts: opts, metrics: m, tracer: tr, fleet: fleet, reg: reg, mux: http.NewServeMux()}
+	s.shed = dispatch.ShedPolicy{MaxQueueDelay: opts.MaxQueueDelay}
+	if opts.Autoscale {
+		// Started here rather than in Serve: httptest and benchmark
+		// embedders drive the mux directly and never call Serve.
+		s.scaleStop = make(chan struct{})
+		s.scaleDone = make(chan struct{})
+		go s.scaleLoop()
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
@@ -238,6 +292,10 @@ func (s *Server) FailDevice(id int) error { return s.fleet.FailDevice(id) }
 // the batchers and the device fleet wind down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.scaleStop != nil {
+		s.scaleOnce.Do(func() { close(s.scaleStop) })
+		<-s.scaleDone
+	}
 	s.faultMu.Lock()
 	if s.faultTimer != nil {
 		s.faultTimer.Stop()
@@ -349,6 +407,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "rtmap_model_replicas_live{model=%q} %d\n", m.Key, *m.LiveReplicas)
 			}
 		}
+		fmt.Fprintf(w, "# TYPE rtmap_model_queue_depth gauge\n")
+		for _, m := range loaded {
+			fmt.Fprintf(w, "rtmap_model_queue_depth{model=%q} %d\n", m.Key, m.QueueDepth)
+		}
+		fmt.Fprintf(w, "# TYPE rtmap_model_queue_delay_est_seconds gauge\n")
+		for _, m := range loaded {
+			fmt.Fprintf(w, "rtmap_model_queue_delay_est_seconds{model=%q} %g\n", m.Key, m.QueueDelayEstMS/1e3)
+		}
 	})
 }
 
@@ -366,6 +432,15 @@ type InferRequest struct {
 	// (fast, proved bit-identical).
 	BitExact bool        `json:"bit_exact,omitempty"`
 	Inputs   [][]float32 `json:"inputs"`
+	// Class is the request's priority class ("interactive", "standard",
+	// "bulk"; empty means standard). DeadlineMS is a soft deadline in
+	// milliseconds from server receipt: a request that provably cannot
+	// meet it is shed at admission (429), and one whose deadline passes
+	// while queued is cancelled (503 kind "expired") rather than run
+	// late. Zero means no deadline. The ClassHeader/DeadlineHeader HTTP
+	// headers override these body fields.
+	Class      string  `json:"class,omitempty"`
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 }
 
 // InferResult is the per-sample response entry.
@@ -385,16 +460,79 @@ type InferResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Kind classifies the failure for programmatic clients:
+	// "bad_request", "not_found", "bad_model", "shed", "expired",
+	// "unavailable", or "internal".
+	Kind string `json:"kind,omitempty"`
 	// Diagnostics carries the located static-verifier findings when a
 	// model admission was rejected because its plans failed the audit.
 	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
 }
+
+// Error kinds, as carried in errorResponse.Kind.
+const (
+	kindBadRequest  = "bad_request"
+	kindNotFound    = "not_found"
+	kindBadModel    = "bad_model"
+	kindShed        = "shed"
+	kindExpired     = "expired"
+	kindUnavailable = "unavailable"
+	kindInternal    = "internal"
+)
 
 // TraceHeader is the HTTP header carrying a client-chosen trace ID:
 // requests bearing it are always traced (IDs longer than 64 bytes are
 // ignored); requests without it are traced 1-in-Options.TraceSample.
 // Traced responses echo the ID back in the same header.
 const TraceHeader = "X-Rtmap-Trace"
+
+// ClassHeader and DeadlineHeader carry a request's SLO metadata as HTTP
+// headers, overriding the body fields of the same meaning — load
+// balancers and sidecars can set policy without touching the payload.
+const (
+	ClassHeader    = "X-Rtmap-Class"
+	DeadlineHeader = "X-Rtmap-Deadline-Ms"
+)
+
+// maxDeadlineMS caps client deadlines at 24h: beyond that the value is
+// operationally meaningless, and the clamp keeps extreme floats (1e300)
+// out of the float→Duration conversion, whose out-of-range behavior is
+// implementation-defined.
+const maxDeadlineMS = 24 * 60 * 60 * 1000
+
+// parseSLO resolves a request's priority class and absolute deadline
+// (zero when none). Headers win over body fields. Errors are client
+// errors (HTTP 400).
+func parseSLO(r *http.Request, req *InferRequest, now time.Time) (dispatch.Class, time.Time, error) {
+	cs := req.Class
+	if h := r.Header.Get(ClassHeader); h != "" {
+		cs = h
+	}
+	cls, err := dispatch.ParseClass(cs)
+	if err != nil {
+		return dispatch.ClassStandard, time.Time{}, err
+	}
+	ms := req.DeadlineMS
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		v, err := strconv.ParseFloat(h, 64)
+		if err != nil {
+			return dispatch.ClassStandard, time.Time{},
+				fmt.Errorf("malformed %s header %q: %w", DeadlineHeader, h, err)
+		}
+		ms = v
+	}
+	if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+		return dispatch.ClassStandard, time.Time{},
+			fmt.Errorf("deadline_ms %v out of range (want a finite, non-negative budget)", ms)
+	}
+	if ms == 0 {
+		return cls, time.Time{}, nil
+	}
+	if ms > maxDeadlineMS {
+		ms = maxDeadlineMS
+	}
+	return cls, now.Add(time.Duration(ms * float64(time.Millisecond))), nil
+}
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -422,22 +560,46 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 
-	fail := func(code int, format string, args ...any) {
+	// SLO identity of the request: resolved after decode; failures before
+	// that classify as standard class (the server cannot know better).
+	cls := dispatch.ClassStandard
+	var deadline time.Time
+
+	// fail answers one classified error and settles the request's SLO
+	// ledger row — every request lands in exactly one outcome, so
+	// accepted + shed + expired + failed always equals submitted.
+	fail := func(code int, kind string, format string, args ...any) {
+		out := OutcomeFailed
+		switch kind {
+		case kindShed:
+			out = OutcomeShed
+		case kindExpired:
+			out = OutcomeExpired
+		}
+		s.metrics.ObserveSLO(cls, out)
 		s.metrics.ObserveRequest(time.Since(start), 0, true)
 		httpSpan(fmt.Sprintf("error %d", code))
-		httpJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+		httpJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
 	}
 	var req InferRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
-		fail(http.StatusBadRequest, "decoding request: %v", err)
+		fail(http.StatusBadRequest, kindBadRequest, "decoding request: %v", err)
 		return
 	}
+	if !s.opts.DisableSLO {
+		c, d, err := parseSLO(r, &req, start)
+		if err != nil {
+			fail(http.StatusBadRequest, kindBadRequest, "%v", err)
+			return
+		}
+		cls, deadline = c, d
+	}
 	if len(req.Inputs) == 0 {
-		fail(http.StatusBadRequest, "no inputs")
+		fail(http.StatusBadRequest, kindBadRequest, "no inputs")
 		return
 	}
 	if len(req.Inputs) > s.opts.MaxInputs {
-		fail(http.StatusBadRequest, "request carries %d inputs, limit %d", len(req.Inputs), s.opts.MaxInputs)
+		fail(http.StatusBadRequest, kindBadRequest, "request carries %d inputs, limit %d", len(req.Inputs), s.opts.MaxInputs)
 		return
 	}
 	spec := Spec{Model: req.Model, ActBits: req.ActBits, Sparsity: 0.8, Seed: req.Seed}
@@ -452,7 +614,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		spec.Sparsity = *req.Sparsity
 	}
 	if spec.ActBits < 2 || spec.ActBits > 8 || spec.Sparsity < 0 || spec.Sparsity >= 1 {
-		fail(http.StatusBadRequest, "build parameters out of range (act_bits 2..8, sparsity [0,1))")
+		fail(http.StatusBadRequest, kindBadRequest, "build parameters out of range (act_bits 2..8, sparsity [0,1))")
 		return
 	}
 
@@ -462,33 +624,58 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// Unknown names are 404; a model definition the client supplied
 		// (malformed model file, or one whose plans fail static
 		// verification) is 400; internal faults stay 500.
-		code := http.StatusInternalServerError
+		code, kind := http.StatusInternalServerError, kindInternal
 		switch {
 		case !s.reg.Knows(spec.Model):
-			code = http.StatusNotFound
+			code, kind = http.StatusNotFound, kindNotFound
 		case IsBadModel(err):
-			code = http.StatusBadRequest
+			code, kind = http.StatusBadRequest, kindBadModel
 		case errors.Is(err, errNoReplica):
-			code = http.StatusServiceUnavailable // no live capacity to place it
+			code, kind = http.StatusServiceUnavailable, kindUnavailable // no live capacity to place it
 		}
 		var ve *verify.Error
 		if errors.As(err, &ve) {
 			// Verifier rejections return the full located diagnostics so
 			// the client sees exactly which plan op violated what.
+			s.metrics.ObserveSLO(cls, OutcomeFailed)
 			s.metrics.ObserveRequest(time.Since(start), 0, true)
 			httpSpan(fmt.Sprintf("error %d", code))
-			httpJSON(w, code, errorResponse{Error: err.Error(), Diagnostics: ve.Diags})
+			httpJSON(w, code, errorResponse{Error: err.Error(), Kind: kind, Diagnostics: ve.Diags})
 			return
 		}
-		fail(code, "%v", err)
+		fail(code, kind, "%v", err)
 		return
+	}
+
+	// Admission control: price the request's queue delay from the
+	// model's live backlog and the measured per-item interval, and shed
+	// (HTTP 429 + Retry-After) rather than queue work that would blow
+	// the operator bound or provably miss its own deadline.
+	if !s.opts.DisableSLO {
+		depth := int(e.batcher.depth.Load()) + len(req.Inputs)
+		if v := s.shed.Admit(cls, deadline, time.Now(), e.est.Estimate(depth)); !v.Accept {
+			retry := int(math.Ceil(v.RetryAfter.Seconds()))
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			if traceID != "" {
+				s.tracer.Record(trace.Span{
+					TraceID: traceID, Name: "shed", Model: model,
+					Device: -1, Replica: -1, Stage: -1,
+					Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(), Detail: v.Reason,
+				})
+			}
+			fail(http.StatusTooManyRequests, kindShed, "shed: %s (retry after %ds)", v.Reason, retry)
+			return
+		}
 	}
 
 	shape := e.net.InputShape
 	items := make([]*item, len(req.Inputs))
 	for i, vals := range req.Inputs {
 		if len(vals) != shape.Elems() {
-			fail(http.StatusBadRequest, "input %d: %d values, %s wants %d (NCHW %v)",
+			fail(http.StatusBadRequest, kindBadRequest, "input %d: %d values, %s wants %d (NCHW %v)",
 				i, len(vals), spec.Model, shape.Elems(), shape)
 			return
 		}
@@ -496,6 +683,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		copy(t.Data, vals)
 		items[i] = &item{
 			in: t, bitExact: req.BitExact, enq: time.Now(), res: make(chan itemResult, 1),
+			class: cls, deadline: deadline,
 			trace: traceID, layers: traceLayers,
 		}
 	}
@@ -511,11 +699,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if readmits++; readmits > maxReadmits {
-			fail(http.StatusServiceUnavailable, "model thrashing: evicted %d times during one request", readmits)
+			fail(http.StatusServiceUnavailable, kindUnavailable, "model thrashing: evicted %d times during one request", readmits)
 			return
 		}
 		if e, err = s.reg.Get(spec); err != nil {
-			fail(http.StatusServiceUnavailable, "model evicted and re-admission failed: %v", err)
+			fail(http.StatusServiceUnavailable, kindUnavailable, "model evicted and re-admission failed: %v", err)
 			return
 		}
 	}
@@ -524,16 +712,25 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i, it := range items {
 		res := <-it.res
 		if res.err != nil {
-			code := http.StatusInternalServerError
-			if errors.Is(res.err, errNoReplica) {
-				code = http.StatusServiceUnavailable // resident but its capacity is gone
+			code, kind := http.StatusInternalServerError, kindInternal
+			switch {
+			case errors.Is(res.err, errNoReplica):
+				code, kind = http.StatusServiceUnavailable, kindUnavailable // resident but its capacity is gone
+			case errors.Is(res.err, errExpired):
+				code, kind = http.StatusServiceUnavailable, kindExpired // cancelled, not executed late
 			}
-			fail(code, "input %d: %v", i, res.err)
+			fail(code, kind, "input %d: %v", i, res.err)
 			return
 		}
 		resp.Results[i] = InferResult{Logits: res.logits, Argmax: res.argmax, Batch: res.info}
 	}
 	resp.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	s.metrics.ObserveSLO(cls, OutcomeAccepted)
+	if !deadline.IsZero() {
+		// Deadline accounting uses the same clock domain the deadline was
+		// minted in: a request is "met" when it finished inside its budget.
+		s.metrics.ObserveDeadline(cls, !time.Now().After(deadline))
+	}
 	s.metrics.ObserveRequest(time.Since(start), len(items), false)
 	httpSpan("")
 	httpJSON(w, http.StatusOK, resp)

@@ -308,7 +308,7 @@ func TestFailoverRequeueKeepsTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadDev := e.replicas[0].devs[0]
+	deadDev := e.placed().replicas[0].devs[0]
 	if err := s.FailDevice(deadDev); err != nil {
 		t.Fatal(err)
 	}
@@ -368,8 +368,8 @@ func TestFailoverRequeueKeepsTrace(t *testing.T) {
 	if execs[0].Device == deadDev {
 		t.Errorf("exec span on the dead device %d", deadDev)
 	}
-	if execs[0].Replica != e.replicas[1].id {
-		t.Errorf("exec span on replica %d, want surviving replica %d", execs[0].Replica, e.replicas[1].id)
+	if execs[0].Replica != e.placed().replicas[1].id {
+		t.Errorf("exec span on replica %d, want surviving replica %d", execs[0].Replica, e.placed().replicas[1].id)
 	}
 }
 

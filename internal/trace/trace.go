@@ -22,6 +22,15 @@ import (
 //	stage    one pipeline stage of a sharded batch (Stage is the index)
 //	layer    one layer's ExecPlan interpretation (sampled; Detail names the layer)
 //	requeue  failover: the batch reached a dead device (Device) and was requeued
+//	shed     admission refused the request (HTTP 429); Detail is the
+//	         rejection cause with the live queue-delay estimate
+//	expired  the request's deadline passed before execution — at admission,
+//	         in the formation queue, on the device queue, or during a
+//	         failover requeue; Detail names where
+//
+// shed and expired are terminal spans: a trace carrying one has no exec
+// or stage span, which is how rtmap-trace attributes scheduler rejections
+// separately from served work.
 //
 // Device, Replica and Stage are -1 when the dimension does not apply.
 // Spans are plain values with no per-field indirection so recording one
