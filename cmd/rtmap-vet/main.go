@@ -1,37 +1,51 @@
-// Command rtmap-vet is the project's static-analysis gate. It has two
-// modes, both run by CI:
+// Command rtmap-vet is the project's static-analysis gate. It has three
+// modes, all run by CI:
 //
 //	rtmap-vet ./...                      # lint packages (exhaustive
 //	                                     # enum switches, //rtmap:noalloc,
-//	                                     # panic/error conventions)
+//	                                     # panic/error conventions, clock
+//	                                     # and lock discipline)
 //	rtmap-vet -plans                     # compile the small builtin
 //	                                     # models and audit every tile
 //	                                     # plan with the independent
 //	                                     # verifier
+//	rtmap-vet -dataflow                  # whole-model dataflow
+//	                                     # verification: cross-layer
+//	                                     # ranges, per-column liveness,
+//	                                     # shard-plan certification, and
+//	                                     # plan certificates
 //	rtmap-vet -plans -all                # include the full paper zoo
 //	rtmap-vet -plans -model name=net.json  # audit a serialized model
+//	rtmap-vet -dataflow -certs-out dir   # also write the certificates
+//	rtmap-vet -json <mode>               # machine-readable output
 //
-// Exit status is 0 when clean, 1 on findings or plan violations, 2 on
-// usage errors.
+// With -json, each mode emits one JSON object on stdout — findings and
+// diagnostics in deterministic order — instead of text. Exit status is
+// unchanged: 0 when clean, 1 on findings or violations, 2 on usage
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rtmap/internal/core"
+	"rtmap/internal/dataflow"
 	"rtmap/internal/lint"
 	"rtmap/internal/model"
+	"rtmap/internal/sim"
 	"rtmap/internal/verify"
 )
 
-// builtinModels are the networks -plans audits, in sweep order. The
-// small ones always run; the paper zoo is gated behind -all (resnet18
-// alone compiles for minutes).
+// builtinModels are the networks -plans and -dataflow audit, in sweep
+// order. The small ones always run; the paper zoo is gated behind -all
+// (resnet18 alone compiles for minutes).
 var builtinModels = []struct {
 	name  string
 	full  bool
@@ -44,6 +58,10 @@ var builtinModels = []struct {
 	{"vgg11", true, model.VGG11},
 	{"resnet18", true, model.ResNet18},
 }
+
+// shardCounts are the pipeline depths -dataflow certifies shard plans
+// for (clamped per model to its layer count).
+var shardCounts = []int{2, 4}
 
 // modelFlags collects repeated -model name=path arguments.
 type modelFlags []struct{ name, path string }
@@ -59,48 +77,121 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// modelReport is one model's result in -json output. Diagnostics are in
+// the verifier's canonical order; Error carries non-diagnostic failures
+// (compile errors).
+type modelReport struct {
+	Name        string                `json:"name"`
+	Programs    int                   `json:"programs"`
+	Clean       bool                  `json:"clean"`
+	Diagnostics []verify.Diagnostic   `json:"diagnostics,omitempty"`
+	Error       string                `json:"error,omitempty"`
+	Certificate *dataflow.Certificate `json:"certificate,omitempty"`
+	Shards      []shardReport         `json:"shards,omitempty"`
+}
+
+// shardReport is one shard-plan certification result.
+type shardReport struct {
+	Stages      int                 `json:"stages"`
+	Clean       bool                `json:"clean"`
+	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
+	Error       string              `json:"error,omitempty"`
+}
+
+// vetReport is the top-level -json object of every mode.
+type vetReport struct {
+	Mode       string        `json:"mode"`
+	Violations int           `json:"violations"`
+	Findings   []lintFinding `json:"findings,omitempty"`
+	Models     []modelReport `json:"models,omitempty"`
+}
+
+// lintFinding is one lint violation in -json output.
+type lintFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"msg"`
+}
+
+func emitJSON(r vetReport) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding report: %v", err)
+	}
+	fmt.Println(string(data))
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rtmap-vet: ")
 	var (
-		plans  = flag.Bool("plans", false, "audit compiled execution plans instead of linting packages")
-		all    = flag.Bool("all", false, "with -plans: include the full paper zoo (vgg9, vgg11, resnet18)")
-		extras modelFlags
+		plans    = flag.Bool("plans", false, "audit compiled execution plans instead of linting packages")
+		dflow    = flag.Bool("dataflow", false, "whole-model dataflow verification and plan certificates")
+		all      = flag.Bool("all", false, "with -plans/-dataflow: include the full paper zoo (vgg9, vgg11, resnet18)")
+		jsonOut  = flag.Bool("json", false, "emit one machine-readable JSON object instead of text")
+		certsOut = flag.String("certs-out", "", "with -dataflow: write each clean model's certificate into this directory")
+		extras   modelFlags
 	)
-	flag.Var(&extras, "model", "with -plans: also audit a serialized model, as name=path (repeatable)")
+	flag.Var(&extras, "model", "with -plans/-dataflow: also audit a serialized model, as name=path (repeatable)")
 	flag.Parse()
 
-	if *plans {
-		os.Exit(runPlans(*all, extras))
+	if *plans && *dflow {
+		log.Print("-plans and -dataflow are separate modes")
+		os.Exit(2)
+	}
+	switch {
+	case *dflow:
+		os.Exit(runDataflow(*all, extras, *jsonOut, *certsOut))
+	case *plans:
+		os.Exit(runPlans(*all, extras, *jsonOut))
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	os.Exit(runLint(patterns))
+	os.Exit(runLint(patterns, *jsonOut))
 }
 
-func runLint(patterns []string) int {
+func runLint(patterns []string, jsonOut bool) int {
 	findings, err := lint.Run(patterns)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if jsonOut {
+		r := vetReport{Mode: "lint", Violations: len(findings)}
+		for _, f := range findings {
+			r.Findings = append(r.Findings, lintFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		emitJSON(r)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("rtmap-vet: %d finding(s)\n", len(findings))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Printf("rtmap-vet: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
 }
 
-func runPlans(all bool, extras modelFlags) int {
-	type target struct {
-		name string
-		net  *model.Network
-	}
+// target is one network to audit, by name.
+type target struct {
+	name string
+	net  *model.Network
+}
+
+// resolveTargets builds the sweep list: builtin models (paper zoo
+// behind all) plus any -model files.
+func resolveTargets(all bool, extras modelFlags) []target {
 	var targets []target
 	for _, b := range builtinModels {
 		if b.full && !all {
@@ -115,35 +206,160 @@ func runPlans(all bool, extras modelFlags) int {
 		}
 		targets = append(targets, target{e.name, net})
 	}
+	return targets
+}
 
-	cfg := core.DefaultConfig()
-	cfg.KeepPrograms = true
+// countPrograms sums the retained tile programs of an artifact.
+func countPrograms(comp *core.Compiled) int {
+	programs := 0
+	for _, lp := range comp.Layers {
+		for _, sp := range lp.StripPlans {
+			programs += len(sp.Programs)
+		}
+	}
+	return programs
+}
+
+// diagsOf extracts located diagnostics from a verification error;
+// non-diagnostic errors come back in the string.
+func diagsOf(err error) ([]verify.Diagnostic, string) {
+	var ve *verify.Error
+	if errors.As(err, &ve) {
+		return ve.Diags, ""
+	}
+	return nil, err.Error()
+}
+
+func runPlans(all bool, extras modelFlags, jsonOut bool) int {
 	bad := 0
-	for _, t := range targets {
+	report := vetReport{Mode: "plans"}
+	for _, t := range resolveTargets(all, extras) {
+		cfg := core.DefaultConfig()
+		cfg.KeepPrograms = true
 		comp, err := core.Compile(t.net, cfg)
 		if err != nil {
 			log.Fatalf("%s: compile: %v", t.name, err)
 		}
-		programs := 0
-		for _, lp := range comp.Layers {
-			for _, sp := range lp.StripPlans {
-				programs += len(sp.Programs)
-			}
-		}
+		programs := countPrograms(comp)
+		mr := modelReport{Name: t.name, Programs: programs, Clean: true}
 		if err := core.VerifyCompiled(comp); err != nil {
 			bad++
-			var ve *verify.Error
-			if errors.As(err, &ve) {
-				for _, d := range ve.Diags {
+			mr.Clean = false
+			mr.Diagnostics, mr.Error = diagsOf(err)
+			report.Violations += len(mr.Diagnostics)
+			if !jsonOut {
+				for _, d := range mr.Diagnostics {
 					fmt.Println(d)
 				}
-				fmt.Printf("%s: %d violation(s) across %d programs\n", t.name, len(ve.Diags), programs)
-			} else {
-				fmt.Printf("%s: %v\n", t.name, err)
+				if mr.Error != "" {
+					fmt.Printf("%s: %s\n", t.name, mr.Error)
+				} else {
+					fmt.Printf("%s: %d violation(s) across %d programs\n", t.name, len(mr.Diagnostics), programs)
+				}
 			}
-			continue
+		} else if !jsonOut {
+			fmt.Printf("%s: %d tile programs verified clean\n", t.name, programs)
 		}
-		fmt.Printf("%s: %d tile programs verified clean\n", t.name, programs)
+		report.Models = append(report.Models, mr)
+	}
+	if jsonOut {
+		emitJSON(report)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runDataflow(all bool, extras modelFlags, jsonOut bool, certsOut string) int {
+	if certsOut != "" {
+		if err := os.MkdirAll(certsOut, 0o755); err != nil {
+			log.Fatalf("-certs-out: %v", err)
+		}
+	}
+	bad := 0
+	report := vetReport{Mode: "dataflow"}
+	for _, t := range resolveTargets(all, extras) {
+		cfg := core.DefaultConfig()
+		cfg.KeepPrograms = true
+		comp, err := core.Compile(t.net, cfg)
+		if err != nil {
+			log.Fatalf("%s: compile: %v", t.name, err)
+		}
+		mr := modelReport{Name: t.name, Programs: countPrograms(comp), Clean: true}
+
+		cert, err := dataflow.Check(comp)
+		if err != nil {
+			bad++
+			mr.Clean = false
+			mr.Diagnostics, mr.Error = diagsOf(err)
+			report.Violations += len(mr.Diagnostics)
+			if !jsonOut {
+				for _, d := range mr.Diagnostics {
+					fmt.Println(d)
+				}
+				fmt.Printf("%s: dataflow verification failed (%d violation(s))\n", t.name, len(mr.Diagnostics))
+			}
+		} else {
+			mr.Certificate = cert
+			if certsOut != "" {
+				data, err := cert.Encode()
+				if err != nil {
+					log.Fatalf("%s: %v", t.name, err)
+				}
+				path := filepath.Join(certsOut, t.name+".cert.json")
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					log.Fatalf("%s: writing certificate: %v", t.name, err)
+				}
+			}
+		}
+
+		// Shard certification runs even when the flat audit failed: a
+		// broken transfer set is worth locating either way.
+		rep := sim.Analyze(comp)
+		costs := make([]float64, len(rep.Layers))
+		for i, lr := range rep.Layers {
+			costs[i] = lr.LatencyNS
+		}
+		for _, k := range shardCounts {
+			if k > len(comp.Layers) {
+				continue
+			}
+			sr := shardReport{Stages: k, Clean: true}
+			sp, err := core.Partition(comp, k, costs)
+			if err != nil {
+				sr.Clean, sr.Error = false, err.Error()
+			} else if err := dataflow.AuditShard(comp, sp); err != nil {
+				sr.Clean = false
+				sr.Diagnostics, sr.Error = diagsOf(err)
+				report.Violations += len(sr.Diagnostics)
+			}
+			if !sr.Clean {
+				bad++
+				if !jsonOut {
+					for _, d := range sr.Diagnostics {
+						fmt.Println(d)
+					}
+					fmt.Printf("%s: shard plan k=%d failed certification\n", t.name, k)
+				}
+			}
+			mr.Shards = append(mr.Shards, sr)
+		}
+
+		if mr.Clean && !jsonOut {
+			shards := make([]string, 0, len(mr.Shards))
+			for _, sr := range mr.Shards {
+				if sr.Clean {
+					shards = append(shards, fmt.Sprintf("k=%d ok", sr.Stages))
+				}
+			}
+			fmt.Printf("%s: certified %d programs, artifact %s (%s)\n",
+				t.name, mr.Programs, cert.Artifact[:12], strings.Join(shards, ", "))
+		}
+		report.Models = append(report.Models, mr)
+	}
+	if jsonOut {
+		emitJSON(report)
 	}
 	if bad > 0 {
 		return 1

@@ -26,6 +26,7 @@ type Cache struct {
 	mu    sync.Mutex
 	plans map[[32]byte]*LayerPlan
 	ops   map[[32]byte][2]int // CountOps memo: (unroll, cse) per layer
+	certs map[[32]byte]any    // plan certificates keyed by ArtifactHash
 	stats CacheStats
 }
 
@@ -36,6 +37,11 @@ type CacheStats struct {
 	Entries  int // resident layer plans
 	OpHits   int // CountOps layer results served from the cache
 	OpMisses int
+	// CertHits / CertMisses count certificate lookups: a hit means the
+	// artifact was admitted on a stored PlanCertificate without
+	// re-running the dataflow verifier.
+	CertHits   int
+	CertMisses int
 }
 
 // SharedCache is the process-wide default cache wired into DefaultConfig.
@@ -45,7 +51,11 @@ var SharedCache = NewCache()
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{plans: map[[32]byte]*LayerPlan{}, ops: map[[32]byte][2]int{}}
+	return &Cache{
+		plans: map[[32]byte]*LayerPlan{},
+		ops:   map[[32]byte][2]int{},
+		certs: map[[32]byte]any{},
+	}
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -63,6 +73,7 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.plans = map[[32]byte]*LayerPlan{}
 	c.ops = map[[32]byte][2]int{}
+	c.certs = map[[32]byte]any{}
 	c.stats = CacheStats{}
 }
 
@@ -111,6 +122,72 @@ func (c *Cache) putOps(key [32]byte, v [2]int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ops[key] = v
+}
+
+// GetCertificate returns the stored plan certificate of an artifact
+// hash, if any. The cache stores certificates opaquely (as `any`):
+// internal/dataflow owns the concrete type, and core cannot import it.
+func (c *Cache) GetCertificate(key [32]byte) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cert, ok := c.certs[key]
+	if ok {
+		c.stats.CertHits++
+	} else {
+		c.stats.CertMisses++
+	}
+	return cert, ok
+}
+
+// PutCertificate stores a plan certificate under an artifact hash.
+// Certificates are immutable after insertion: the content address means
+// any change to the artifact lands on a different key.
+func (c *Cache) PutCertificate(key [32]byte, cert any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.certs[key] = cert
+}
+
+// ArtifactHash content-addresses a compiled artifact: the full network
+// definition (shapes, quantizer grids, weights, layer wiring) plus every
+// Config field that changes the emitted plans. Config.Parallel, the
+// cache pointer and the verification flags are excluded — none of them
+// alters the lowered output. Certificates stored under this hash are
+// therefore valid exactly as long as the artifact they certify is
+// byte-identical.
+func ArtifactHash(c *Compiled) [32]byte {
+	h := sha256.New()
+	w := &keyWriter{h: h}
+	w.ints(3) // distinct key space from convKey (1) and opsKey (2)
+	net := c.Net
+	fmt.Fprintf(h, "%s\x00", net.Name)
+	w.ints(int64(net.InputShape.C), int64(net.InputShape.H), int64(net.InputShape.W))
+	w.ints(int64(net.InputQ.Bits))
+	w.bools(net.InputQ.Signed)
+	w.ints(int64(len(net.Layers)))
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		fmt.Fprintf(h, "%s\x00", l.Name)
+		w.ints(int64(l.Kind), int64(len(l.Inputs)))
+		for _, in := range l.Inputs {
+			w.ints(int64(in))
+		}
+		w.ints(int64(l.Stride), int64(l.Pad),
+			int64(l.Pool.K), int64(l.Pool.Stride),
+			int64(l.Q.Bits), int64(l.ShareID))
+		w.bools(l.Q.Signed, l.ReLU)
+		if l.W != nil {
+			w.ints(int64(l.W.Cout), int64(l.W.Cin), int64(l.W.Fh), int64(l.W.Fw))
+			h.Write(int8Bytes(l.W.W))
+		}
+	}
+	cfg := c.Cfg
+	w.ints(int64(cfg.TempBudget), int64(cfg.TileFloor))
+	w.bools(cfg.CSE, cfg.KeepPrograms)
+	w.params(cfg.Par)
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // keyWriter streams the content that defines a cache key into a hash.

@@ -163,6 +163,14 @@ func Compile(net *model.Network, cfg Config) (*Compiled, error) {
 			return nil, err
 		}
 	}
+	if cfg.VerifyDataflow {
+		if dataflowVerifier == nil {
+			return nil, fmt.Errorf("core: Config.VerifyDataflow set but no verifier registered (blank-import rtmap/internal/dataflow)")
+		}
+		if err := dataflowVerifier(comp); err != nil {
+			return nil, err
+		}
+	}
 	return comp, nil
 }
 

@@ -40,6 +40,15 @@ type Config struct {
 	// KeepPrograms retains, and costs one plan-audit pass per compile,
 	// so the steady-state execution path is unaffected.
 	VerifyPlans bool
+	// VerifyDataflow runs the whole-artifact dataflow verifier (the
+	// cross-layer abstract interpreter of internal/dataflow) over the
+	// compiled result: per-column liveness and producer/consumer chains
+	// across every (strip, tile) boundary, value intervals composed
+	// across layer boundaries, and accumulator-overflow proofs. The
+	// verifier registers itself via RegisterDataflowVerifier when its
+	// package is linked in; setting this flag without that registration
+	// fails the compile rather than silently skipping the audit.
+	VerifyDataflow bool
 }
 
 // DefaultConfig returns the paper's unroll+CSE configuration, with the

@@ -1,0 +1,174 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/dfg"
+	"rtmap/internal/model"
+	"rtmap/internal/ternary"
+	"rtmap/internal/verify"
+)
+
+// band is the abstract value of one activation tensor: the interval its
+// integer codes lie in and the storage format they travel in. It is the
+// domain of the cross-layer abstract interpreter — deliberately
+// re-derived here rather than reusing the compiler's actInfo, so a bug
+// in the lowering's format propagation cannot hide in the verifier.
+type band struct {
+	Lo, Hi   int64
+	Bits     int
+	Unsigned bool
+}
+
+// fits reports whether the interval is representable in the declared
+// storage width under the declared signedness.
+func (b band) fits() bool {
+	if b.Bits <= 0 || b.Bits > 62 {
+		return false
+	}
+	if b.Unsigned {
+		return b.Lo >= 0 && b.Hi <= int64(1)<<uint(b.Bits)-1
+	}
+	return b.Lo >= -(int64(1)<<uint(b.Bits-1)) && b.Hi <= int64(1)<<uint(b.Bits-1)-1
+}
+
+func (b band) String() string {
+	sign := "s"
+	if b.Unsigned {
+		sign = "u"
+	}
+	return fmt.Sprintf("[%d,%d]:%s%d", b.Lo, b.Hi, sign, b.Bits)
+}
+
+// deriveRanges walks the network in topological order, composing value
+// intervals across layer boundaries, and checks every compiled layer
+// plan against the independently derived bands: the activation format
+// the plan records must match the producer's band, and every conv
+// accumulator row must fit the width the plan allocated. Returns the
+// per-layer output bands (the facts a certificate records) and the
+// located violations.
+func deriveRanges(comp *core.Compiled) ([]band, []verify.Diagnostic) {
+	net := comp.Net
+	name := modelName(comp)
+	var diags []verify.Diagnostic
+	flag := func(layer int, invariant, format string, args ...any) {
+		lname := ""
+		if layer >= 0 && layer < len(net.Layers) {
+			lname = net.Layers[layer].Name
+		}
+		diags = append(diags, verify.Diagnostic{
+			Model: name, Layer: layer, LayerName: lname,
+			Strip: -1, Tile: -1, Op: -1,
+			Invariant: invariant, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	bands := make([]band, len(net.Layers))
+	bandOf := func(ref int) band {
+		if ref == model.InputRef {
+			q := net.InputQ
+			return band{Lo: int64(q.Qn()), Hi: int64(q.Qp()), Bits: q.Bits, Unsigned: !q.Signed}
+		}
+		return bands[ref]
+	}
+
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		plan := comp.Layers[i]
+		switch l.Kind {
+		case model.KindConv, model.KindLinear:
+			in := bandOf(l.Inputs[0])
+			if plan.ActBits != in.Bits || plan.ActUnsigned != in.Unsigned {
+				flag(i, InvFormat, "plan consumes activations as %d-bit unsigned=%v, producer band is %v",
+					plan.ActBits, plan.ActUnsigned, in)
+			}
+			acc, width := convAccBand(l.W, in)
+			if width > plan.AccWidth {
+				flag(i, InvOverflow, "accumulator rows need %d bits, plan allocates %d (interval %v)",
+					width, plan.AccWidth, acc)
+			}
+			acc.Bits = plan.AccWidth
+			acc.Unsigned = acc.Lo >= 0
+			bands[i] = acc
+		case model.KindActQuant:
+			lo := int64(l.Q.Qn())
+			if l.ReLU {
+				lo = 0
+			}
+			b := band{Lo: lo, Hi: int64(l.Q.Qp()), Bits: l.Q.Bits, Unsigned: !l.Q.Signed || l.ReLU}
+			if plan.ActBits != b.Bits || plan.ActUnsigned != b.Unsigned {
+				flag(i, InvFormat, "plan emits %d-bit unsigned=%v codes, quantizer band is %v",
+					plan.ActBits, plan.ActUnsigned, b)
+			}
+			bands[i] = b
+		case model.KindAdd:
+			a, bnd := bandOf(l.Inputs[0]), bandOf(l.Inputs[1])
+			sum := band{Lo: a.Lo + bnd.Lo, Hi: a.Hi + bnd.Hi}
+			sum.Bits = dfg.SignedBits(sum.Lo, sum.Hi)
+			sum.Unsigned = sum.Lo >= 0
+			if plan.ActBits != a.Bits || plan.ActUnsigned != a.Unsigned {
+				flag(i, InvFormat, "plan consumes addends as %d-bit unsigned=%v, producer band is %v",
+					plan.ActBits, plan.ActUnsigned, a)
+			}
+			bands[i] = sum
+		case model.KindMaxPool, model.KindGlobalAvgPool, model.KindFlatten:
+			// Selection and integer averaging stay inside the input hull;
+			// flatten is a pure reshape.
+			in := bandOf(l.Inputs[0])
+			if plan.Class != core.ClassFree && (plan.ActBits != in.Bits || plan.ActUnsigned != in.Unsigned) {
+				flag(i, InvFormat, "plan records %d-bit unsigned=%v activations, producer band is %v",
+					plan.ActBits, plan.ActUnsigned, in)
+			}
+			bands[i] = in
+		default:
+			flag(i, InvStructure, "layer kind %v has no dataflow semantics", l.Kind)
+		}
+		if !bands[i].fits() {
+			flag(i, InvOverflow, "derived band %v does not fit its storage width", bands[i])
+		}
+	}
+	return bands, diags
+}
+
+// convAccBand re-derives the accumulator interval of a conv/linear
+// layer straight from its ternary weights: with inputs in [lo, hi],
+// output row o's full channel sum lies in
+//
+//	[pos(o)·lo − neg(o)·hi, pos(o)·hi − neg(o)·lo]
+//
+// where pos/neg count the row's +1/−1 weights over every (channel,
+// patch) position. Returns the union interval over all rows and the
+// widest row's signed width — the minimum accumulator width that can
+// never overflow.
+func convAccBand(w *ternary.Weights, in band) (band, int) {
+	var lo, hi int64
+	width := 1
+	for co := 0; co < w.Cout; co++ {
+		pos, neg := 0, 0
+		for ci := 0; ci < w.Cin; ci++ {
+			for kh := 0; kh < w.Fh; kh++ {
+				for kw := 0; kw < w.Fw; kw++ {
+					switch v := w.At(co, ci, kh, kw); {
+					case v > 0:
+						pos++
+					case v < 0:
+						neg++
+					}
+				}
+			}
+		}
+		rlo := int64(pos)*in.Lo - int64(neg)*in.Hi
+		rhi := int64(pos)*in.Hi - int64(neg)*in.Lo
+		if co == 0 || rlo < lo {
+			lo = rlo
+		}
+		if co == 0 || rhi > hi {
+			hi = rhi
+		}
+		if b := dfg.SignedBits(rlo, rhi); b > width {
+			width = b
+		}
+	}
+	return band{Lo: lo, Hi: hi}, width
+}

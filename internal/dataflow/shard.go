@@ -1,0 +1,157 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"rtmap/internal/core"
+	"rtmap/internal/model"
+	"rtmap/internal/verify"
+)
+
+// AuditShard certifies a shard plan against the compiled artifact it
+// partitions: stages must be non-empty, disjoint and exhaustive over
+// the layer range, and every stage boundary's declared transfer set
+// must equal the live set computed statically from the layer DAG —
+// skip connections included — with exactly the payload bits the
+// producers' output widths imply. Returns nil when the plan is proved
+// sound, or a *verify.Error with located diagnostics (Op carries the
+// stage index, Layer the boundary layer).
+func AuditShard(comp *core.Compiled, sp *core.ShardPlan) error {
+	var diags []verify.Diagnostic
+	name := modelName(comp)
+	flag := func(stage, layer int, format string, args ...any) {
+		diags = append(diags, verify.Diagnostic{
+			Model: name, Layer: layer, Strip: -1, Tile: -1, Op: stage,
+			Invariant: InvShard, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	n := len(comp.Layers)
+	if sp == nil || len(sp.Stages) == 0 {
+		flag(-1, -1, "shard plan has no stages")
+		return sortedShardError(diags)
+	}
+	if sp.Stages[0].Lo != 0 {
+		flag(0, sp.Stages[0].Lo, "first stage starts at layer %d, want 0", sp.Stages[0].Lo)
+	}
+	if last := sp.Stages[len(sp.Stages)-1]; last.Hi != n {
+		flag(len(sp.Stages)-1, last.Hi, "last stage ends at layer %d, plan has %d layers", last.Hi, n)
+	}
+	for i, st := range sp.Stages {
+		if st.Lo >= st.Hi {
+			flag(i, st.Lo, "empty stage [%d,%d)", st.Lo, st.Hi)
+		}
+		if i+1 < len(sp.Stages) && st.Hi != sp.Stages[i+1].Lo {
+			flag(i, st.Hi, "stage ends at layer %d but the next starts at %d: stages must tile the layer range",
+				st.Hi, sp.Stages[i+1].Lo)
+		}
+	}
+
+	for i, st := range sp.Stages {
+		if i == len(sp.Stages)-1 {
+			if len(st.XferRefs) != 0 || st.XferBits != 0 {
+				flag(i, st.Hi, "final stage declares %d boundary transfers (%d bits), want none",
+					len(st.XferRefs), st.XferBits)
+			}
+			continue
+		}
+		if st.Hi < 0 || st.Hi > n {
+			continue // already flagged structurally
+		}
+		live := boundaryLiveSet(comp.Net, st.Hi)
+		declared := map[int]bool{}
+		setOK := true
+		for j, ref := range st.XferRefs {
+			if declared[ref] {
+				setOK = false
+				flag(i, st.Hi, "transfer set declares producer %d twice", ref)
+			}
+			declared[ref] = true
+			if j > 0 && st.XferRefs[j-1] >= ref {
+				flag(i, st.Hi, "transfer set not in ascending producer order at entry %d", j)
+			}
+			if !live[ref] {
+				setOK = false
+				flag(i, st.Hi, "declared transfer of producer %d which is not live across the boundary", ref)
+			}
+		}
+		for ref := range live {
+			if !declared[ref] {
+				setOK = false
+				flag(i, st.Hi, "producer %d is live across the boundary but missing from the transfer set", ref)
+			}
+		}
+		var wantBits int64
+		for ref := range live {
+			wantBits += transferBits(comp, ref)
+		}
+		if setOK && st.XferBits != wantBits {
+			flag(i, st.Hi, "boundary payload declared as %d bits, live set carries %d", st.XferBits, wantBits)
+		}
+	}
+	return sortedShardError(diags)
+}
+
+// sortedShardError wraps diagnostics into a canonical-order error, or
+// nil when there are none.
+func sortedShardError(diags []verify.Diagnostic) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	e := &verify.Error{Diags: diags}
+	e.Sort()
+	return e
+}
+
+// boundaryLiveSet computes the producers live across the boundary
+// before layer b: every tensor produced earlier (the network input
+// included) that some layer at or past b still consumes. This is the
+// ground truth the declared transfer sets are held to.
+func boundaryLiveSet(net *model.Network, b int) map[int]bool {
+	live := map[int]bool{}
+	for j := b; j < len(net.Layers); j++ {
+		for _, in := range net.Layers[j].Inputs {
+			if in < b {
+				live[in] = true
+			}
+		}
+	}
+	return live
+}
+
+// transferBits prices one boundary tensor independently of the
+// partitioner: element count times the producer's wire width. The wire
+// width contract matches what the runtime actually ships — conv/linear
+// outputs travel as pre-requantization partial sums (the accumulator
+// width), quant outputs as quantizer codes, residual adds widen their
+// input by the carry bit, and pooling/flatten preserve width.
+func transferBits(comp *core.Compiled, ref int) int64 {
+	if ref == model.InputRef {
+		sh := comp.Net.InputShape
+		return int64(sh.C*sh.H*sh.W) * int64(comp.Net.InputQ.Bits)
+	}
+	plan := comp.Layers[ref]
+	elems := int64(plan.OutC) * int64(plan.OutH) * int64(plan.OutW)
+	return elems * int64(wireWidth(comp, ref))
+}
+
+// wireWidth resolves the producer's wire width by walking back through
+// width-preserving layers.
+func wireWidth(comp *core.Compiled, ref int) int {
+	for {
+		if ref == model.InputRef {
+			return comp.Net.InputQ.Bits
+		}
+		plan := comp.Layers[ref]
+		lay := &comp.Net.Layers[ref]
+		switch plan.Class {
+		case core.ClassConv:
+			return plan.AccWidth
+		case core.ClassQuant:
+			return lay.Q.Bits
+		case core.ClassAdd:
+			return wireWidth(comp, lay.Inputs[0]) + 1
+		default: // pool, gap, flatten: width-preserving
+			ref = lay.Inputs[0]
+		}
+	}
+}

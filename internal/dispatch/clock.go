@@ -14,7 +14,7 @@ type Clock interface {
 type RealClock struct{}
 
 // Now returns time.Now().
-func (RealClock) Now() time.Time { return time.Now() }
+func (RealClock) Now() time.Time { return time.Now() } //rtmap:wallclock-ok — the one real-clock adapter
 
 // Manual is a hand-advanced fake clock for deterministic scheduler
 // tests: Now returns exactly what the test set, and Advance moves it

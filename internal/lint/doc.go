@@ -10,9 +10,20 @@
 //     path) must not contain allocating constructs; provably amortized
 //     lines opt out with //rtmap:alloc-ok, and panic arguments are
 //     exempt as cold paths;
+//   - noalloc-go: //rtmap:noalloc bodies must not spawn goroutines —
+//     no suppression marker exists for this one;
 //   - conventions: panic messages carry their "<pkg>: " subsystem
 //     prefix, and fmt.Errorf wraps error values with %w, matching the
-//     panic-vs-wrapped-error boundary documented in ARCHITECTURE.md.
+//     panic-vs-wrapped-error boundary documented in ARCHITECTURE.md;
+//   - wallclock: package dispatch must not read the process wall clock
+//     directly (time.Now, time.Sleep, timers) — scheduling runs on an
+//     injectable Clock so tests are deterministic; the RealClock
+//     adapter itself is marked //rtmap:wallclock-ok;
+//   - locked-send: package serve must not send on a channel (or call
+//     Submit, which sends internally) while holding an exclusive
+//     mutex — the receiver may need the same lock to drain. Read locks
+//     are exempt by design; deliberate cases carry
+//     //rtmap:locked-send-ok.
 //
 // Test files are not linted: the rules protect production invariants
 // that tests legitimately violate.

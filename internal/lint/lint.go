@@ -23,14 +23,15 @@ func (f Finding) String() string {
 }
 
 // srcFile is one parsed source file plus the facts the analyzers need:
-// its package name and the lines carrying an //rtmap:alloc-ok
-// suppression marker.
+// its package name and the lines carrying per-rule suppression markers.
 type srcFile struct {
-	path    string
-	pkg     string
-	ast     *ast.File
-	fset    *token.FileSet
-	allocOK map[int]bool
+	path         string
+	pkg          string
+	ast          *ast.File
+	fset         *token.FileSet
+	allocOK      map[int]bool // //rtmap:alloc-ok
+	wallclockOK  map[int]bool // //rtmap:wallclock-ok
+	lockedSendOK map[int]bool // //rtmap:locked-send-ok
 }
 
 // Run lints every Go package under the given patterns (a directory, or
@@ -63,7 +64,9 @@ func Run(patterns []string) ([]Finding, error) {
 			}
 			files = append(files, &srcFile{
 				path: path, pkg: f.Name.Name, ast: f, fset: fset,
-				allocOK: suppressedLines(fset, f),
+				allocOK:      markedLines(fset, f, "rtmap:alloc-ok"),
+				wallclockOK:  markedLines(fset, f, "rtmap:wallclock-ok"),
+				lockedSendOK: markedLines(fset, f, "rtmap:locked-send-ok"),
 			})
 		}
 	}
@@ -79,6 +82,8 @@ func Run(patterns []string) ([]Finding, error) {
 		checkExhaustive(f, enums, report)
 		checkNoAlloc(f, report)
 		checkConventions(f, report)
+		checkClockDiscipline(f, report)
+		checkLockedSends(f, report)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -148,14 +153,14 @@ func expand(patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
-// suppressedLines returns the source lines carrying an
-// //rtmap:alloc-ok marker (the line of the comment itself; a trailing
+// markedLines returns the source lines carrying the given //rtmap:...
+// suppression marker (the line of the comment itself; a trailing
 // comment shares the line of the code it excuses).
-func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+func markedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//rtmap:alloc-ok") {
+			if strings.HasPrefix(c.Text, "//"+marker) {
 				lines[fset.Position(c.Pos()).Line] = true
 			}
 		}

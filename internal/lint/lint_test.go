@@ -148,15 +148,9 @@ func hot(xs []int) []int {
 	return ys
 }
 `)
-	// make, append, composite literal, go statement, func literal.
-	if len(flagged) != 5 {
-		t.Fatalf("got %d findings %v, want 5 noalloc", len(flagged), flagged)
-	}
-	for _, f := range flagged {
-		if f.Rule != "noalloc" {
-			t.Errorf("unexpected rule in %v", f)
-		}
-	}
+	// make, append, composite literal, go statement (its own rule), func
+	// literal.
+	wantRules(t, flagged, "noalloc", "noalloc", "noalloc", "noalloc-go", "noalloc")
 
 	suppressed := lintSrc(t, `package p
 //rtmap:noalloc
@@ -185,6 +179,144 @@ func hot(n int) {
 func cold() []int { return make([]int, 8) }
 `)
 	wantRules(t, unmarked)
+}
+
+// The goroutine-spawn rule has no suppression marker: //rtmap:alloc-ok
+// excuses the closure allocation but never the go statement itself.
+func TestNoAllocGoNotSuppressible(t *testing.T) {
+	findings := lintSrc(t, `package p
+func work() {}
+//rtmap:noalloc
+func hot() {
+	go work() //rtmap:alloc-ok — does not apply to goroutine spawns
+}
+`)
+	wantRules(t, findings, "noalloc-go")
+}
+
+func TestClockDiscipline(t *testing.T) {
+	flagged := lintSrc(t, `package dispatch
+import "time"
+func f() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+`)
+	wantRules(t, flagged, "wallclock", "wallclock")
+	if !strings.Contains(flagged[0].Msg, "time.Sleep") || !strings.Contains(flagged[1].Msg, "time.Now") {
+		t.Errorf("messages should name the call: %v", flagged)
+	}
+
+	suppressed := lintSrc(t, `package dispatch
+import "time"
+func f() time.Time { return time.Now() } //rtmap:wallclock-ok
+`)
+	wantRules(t, suppressed)
+
+	// Clock arithmetic and constants are fine; only wall-clock reads and
+	// timers are gated. Other packages are out of scope.
+	clean := lintSrc(t, `package dispatch
+import "time"
+func f(t time.Time, d time.Duration) time.Time { return t.Add(d * time.Millisecond) }
+`)
+	wantRules(t, clean)
+	elsewhere := lintSrc(t, `package serve
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	wantRules(t, elsewhere)
+}
+
+func TestLockedSends(t *testing.T) {
+	flagged := lintSrc(t, `package serve
+import "sync"
+type s struct {
+	mu sync.Mutex
+	ch chan int
+}
+func (x *s) f() {
+	x.mu.Lock()
+	x.ch <- 1
+	x.mu.Unlock()
+}
+`)
+	wantRules(t, flagged, "locked-send")
+	if !strings.Contains(flagged[0].Msg, "x.mu") {
+		t.Errorf("message should name the held mutex: %v", flagged[0])
+	}
+
+	// Unlocking before the send, read locks, goroutine bodies, and
+	// deliberate suppressions are all clean.
+	clean := lintSrc(t, `package serve
+import "sync"
+type s struct {
+	mu      sync.Mutex
+	closeMu sync.RWMutex
+	ch      chan int
+}
+func (x *s) unlockFirst() {
+	x.mu.Lock()
+	n := 1
+	x.mu.Unlock()
+	x.ch <- n
+}
+func (x *s) readLocked() {
+	x.closeMu.RLock()
+	defer x.closeMu.RUnlock()
+	x.ch <- 1
+}
+func (x *s) ownGoroutine() {
+	x.mu.Lock()
+	go func() { x.ch <- 1 }()
+	x.mu.Unlock()
+}
+func (x *s) deliberate() {
+	x.mu.Lock()
+	x.ch <- 1 //rtmap:locked-send-ok — buffered, capacity proven elsewhere
+	x.mu.Unlock()
+}
+`)
+	wantRules(t, clean)
+
+	// Submit calls send internally; branch bodies inherit the held set,
+	// select sends are sends.
+	nested := lintSrc(t, `package serve
+import "sync"
+type fleet struct{}
+func (*fleet) Submit(int) {}
+type s struct {
+	mu sync.Mutex
+	fl *fleet
+	ch chan int
+}
+func (x *s) f(cond bool) {
+	x.mu.Lock()
+	if cond {
+		x.fl.Submit(1)
+	}
+	select {
+	case x.ch <- 2:
+	default:
+	}
+	x.mu.Unlock()
+}
+`)
+	wantRules(t, nested, "locked-send", "locked-send")
+
+	// A deferred Unlock keeps the lock held for the whole body.
+	deferred := lintSrc(t, `package serve
+import "sync"
+type s struct {
+	mu sync.Mutex
+	ch chan int
+}
+func (x *s) f() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- 1
+}
+`)
+	wantRules(t, deferred, "locked-send")
 }
 
 func TestConventions(t *testing.T) {

@@ -14,12 +14,15 @@ import (
 //   - append, make, new calls
 //   - composite literals (slice/map/struct values built per call)
 //   - function literals (closures capture and escape)
-//   - go statements (goroutine stacks)
+//   - go statements (goroutine stacks) — reported under the separate,
+//     non-suppressible noalloc-go rule
 //
 // Escape hatches: expressions feeding a panic are cold by definition
 // and are skipped wholesale (panic(fmt.Sprintf(...)) is fine), and a
 // line carrying //rtmap:alloc-ok is excused — for amortized cases like
-// scratch slices that reuse capacity at steady state.
+// scratch slices that reuse capacity at steady state. Go statements
+// have no escape hatch: a hot path that spawns goroutines has lost its
+// latency guarantee regardless of amortization.
 func checkNoAlloc(f *srcFile, report func(token.Pos, string, string, ...any)) {
 	for _, decl := range f.ast.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
@@ -53,7 +56,11 @@ func checkNoAlloc(f *srcFile, report func(token.Pos, string, string, ...any)) {
 				flag("function literal (closure) allocates")
 				return false
 			case *ast.GoStmt:
-				flag("go statement allocates a goroutine")
+				// Not suppressible: spawning a goroutine per call is never
+				// amortized, and a hot-path function that hands work to
+				// another goroutine has lost its latency guarantee outright.
+				report(n.Pos(), "noalloc-go",
+					"go statement in //rtmap:noalloc function %s: hot-path functions must not spawn goroutines", name)
 			}
 			return true
 		}

@@ -136,6 +136,10 @@ type Metrics struct {
 
 	planVerifyFails int64 // model admissions rejected by the plan verifier
 
+	dataflowVerifyFails int64 // admissions rejected by the dataflow verifier
+	certHits            int64 // admissions proved by a stored plan certificate
+	certMisses          int64 // admissions that paid a full dataflow verification
+
 	// slo is the per-class request ledger, [class][outcome]; deadline
 	// counts met/missed results among accepted requests that carried a
 	// deadline. scaleUps/scaleDowns count autoscaler resizes.
@@ -234,6 +238,27 @@ func (m *Metrics) ObservePlanVerifyFailure() {
 	m.planVerifyFails++
 }
 
+// ObserveDataflowVerifyFailure records one model admission rejected
+// because the whole-artifact dataflow verifier refuted it.
+func (m *Metrics) ObserveDataflowVerifyFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dataflowVerifyFails++
+}
+
+// ObserveCertificate records one clean dataflow admission: a hit means
+// a stored plan certificate was trusted in place of re-verification, a
+// miss means the artifact was verified from scratch (and certified).
+func (m *Metrics) ObserveCertificate(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.certHits++
+	} else {
+		m.certMisses++
+	}
+}
+
 // ObserveSLO records one finished request in the per-class ledger.
 // Callers classify every request exactly once.
 func (m *Metrics) ObserveSLO(class dispatch.Class, outcome SLOOutcome) {
@@ -275,9 +300,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	snap := struct {
 		requests, inferences, errors, batches, batchSizeSum int64
 		requeues, deviceFailures, planVerifyFails           int64
+		dataflowVerifyFails, certHits, certMisses           int64
 		simLatencyNS, simEnergyPJ                           float64
 	}{m.requests, m.inferences, m.errors, m.batches, m.batchSizeSum,
 		m.requeues, m.deviceFailures, m.planVerifyFails,
+		m.dataflowVerifyFails, m.certHits, m.certMisses,
 		m.simLatencyNS, m.simEnergyPJ}
 	slo := m.slo
 	deadlineMet, deadlineMissed := m.deadlineMet, m.deadlineMissed
@@ -303,6 +330,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# TYPE rtmap_requeued_batches_total counter\nrtmap_requeued_batches_total %d\n", snap.requeues)
 	fmt.Fprintf(w, "# TYPE rtmap_device_failures_total counter\nrtmap_device_failures_total %d\n", snap.deviceFailures)
 	fmt.Fprintf(w, "# TYPE rtmap_plan_verify_failures_total counter\nrtmap_plan_verify_failures_total %d\n", snap.planVerifyFails)
+	fmt.Fprintf(w, "# TYPE rtmap_dataflow_verify_failures_total counter\nrtmap_dataflow_verify_failures_total %d\n", snap.dataflowVerifyFails)
+	fmt.Fprintf(w, "# TYPE rtmap_certificate_hits_total counter\nrtmap_certificate_hits_total %d\n", snap.certHits)
+	fmt.Fprintf(w, "# TYPE rtmap_certificate_misses_total counter\nrtmap_certificate_misses_total %d\n", snap.certMisses)
 
 	// The SLO ledger emits every (class, outcome) cell — zeros included —
 	// so audits can assert exact equalities without guessing at absent

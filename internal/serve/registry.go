@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rtmap/internal/core"
+	"rtmap/internal/dataflow"
 	"rtmap/internal/dispatch"
 	"rtmap/internal/model"
 	"rtmap/internal/sim"
@@ -250,6 +251,13 @@ type Registry struct {
 	// plan is a badModelError (HTTP 400) and the model is never loaded.
 	// Tests inject failing verifiers here.
 	planVerify func(*core.Compiled) error
+	// dataflowVerify runs the whole-artifact dataflow verifier over an
+	// admitted artifact, returning whether a stored PlanCertificate was
+	// trusted (hit) instead of re-verifying. nil selects
+	// dataflow.VerifyOrCertify against the registry's compile cache, so
+	// re-admitting an evicted model skips the verification pass
+	// entirely. Tests inject failing or counting verifiers here.
+	dataflowVerify func(*core.Compiled) (bool, error)
 	// metrics, when non-nil, receives the verification-failure counter
 	// (wired by serve.New; a bare Registry works without it).
 	metrics *Metrics
@@ -435,6 +443,28 @@ func (r *Registry) admit(e *entry) {
 		}
 		e.err = &badModelError{fmt.Errorf("serve: verifying %s: %w", e.key, err)}
 		return
+	}
+	// Whole-artifact dataflow verification gates admission the same way,
+	// but through the certificate cache: a content-addressed certificate
+	// from an earlier admission of the identical artifact is trusted as
+	// the proof, so only first-time admissions pay the verification pass.
+	verifyDataflow := r.dataflowVerify
+	if verifyDataflow == nil {
+		verifyDataflow = func(c *core.Compiled) (bool, error) {
+			_, hit, err := dataflow.VerifyOrCertify(c, r.compile.Cache)
+			return hit, err
+		}
+	}
+	hit, err := verifyDataflow(comp)
+	if err != nil {
+		if r.metrics != nil {
+			r.metrics.ObserveDataflowVerifyFailure()
+		}
+		e.err = &badModelError{fmt.Errorf("serve: verifying %s dataflow: %w", e.key, err)}
+		return
+	}
+	if r.metrics != nil {
+		r.metrics.ObserveCertificate(hit)
 	}
 	e.net = net
 	e.comp = comp

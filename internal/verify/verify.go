@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"rtmap/internal/ap"
@@ -50,6 +51,37 @@ func (d Diagnostic) String() string {
 // compile or admit.
 type Error struct {
 	Diags []Diagnostic
+}
+
+// Sort puts the error's diagnostics into the canonical location order.
+// Verification sweeps call it before returning, so two runs over the
+// same artifact always report violations in the same order no matter
+// what map-iteration or goroutine interleaving produced them.
+func (e *Error) Sort() { SortDiagnostics(e.Diags) }
+
+// SortDiagnostics orders diagnostics by location — model, layer, strip,
+// tile, op — then by invariant and detail, so any diagnostic list has
+// exactly one canonical order (the ordering CI annotations and the
+// -json output rely on).
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		switch {
+		case a.Model != b.Model:
+			return a.Model < b.Model
+		case a.Layer != b.Layer:
+			return a.Layer < b.Layer
+		case a.Strip != b.Strip:
+			return a.Strip < b.Strip
+		case a.Tile != b.Tile:
+			return a.Tile < b.Tile
+		case a.Op != b.Op:
+			return a.Op < b.Op
+		case a.Invariant != b.Invariant:
+			return a.Invariant < b.Invariant
+		}
+		return a.Detail < b.Detail
+	})
 }
 
 func (e *Error) Error() string {

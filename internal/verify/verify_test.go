@@ -1,7 +1,9 @@
 package verify_test
 
 import (
+	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -100,5 +102,65 @@ func TestCheckTileProgramDiagnostics(t *testing.T) {
 	two := &verify.Error{Diags: append(diags, diags[0])}
 	if msg := two.Error(); !strings.Contains(msg, "and 1 more") {
 		t.Fatalf("multi-diagnostic message %q missing count", msg)
+	}
+}
+
+// Violation lists sort into one canonical order regardless of the order
+// the sweep discovered them in — rtmap-vet -json output and golden-file
+// comparisons depend on it.
+func TestSortDiagnosticsDeterministic(t *testing.T) {
+	canonical := []verify.Diagnostic{
+		{Model: "a", Layer: 0, Strip: 0, Tile: 0, Op: -1, Invariant: "x", Detail: "d1"},
+		{Model: "a", Layer: 0, Strip: 0, Tile: 0, Op: -1, Invariant: "x", Detail: "d2"},
+		{Model: "a", Layer: 0, Strip: 0, Tile: 0, Op: 3, Invariant: "x", Detail: "d"},
+		{Model: "a", Layer: 0, Strip: 0, Tile: 1, Op: -1, Invariant: "y", Detail: "d"},
+		{Model: "a", Layer: 0, Strip: 2, Tile: 0, Op: -1, Invariant: "x", Detail: "d"},
+		{Model: "a", Layer: 5, Strip: -1, Tile: -1, Op: -1, Invariant: "x", Detail: "d"},
+		{Model: "b", Layer: 0, Strip: 0, Tile: 0, Op: -1, Invariant: "w", Detail: "d"},
+	}
+	// Two different arrival orders must both sort to the canonical one.
+	shuffles := [][]int{
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 2, 5, 1, 4},
+	}
+	for _, perm := range shuffles {
+		got := make([]verify.Diagnostic, len(canonical))
+		for i, j := range perm {
+			got[i] = canonical[j]
+		}
+		verify.SortDiagnostics(got)
+		if !reflect.DeepEqual(got, canonical) {
+			t.Fatalf("sort of permutation %v is not canonical:\n%v", perm, got)
+		}
+	}
+	e := &verify.Error{Diags: []verify.Diagnostic{canonical[3], canonical[0]}}
+	e.Sort()
+	if e.Diags[0] != canonical[0] {
+		t.Fatalf("Error.Sort did not order diagnostics: %v", e.Diags)
+	}
+}
+
+// Located diagnostics round-trip through JSON unchanged — the contract
+// of the serve error body and rtmap-vet -json.
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	d := verify.Diagnostic{
+		Model: "tinyresnet", Layer: 4, LayerName: "conv3", Strip: 1, Tile: 2,
+		Op: -1, Invariant: "dataflow-liveness", Detail: "(channel 3, patch 0) dead",
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"model"`, `"layer"`, `"layer_name"`, `"strip"`, `"tile"`, `"op"`, `"invariant"`, `"detail"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("encoding %s missing key %s", data, key)
+		}
+	}
+	var back verify.Diagnostic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip changed the diagnostic: %+v != %+v", back, d)
 	}
 }
