@@ -16,6 +16,8 @@
 //	rtmap-bench -trace-overhead -json -out DIR          # BENCH_trace.json
 //	rtmap-bench -slo               # SLO scheduler vs static config: goodput under mixed deadlines
 //	rtmap-bench -slo -json -out DIR                     # BENCH_slo.json
+//	rtmap-bench -cluster           # router tier: 1-node vs 3-node throughput + node-kill recovery
+//	rtmap-bench -cluster -json -out DIR                 # BENCH_cluster.json
 //
 // Outputs are printed and, with -out DIR, also written as TSV files.
 // With -json, results are emitted as one machine-readable JSON document
@@ -59,6 +61,8 @@ func main() {
 		traceOH   = flag.Bool("trace-overhead", false, "measure the serving path's tracing overhead: tinycnn request cost with tracing off, 1-in-16 sampled, and fully traced with layer spans")
 		sloB      = flag.Bool("slo", false, "drive a mixed-deadline workload against a static configuration and the SLO scheduler (deadline-aware batching, shedding, autoscaling) at the same offered load and compare goodput")
 		sloDur    = flag.Duration("slo-duration", 3*time.Second, "measurement window per -slo arm")
+		clusterB  = flag.Bool("cluster", false, "measure the router tier: aggregate throughput at 1 vs 3 rtmap-serve nodes under identical dilated load, then a mid-load node kill timing failover detection")
+		clusterD  = flag.Duration("cluster-duration", 3*time.Second, "measurement window per -cluster arm")
 		netFilter = flag.String("net", "", "restrict Table II to one network (resnet18|vgg9|vgg11); also selects the -shards model (default resnet18; tiny models allowed) and the -replicas models (default tinycnn+resnet18)")
 		samples   = flag.Int("samples", 0, "accuracy evaluation samples (0 = skip accuracy columns)")
 		seed      = flag.Uint64("seed", 1, "synthetic weight/data seed")
@@ -68,7 +72,7 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the compiled-artifact cache")
 	)
 	flag.Parse()
-	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 && *replicas <= 0 && *execB <= 0 && !*traceOH && !*sloB {
+	if !*table2 && !*fig4 && !*cse && !*movement && !*endurance && *shards <= 0 && *replicas <= 0 && *execB <= 0 && !*traceOH && !*sloB && !*clusterB {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -275,6 +279,27 @@ func main() {
 				sec.GoodputRatio, sec.BitExactChecked, sec.BitExactViolations)
 		}
 		addJSON("slo", sec)
+	}
+
+	if *clusterB {
+		sec, err := clusterSweep(*clusterD, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("\nCluster serving — %s × %d variants, %d pinned workers each, WallScale %.0f\n",
+				sec.Network, sec.Variants, sec.Workers, sec.WallScale)
+			for _, a := range sec.Arms {
+				fmt.Printf("%d node(s): %8.1f ok/s   (sent %d  ok %d  rejected %d  errors %d  mismatches %d)\n",
+					a.Nodes, a.OKPerSec, a.Sent, a.OK, a.Rejected, a.Errors, a.Mismatches)
+			}
+			r := sec.Recovery
+			fmt.Printf("aggregate scaling 3v1: %.2fx\n", sec.Scaling3v1)
+			fmt.Printf("node kill (%s): down in %.1fms = %d completed health cycle(s) @ %.0fms; across the kill: ok %d errors %d mismatches %d\n",
+				r.Victim, r.DetectMS, r.DetectCycles, r.HealthIntervalMS,
+				r.AcrossKill.OK, r.AcrossKill.Errors, r.AcrossKill.Mismatches)
+		}
+		addJSON("cluster", sec)
 	}
 
 	if *replicas > 0 {

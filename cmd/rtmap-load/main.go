@@ -22,16 +22,32 @@
 // and joins each sampled request's client wall time against the server's
 // phase breakdown (wait/queue/exec/stage/hop), so queueing delay is
 // attributable from a single report.
+//
+// Every outcome is classified into an error taxonomy — ok, http_429,
+// http_503, http_4xx, http_5xx, connect_refused, timeout, reset, other —
+// reported as a per-category tally, so a failed run says *how* it failed
+// (a refused dial and a shed read very differently). -retry N re-fires
+// a request up to N times on transient categories (refused, timeout,
+// reset, non-expired 503) with capped exponential backoff; the report
+// then distinguishes per-attempt latency (each wire round trip) from
+// per-request latency (what the caller actually waited, retries and
+// backoff included). -rejects-ok treats clean backpressure (429/503) as
+// an expected outcome instead of an error — the right stance when
+// driving the cluster router, whose load shedding is part of the
+// contract being measured.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	neturl "net/url"
 	"os"
@@ -39,6 +55,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rtmap/internal/serve"
@@ -67,6 +84,8 @@ func main() {
 		inspect     = flag.Bool("inspect", false, "print one response's batch accounting (device path, pipeline stages, simulated cost) before the run")
 		traceSample = flag.Int("trace-sample", 0, "send an X-Rtmap-Trace header on 1-in-N requests and join client wall time against the server's /debug/traces phase breakdown (0 disables)")
 		mixSpec     = flag.String("mix", "", "per-request SLO mix as class:weight:deadline_ms entries, e.g. \"interactive:50:25,standard:30:100,bulk:20:0\" (deadline 0 = none); sheds and expiries count per class, and the report adds goodput")
+		retries     = flag.Int("retry", 0, "client-side retries per request on transient failures (refused/timeout/reset/non-expired 503), with capped exponential backoff")
+		rejectsOK   = flag.Bool("rejects-ok", false, "count clean backpressure (HTTP 429/503) as rejections rather than errors — for servers/routers whose shedding is expected")
 	)
 	flag.Parse()
 
@@ -103,10 +122,14 @@ func main() {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		errs      int
-		slo       map[string]*classTally
+		mu          sync.Mutex
+		latencies   []time.Duration // per-request: attempts plus retry backoff
+		attemptLats []time.Duration // per-attempt: each wire round trip
+		categories  = map[string]int64{}
+		errs        int
+		rejected    int
+		retried     int64
+		slo         map[string]*classTally
 	)
 	if mix != nil {
 		slo = map[string]*classTally{}
@@ -114,7 +137,14 @@ func main() {
 			slo[c.name] = &classTally{deadlineMS: c.deadlineMS}
 		}
 	}
+	recordAttempt := func(d time.Duration, category string) {
+		mu.Lock()
+		attemptLats = append(attemptLats, d)
+		categories[category]++
+		mu.Unlock()
+	}
 	record := func(d time.Duration, sc *sloClass, sh shot, err error) {
+		cat := classify(sh, err)
 		mu.Lock()
 		defer mu.Unlock()
 		var ct *classTally
@@ -122,14 +152,8 @@ func main() {
 			ct = slo[sc.name]
 			ct.sent++
 		}
-		switch {
-		case err != nil:
-			errs++
-			if ct != nil {
-				ct.failed++
-			}
-			return
-		case sh.status == http.StatusOK:
+		switch cat {
+		case "ok":
 			latencies = append(latencies, d)
 			if ct != nil {
 				ct.accepted++
@@ -137,44 +161,143 @@ func main() {
 					ct.goodput++
 				}
 			}
-			return
-		}
-		// Non-200. Without a mix, any of them is an error (legacy
-		// contract); with one, sheds and expiries are expected outcomes.
-		if ct == nil {
-			errs++
-			return
-		}
-		switch {
-		case sh.status == http.StatusTooManyRequests:
-			ct.shed++
-		case sh.status == http.StatusServiceUnavailable && sh.kind == "expired":
-			ct.expired++
+		case "http_429", "http_503":
+			// Clean backpressure: an error document with Retry-After. With a
+			// mix, sheds and expiries are expected per-class outcomes; with
+			// -rejects-ok, any of them is an expected rejection; otherwise
+			// the legacy contract holds and they fail the run.
+			expected := *rejectsOK
+			switch {
+			case ct == nil:
+			case cat == "http_429":
+				ct.shed++
+				expected = true
+			case sh.kind == "expired":
+				ct.expired++
+				expected = true
+			case *rejectsOK:
+				ct.shed++
+			default:
+				ct.failed++
+			}
+			if expected {
+				rejected++
+			} else {
+				errs++
+			}
 		default:
-			ct.failed++
 			errs++
+			if ct != nil {
+				ct.failed++
+			}
 		}
 	}
 
 	tj := newTraceJoin(*traceSample)
 
+	// fire issues request i end to end: the attempt/retry loop, per-attempt
+	// taxonomy accounting, and the per-request outcome.
+	fire := func(i int) {
+		id := tj.id()
+		sc := mix.next()
+		t0 := time.Now()
+		var sh shot
+		var err error
+		for attempt := 0; ; attempt++ {
+			a0 := time.Now()
+			sh, err = post(client, inferURL, bodies[i%len(bodies)], id, sc)
+			recordAttempt(time.Since(a0), classify(sh, err))
+			if attempt >= *retries || !retryable(classify(sh, err), sh.kind) {
+				break
+			}
+			mu.Lock()
+			retried++
+			mu.Unlock()
+			backoff := (10 * time.Millisecond) << uint(attempt)
+			if backoff > 250*time.Millisecond {
+				backoff = 250 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+		d := time.Since(t0)
+		record(d, sc, sh, err)
+		if err == nil && sh.status == http.StatusOK {
+			tj.record(id, d)
+		}
+	}
+
 	start := time.Now()
 	deadline := start.Add(*duration)
 	if *rate > 0 {
-		openLoop(client, inferURL, bodies, *rate, deadline, tj, mix, record)
+		openLoop(*rate, deadline, fire)
 	} else {
-		closedLoop(client, inferURL, bodies, *concurrency, deadline, tj, mix, record)
+		closedLoop(*concurrency, deadline, fire)
 	}
 	elapsed := time.Since(start)
 
 	report(reportInput{
 		model: *modelName, mode: mode(*rate), bitExact: *bitExact,
 		batch: *batch, latencies: latencies, errs: errs, elapsed: elapsed,
+		attempts: attemptLats, categories: categories,
+		rejected: rejected, retried: retried,
 		trace: tj.join(*url, *modelName), slo: slo,
 	}, *jsonOut, *outFile)
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// classify maps one attempt's outcome onto the error taxonomy: HTTP
+// answers by status, transport failures by cause. The categories let a
+// failed run say how it failed — connect_refused means nobody listens,
+// timeout means something accepted and stalled, http_503 means a node
+// answered and declined — which is exactly the distinction the cluster
+// chaos gates and the router's retry policy reason about.
+func classify(sh shot, err error) string {
+	if sh.status != 0 {
+		switch {
+		case sh.status == http.StatusOK:
+			return "ok"
+		case sh.status == http.StatusTooManyRequests:
+			return "http_429"
+		case sh.status == http.StatusServiceUnavailable:
+			return "http_503"
+		case sh.status >= 500:
+			return "http_5xx"
+		case sh.status >= 400:
+			return "http_4xx"
+		}
+		return fmt.Sprintf("http_%d", sh.status)
+	}
+	switch {
+	case err == nil:
+		return "other" // status 0 with no error should not happen
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return "connect_refused"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "reset"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "other"
+}
+
+// retryable reports whether an attempt's outcome is transient enough to
+// re-fire under -retry: refused dials, timeouts, resets, and non-expired
+// 503s (a shedding or draining server invites a retry with Retry-After;
+// an expired deadline cannot succeed on one).
+func retryable(category, kind string) bool {
+	switch category {
+	case "connect_refused", "timeout", "reset":
+		return true
+	case "http_503":
+		return kind != "expired"
+	}
+	return false
 }
 
 // sloClass is one -mix entry: a priority class and the deadline budget
@@ -385,24 +508,14 @@ func post(client *http.Client, url string, body []byte, traceID string, sc *sloC
 
 // closedLoop runs `workers` goroutines that each fire the next request as
 // soon as the previous one returns.
-func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
-	deadline time.Time, tj *traceJoin, mix *sloMix,
-	record func(time.Duration, *sloClass, shot, error)) {
+func closedLoop(workers int, deadline time.Time, fire func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; time.Now().Before(deadline); i++ {
-				id := tj.id()
-				sc := mix.next()
-				t0 := time.Now()
-				sh, err := post(client, url, bodies[i%len(bodies)], id, sc)
-				d := time.Since(t0)
-				record(d, sc, sh, err)
-				if err == nil && sh.status == http.StatusOK {
-					tj.record(id, d)
-				}
+				fire(i)
 			}
 		}(w)
 	}
@@ -412,9 +525,7 @@ func closedLoop(client *http.Client, url string, bodies [][]byte, workers int,
 // openLoop fires requests on a fixed schedule regardless of completions
 // (up to a bounded number in flight), which measures latency under a
 // target arrival rate rather than a target concurrency.
-func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
-	deadline time.Time, tj *traceJoin, mix *sloMix,
-	record func(time.Duration, *sloClass, shot, error)) {
+func openLoop(rate float64, deadline time.Time, fire func(i int)) {
 	interval := time.Duration(float64(time.Second) / rate)
 	sem := make(chan struct{}, 1024)
 	var wg sync.WaitGroup
@@ -427,15 +538,7 @@ func openLoop(client *http.Client, url string, bodies [][]byte, rate float64,
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			id := tj.id()
-			sc := mix.next()
-			t0 := time.Now()
-			sh, err := post(client, url, bodies[i%len(bodies)], id, sc)
-			d := time.Since(t0)
-			record(d, sc, sh, err)
-			if err == nil && sh.status == http.StatusOK {
-				tj.record(id, d)
-			}
+			fire(i)
 		}(i)
 	}
 	wg.Wait()
@@ -578,15 +681,19 @@ func (t *traceJoin) join(baseURL, model string) map[string]any {
 }
 
 type reportInput struct {
-	model     string
-	mode      string
-	bitExact  bool
-	batch     int
-	latencies []time.Duration
-	errs      int
-	elapsed   time.Duration
-	trace     map[string]any         // traceJoin.join output; nil when -trace-sample is off
-	slo       map[string]*classTally // per-class ledger; nil when -mix is off
+	model      string
+	mode       string
+	bitExact   bool
+	batch      int
+	latencies  []time.Duration  // per-request wall time of 200s (retries included)
+	attempts   []time.Duration  // per-attempt wire round trips, every outcome
+	categories map[string]int64 // taxonomy tally across attempts
+	errs       int
+	rejected   int   // clean backpressure accepted as expected (mix or -rejects-ok)
+	retried    int64 // retry attempts fired under -retry
+	elapsed    time.Duration
+	trace      map[string]any         // traceJoin.join output; nil when -trace-sample is off
+	slo        map[string]*classTally // per-class ledger; nil when -mix is off
 }
 
 // inspectOnce fires one request and prints the server's batch accounting
@@ -660,10 +767,26 @@ func report(in reportInput, jsonOut bool, outFile string) {
 		"batch":       in.batch,
 		"requests":    n,
 		"errors":      in.errs,
+		"rejected":    in.rejected,
 		"elapsed_s":   in.elapsed.Seconds(),
 		"req_per_s":   reqPerSec,
 		"infer_per_s": reqPerSec * float64(in.batch),
 		"latency_ms":  map[string]float64{"mean": meanMS, "p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1.0)},
+	}
+	if len(in.categories) > 0 {
+		out["categories"] = in.categories
+	}
+	// Per-attempt latency diverges from per-request latency exactly when
+	// retries fired: each attempt is one wire round trip, the request is
+	// what the caller waited (attempts plus backoff).
+	if in.retried > 0 {
+		sort.Slice(in.attempts, func(i, j int) bool { return in.attempts[i] < in.attempts[j] })
+		apct := func(p float64) float64 { return percentileMS(in.attempts, p) }
+		out["retries"] = in.retried
+		out["attempts"] = len(in.attempts)
+		out["attempt_latency_ms"] = map[string]float64{
+			"p50": apct(0.50), "p95": apct(0.95), "p99": apct(0.99), "max": apct(1.0),
+		}
 	}
 	if in.trace != nil {
 		out["trace"] = in.trace
@@ -707,11 +830,31 @@ func report(in reportInput, jsonOut bool, outFile string) {
 		}
 		return
 	}
-	fmt.Printf("%s (%s loop, batch %d, bit_exact=%v): %d requests, %d errors in %.2fs\n",
-		in.model, in.mode, in.batch, in.bitExact, n, in.errs, in.elapsed.Seconds())
+	fmt.Printf("%s (%s loop, batch %d, bit_exact=%v): %d requests, %d rejected, %d errors in %.2fs\n",
+		in.model, in.mode, in.batch, in.bitExact, n, in.rejected, in.errs, in.elapsed.Seconds())
 	fmt.Printf("throughput: %.1f req/s (%.1f inferences/s)\n", reqPerSec, reqPerSec*float64(in.batch))
 	fmt.Printf("latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
 		meanMS, pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	if nonOK := int64(len(in.attempts)) - in.categories["ok"]; nonOK > 0 {
+		names := make([]string, 0, len(in.categories))
+		for name := range in.categories {
+			if name != "ok" {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		fmt.Print("outcomes:")
+		for _, name := range names {
+			fmt.Printf("  %s %d", name, in.categories[name])
+		}
+		fmt.Println()
+	}
+	if in.retried > 0 {
+		sort.Slice(in.attempts, func(i, j int) bool { return in.attempts[i] < in.attempts[j] })
+		apct := func(p float64) float64 { return percentileMS(in.attempts, p) }
+		fmt.Printf("retries: %d (%d attempts total); attempt latency ms: p50 %.2f  p95 %.2f  p99 %.2f\n",
+			in.retried, len(in.attempts), apct(0.50), apct(0.95), apct(0.99))
+	}
 	if in.slo != nil {
 		var sentTotal int64
 		for _, ct := range in.slo {

@@ -1,0 +1,191 @@
+// Command rtmap-router runs the cluster front tier: an HTTP router that
+// consistent-hashes models across several rtmap-serve nodes and wraps
+// every proxied /v1/infer in the robustness policy — health-checked
+// failover, class-derived attempt timeouts, budgeted retries with
+// capped exponential backoff, hedged interactive requests, and per-node
+// circuit breakers.
+//
+//	rtmap-router -node http://127.0.0.1:8081 -node http://127.0.0.1:8082 -node http://127.0.0.1:8083
+//	rtmap-router -addr :8090 -max-attempts 3 -backoff 10ms -backoff-cap 250ms
+//	rtmap-router -health-interval 250ms -fail-threshold 3    # kill detected within ~3 probe rounds
+//	rtmap-router -no-hedge                                   # retries only, no hedging
+//	rtmap-router -fault 'http://127.0.0.1:8082=slow:50ms'    # wire-level fault injection
+//	rtmap-router -fault 1=kill -fault 2=flap:500ms           # nodes addressable by -node index too
+//
+// Endpoints: POST /v1/infer (proxied under the robustness policy),
+// GET /v1/models, GET /healthz, GET /metrics (Prometheus text format
+// with per-node health/retry/hedge/breaker series), GET /cluster (the
+// member table: health state, breaker state, probe counters), and
+// GET /debug/traces (route/retry/hedge spans; requests carrying an
+// X-Rtmap-Trace header are always traced and keep their ID across the
+// proxied hop). SIGINT/SIGTERM drain gracefully, bounded by
+// -drain-timeout.
+//
+// Fault injection (-fault, repeatable) arms a node-level fault at the
+// router's transport: kill and partition refuse connections, hang holds
+// them open forever, slow:<dur> delays every response, flap[:<period>]
+// alternates dead and alive. Faults shape both proxied attempts and
+// health probes — the point is to watch the failover machinery do its
+// job from /metrics and /cluster.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtmap/internal/cluster"
+	"rtmap/internal/dispatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtmap-router: ")
+	var (
+		addr      = flag.String("addr", ":8090", "listen address (port 0 picks a free port)")
+		vnodes    = flag.Int("vnodes", 0, "virtual points per node on the hash ring (0 = default 128)")
+		hInterval = flag.Duration("health-interval", 250*time.Millisecond, "health probe period")
+		hTimeout  = flag.Duration("health-timeout", 0, "per-probe timeout (0 = the probe interval, min 50ms)")
+		failThr   = flag.Int("fail-threshold", 3, "consecutive probe failures before a node is down")
+		succThr   = flag.Int("success-threshold", 2, "consecutive probe successes before a probationary node is up again")
+		brkThr    = flag.Int("breaker-threshold", 5, "consecutive attempt failures before a node's circuit opens")
+		brkCool   = flag.Duration("breaker-cooloff", time.Second, "open-circuit hold before a half-open trial")
+		attempts  = flag.Int("max-attempts", 3, "total tries per request (first attempt + retries)")
+		backoff   = flag.Duration("backoff", 10*time.Millisecond, "base retry backoff (doubles per retry)")
+		backCap   = flag.Duration("backoff-cap", 250*time.Millisecond, "retry backoff ceiling")
+		bEarn     = flag.Float64("budget-earn", 0.1, "retry-budget tokens earned per request (retries+hedges spend 1 each)")
+		bBurst    = flag.Float64("budget-burst", 16, "retry-budget bucket cap (and initial balance)")
+		noHedge   = flag.Bool("no-hedge", false, "disable hedged interactive requests")
+		hedgeFall = flag.Duration("hedge-fallback", 25*time.Millisecond, "hedge delay before a model has latency samples (then: observed p95)")
+		tInter    = flag.Duration("timeout-interactive", 0, "attempt timeout for interactive requests (0 = class default)")
+		tStandard = flag.Duration("timeout-standard", 0, "attempt timeout for standard requests (0 = class default)")
+		tBulk     = flag.Duration("timeout-bulk", 0, "attempt timeout for bulk requests (0 = class default)")
+		traceBuf  = flag.Int("trace-buf", 4096, "span ring-buffer capacity behind /debug/traces")
+		traceSamp = flag.Int("trace-sample", 0, "trace 1-in-N requests without an X-Rtmap-Trace header (0 = header-only tracing)")
+		drainT    = flag.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM graceful drain")
+	)
+	var nodes []string
+	flag.Func("node", "rtmap-serve base `URL` (repeatable; at least one required)", func(v string) error {
+		v = strings.TrimSuffix(v, "/")
+		if !strings.HasPrefix(v, "http://") && !strings.HasPrefix(v, "https://") {
+			v = "http://" + v
+		}
+		nodes = append(nodes, v)
+		return nil
+	})
+	type armedFault struct {
+		node string // URL, or a -node index
+		f    cluster.Fault
+	}
+	var faults []armedFault
+	flag.Func("fault", "arm a wire-level fault as `node=kind`: node is a -node URL or index, kind is kill|partition|hang|slow:<dur>|flap[:<period>] (repeatable)", func(v string) error {
+		node, spec, ok := strings.Cut(v, "=")
+		if !ok || node == "" {
+			return fmt.Errorf("want node=kind, got %q", v)
+		}
+		f, err := cluster.ParseFault(spec)
+		if err != nil {
+			return err
+		}
+		faults = append(faults, armedFault{node: node, f: f})
+		return nil
+	})
+	flag.Parse()
+
+	if len(nodes) == 0 {
+		log.Fatal("at least one -node is required")
+	}
+
+	// Resolve -fault node references (an integer is a -node index) now
+	// that the node list is complete.
+	for i, af := range faults {
+		if idx, err := strconv.Atoi(af.node); err == nil {
+			if idx < 0 || idx >= len(nodes) {
+				log.Fatalf("-fault node index %d out of range: %d nodes given", idx, len(nodes))
+			}
+			faults[i].node = nodes[idx]
+			continue
+		}
+		url := strings.TrimSuffix(af.node, "/")
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		faults[i].node = url
+	}
+
+	opts := cluster.Options{
+		Addr:         *addr,
+		Nodes:        nodes,
+		VirtualNodes: *vnodes,
+		Health: cluster.HealthOptions{
+			Interval:         *hInterval,
+			Timeout:          *hTimeout,
+			FailThreshold:    *failThr,
+			SuccessThreshold: *succThr,
+		},
+		Breaker: cluster.BreakerOptions{Threshold: *brkThr, Cooloff: *brkCool},
+		Timeout: dispatch.AttemptTimeouts{
+			Interactive: *tInter, Standard: *tStandard, Bulk: *tBulk,
+		},
+		MaxAttempts:   *attempts,
+		BackoffBase:   *backoff,
+		BackoffCap:    *backCap,
+		BudgetEarn:    *bEarn,
+		BudgetBurst:   *bBurst,
+		DisableHedge:  *noHedge,
+		HedgeFallback: *hedgeFall,
+		TraceBuf:      *traceBuf,
+		TraceSample:   *traceSamp,
+		Logf:          log.Printf,
+	}
+	if len(faults) > 0 {
+		inj := cluster.NewFaultInjector(nil)
+		for _, af := range faults {
+			inj.Set(af.node, af.f)
+			log.Printf("fault armed: %s = %s", af.node, af.f.Kind)
+		}
+		opts.Transport = inj
+	}
+
+	r, err := cluster.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	laddr, err := r.Listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The listen line doubles as the harness handshake (like rtmap-serve).
+	fmt.Printf("rtmap-router listening on %s (%d nodes)\n", laddr, len(nodes))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- r.Serve() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		err := r.Shutdown(sctx)
+		cancel()
+		if serr := <-errc; serr != nil && err == nil {
+			err = serr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Print("drained cleanly")
+	}
+	_ = os.Stdout.Sync()
+}

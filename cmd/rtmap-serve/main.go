@@ -17,7 +17,9 @@
 // (Prometheus text format), GET /debug/traces (span ring buffer; requests
 // carrying an X-Rtmap-Trace header are always traced), and /debug/pprof/
 // behind -pprof. SIGINT/SIGTERM drain gracefully: in-flight requests
-// finish, queued batches execute, then the process exits 0.
+// finish, queued batches execute, then the process exits 0. The drain is
+// bounded by -drain-timeout (default 10s) — past it, lingering work is
+// abandoned and the process still exits, never hangs.
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 		autoscale  = flag.Bool("autoscale", false, "resize each model's replicas and pipeline stages from live queue depth (bounded by -devices and -shard-stages)")
 		scaleEvery = flag.Duration("scale-interval", 250*time.Millisecond, "autoscaler evaluation period (with -autoscale)")
 		wallScale  = flag.Float64("wall-scale", 0, "dilate simulated device latency into wall time by this factor, so service time follows the cost model instead of host speed (0 disables)")
+		drainT     = flag.Duration("drain-timeout", 10*time.Second, "bound on the SIGTERM graceful drain: past it, lingering connections are force-closed and the process exits anyway (negative = wait forever)")
 	)
 	modelFiles := map[string]string{}
 	flag.Func("model", "serve a JSON model file as `name=path` (repeatable; decoded at admission, malformed files answer HTTP 400)", func(v string) error {
@@ -121,6 +124,7 @@ func main() {
 		Autoscale:         *autoscale,
 		AutoscaleInterval: *scaleEvery,
 		WallScale:         *wallScale,
+		DrainTimeout:      *drainT,
 		Logf:              log.Printf,
 	}
 	if traceSink != nil {

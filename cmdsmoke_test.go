@@ -36,7 +36,7 @@ func TestCmdSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the command-line tools")
 	}
-	bin := buildTools(t, "rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim", "rtmap-load", "rtmap-trace", "rtmap-vet")
+	bin := buildTools(t, "rtmap-bench", "rtmap-compile", "rtmap-dfg", "rtmap-diag", "rtmap-sim", "rtmap-load", "rtmap-router", "rtmap-trace", "rtmap-vet")
 
 	cases := []struct {
 		tool string
@@ -53,6 +53,7 @@ func TestCmdSmoke(t *testing.T) {
 		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1"}, "OK"},
 		{"rtmap-sim", []string{"-model", "tinycnn", "-inputs", "1", "-json"}, `"ok": true`},
 		{"rtmap-load", []string{"-h"}, "closed-loop"},
+		{"rtmap-router", []string{"-h"}, "health probe period"},
 		{"rtmap-trace", []string{"-h"}, "/debug/traces"},
 		{"rtmap-vet", []string{"-h"}, "plans"},
 		// Lint mode over the repo: exit 0, no findings printed.

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one node's circuit-breaker position.
+//
+//	closed    attempts flow normally.
+//	open      Threshold consecutive attempt failures: no attempts until
+//	          Cooloff has elapsed. A request whose every owner is open
+//	          (or down) is shed with 503 + Retry-After instead of
+//	          hanging on a doomed dial.
+//	halfOpen  Cooloff elapsed: exactly one trial attempt is admitted;
+//	          its success closes the breaker, its failure re-opens it
+//	          for another Cooloff.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the exposition name of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures the per-node breakers.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that opens a breaker
+	// (default 5). Cooloff is how long an open breaker rejects attempts
+	// before admitting a half-open trial (default 1s).
+	Threshold int
+	Cooloff   time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Cooloff <= 0 {
+		o.Cooloff = time.Second
+	}
+	return o
+}
+
+// breaker is one node's circuit state.
+type breaker struct {
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	inTrial  bool // half-open: a trial attempt is in flight
+}
+
+// Breakers is the per-node circuit-breaker table.
+type Breakers struct {
+	opts BreakerOptions
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	opens  int64 // transitions to open, cumulative
+	resets int64 // Reset calls (node rejoin)
+}
+
+// NewBreakers builds a breaker table for the given nodes.
+func NewBreakers(nodes []string, opts BreakerOptions) *Breakers {
+	b := &Breakers{opts: opts.withDefaults(), m: make(map[string]*breaker, len(nodes))}
+	for _, n := range nodes {
+		b.m[n] = &breaker{}
+	}
+	return b
+}
+
+// Allow reports whether an attempt against node may proceed right now.
+// An open breaker past its cooloff moves to half-open and admits exactly
+// one trial; concurrent callers during the trial are refused.
+func (b *Breakers) Allow(node string, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[node]
+	if br == nil {
+		return false
+	}
+	switch br.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(br.openedAt) < b.opts.Cooloff {
+			return false
+		}
+		br.state = BreakerHalfOpen
+		br.inTrial = true
+		return true
+	case BreakerHalfOpen:
+		if br.inTrial {
+			return false
+		}
+		br.inTrial = true
+		return true
+	}
+	return false
+}
+
+// Observe applies one attempt outcome. Only transport-level failures
+// and node-down rejections should be reported as failures — a 503 from
+// a shedding node is the node protecting itself, not the node dying;
+// tripping the breaker on it would amplify the overload onto the other
+// owners (the caller makes that distinction).
+func (b *Breakers) Observe(node string, ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[node]
+	if br == nil {
+		return
+	}
+	if ok {
+		br.state = BreakerClosed
+		br.failures = 0
+		br.inTrial = false
+		return
+	}
+	br.inTrial = false
+	switch br.state {
+	case BreakerHalfOpen:
+		br.state = BreakerOpen
+		br.openedAt = now
+		b.opens++
+	case BreakerClosed:
+		br.failures++
+		if br.failures >= b.opts.Threshold {
+			br.state = BreakerOpen
+			br.openedAt = now
+			b.opens++
+		}
+	}
+}
+
+// Reset returns a node's breaker to the clean closed state. The health
+// tracker calls it on the down → probation transition so a rejoining
+// node is never punished for the failures its death accumulated.
+func (b *Breakers) Reset(node string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br := b.m[node]; br != nil {
+		*br = breaker{}
+		b.resets++
+	}
+}
+
+// State returns the node's current breaker state (open for unknown).
+func (b *Breakers) State(node string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br := b.m[node]; br != nil {
+		return br.state
+	}
+	return BreakerOpen
+}
+
+// Stats returns cumulative open transitions and rejoin resets.
+func (b *Breakers) Stats() (opens, resets int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.resets
+}

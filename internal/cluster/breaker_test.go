@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThresholdAndRecovers(t *testing.T) {
+	const n = "http://n:1"
+	b := NewBreakers([]string{n}, BreakerOptions{Threshold: 3, Cooloff: 100 * time.Millisecond})
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow(n, now) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Observe(n, false, now)
+	}
+	if b.State(n) != BreakerClosed {
+		t.Fatalf("state %v below threshold, want closed", b.State(n))
+	}
+	b.Allow(n, now)
+	b.Observe(n, false, now) // third consecutive failure
+	if b.State(n) != BreakerOpen {
+		t.Fatalf("state %v at threshold, want open", b.State(n))
+	}
+	if b.Allow(n, now.Add(50*time.Millisecond)) {
+		t.Fatal("open breaker admitted an attempt inside the cooloff")
+	}
+
+	// Cooloff elapsed: exactly one half-open trial.
+	later := now.Add(150 * time.Millisecond)
+	if !b.Allow(n, later) {
+		t.Fatal("cooled-off breaker refused the half-open trial")
+	}
+	if b.Allow(n, later) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Trial fails: open again for another full cooloff.
+	b.Observe(n, false, later)
+	if b.State(n) != BreakerOpen || b.Allow(n, later.Add(50*time.Millisecond)) {
+		t.Fatal("failed trial did not re-open the breaker")
+	}
+	// Next trial succeeds: closed, failures forgotten.
+	again := later.Add(150 * time.Millisecond)
+	if !b.Allow(n, again) {
+		t.Fatal("second trial refused")
+	}
+	b.Observe(n, true, again)
+	if b.State(n) != BreakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", b.State(n))
+	}
+	opens, _ := b.Stats()
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+}
+
+// TestBreakerResetGivesRejoinersCleanSlate is the regression test for
+// node rejoin hygiene: a node that died with an open breaker must come
+// back from probation with a fully clean breaker — closed state AND a
+// zero failure count, so one post-rejoin hiccup cannot instantly
+// re-open it.
+func TestBreakerResetGivesRejoinersCleanSlate(t *testing.T) {
+	const n = "http://n:1"
+	b := NewBreakers([]string{n}, BreakerOptions{Threshold: 3, Cooloff: time.Hour})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		b.Observe(n, false, now)
+	}
+	if b.State(n) != BreakerOpen {
+		t.Fatal("setup: breaker should be open")
+	}
+
+	b.Reset(n) // what the health tracker's rejoin hook does
+	if b.State(n) != BreakerClosed {
+		t.Fatalf("state %v after Reset, want closed", b.State(n))
+	}
+	if !b.Allow(n, now) {
+		t.Fatal("reset breaker refused traffic")
+	}
+	// Clean slate means the failure counter restarted too: threshold-1
+	// new failures must not open it.
+	b.Observe(n, false, now)
+	b.Observe(n, false, now)
+	if b.State(n) != BreakerClosed {
+		t.Fatal("Reset kept the old failure count: 2 post-rejoin failures re-opened a threshold-3 breaker")
+	}
+	_, resets := b.Stats()
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+}
+
+func TestBreakerUnknownNodeRefused(t *testing.T) {
+	b := NewBreakers([]string{"http://n:1"}, BreakerOptions{})
+	if b.Allow("http://typo:1", time.Now()) {
+		t.Fatal("unknown node admitted")
+	}
+	if b.State("http://typo:1") != BreakerOpen {
+		t.Fatal("unknown node should read as open")
+	}
+}

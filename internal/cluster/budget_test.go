@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	rb := NewRetryBudget(0.1, 4)
+	const m = "tinycnn"
+
+	// A fresh bucket starts at the burst allowance so cold-start
+	// failures can still fail over.
+	for i := 0; i < 4; i++ {
+		if !rb.Spend(m) {
+			t.Fatalf("spend %d refused inside the burst allowance", i)
+		}
+	}
+	if rb.Spend(m) {
+		t.Fatal("spend beyond the burst allowance succeeded")
+	}
+
+	// 10 accepted requests earn one retry token.
+	for i := 0; i < 9; i++ {
+		rb.Earn(m)
+	}
+	if rb.Spend(m) {
+		t.Fatal("0.9 tokens spent as a whole token")
+	}
+	rb.Earn(m)
+	if !rb.Spend(m) {
+		t.Fatal("earned token refused")
+	}
+
+	// The balance caps at the burst.
+	for i := 0; i < 1000; i++ {
+		rb.Earn(m)
+	}
+	if got := rb.Balance(m); got != 4 {
+		t.Fatalf("balance %v after heavy earning, want the burst cap 4", got)
+	}
+
+	// Budgets are per model.
+	if !rb.Spend("othernet") {
+		t.Fatal("fresh model shares another model's empty bucket")
+	}
+}
+
+func TestLatenciesP95(t *testing.T) {
+	l := NewLatencies()
+	const m = "tinycnn"
+	if got := l.P95(m, 25*time.Millisecond); got != 25*time.Millisecond {
+		t.Fatalf("empty window p95 = %v, want the fallback", got)
+	}
+	// 100 samples 1..100ms: nearest-rank p95 = 95ms.
+	for i := 1; i <= 100; i++ {
+		l.Observe(m, time.Duration(i)*time.Millisecond)
+	}
+	got := l.P95(m, 0)
+	if got < 90*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want ~95ms", got)
+	}
+	// The window slides: a latency regression shows up after enough
+	// fresh samples displace the old ones.
+	for i := 0; i < 256; i++ {
+		l.Observe(m, 500*time.Millisecond)
+	}
+	if got := l.P95(m, 0); got != 500*time.Millisecond {
+		t.Fatalf("post-regression p95 = %v, want 500ms", got)
+	}
+}

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rtmap/internal/cluster"
+	"rtmap/internal/core"
+	"rtmap/internal/serve"
+)
+
+// Options configures a chaos cluster.
+type Options struct {
+	// Nodes is the rtmap-serve node count (default 3).
+	Nodes int
+	// Node is the per-node serving template. Addr is ignored (every node
+	// binds a fresh loopback port); a nil Cache is replaced by one cache
+	// shared across all nodes, so a model admitted on node A re-admits
+	// warm on node B after failover — the cluster-level analog of the
+	// single-node artifact cache.
+	Node serve.Options
+	// Router is the router template. Addr, Nodes and Transport are
+	// overwritten (the transport is wrapped in the fault injector).
+	Router cluster.Options
+	// Logf receives harness log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// node is one managed rtmap-serve instance. addr is pinned at first
+// listen so Restart revives the node on the same port — the identity
+// the ring and the health table know it by.
+type node struct {
+	url   string
+	addr  string
+	opts  serve.Options
+	srv   *serve.Server
+	done  chan struct{}
+	alive bool
+}
+
+// Cluster is a running chaos cluster: N nodes, one router, one fault
+// injector.
+type Cluster struct {
+	opts     Options
+	Injector *cluster.FaultInjector
+
+	router     *cluster.Router
+	routerURL  string
+	routerDone chan struct{}
+
+	mu    sync.Mutex
+	nodes []*node
+}
+
+// Start boots the nodes and the router. Callers must Close.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Node.Cache == nil {
+		opts.Node.Cache = core.NewCache()
+	}
+	if opts.Node.Logf == nil {
+		opts.Node.Logf = func(string, ...any) {}
+	}
+
+	c := &Cluster{opts: opts}
+	urls := make([]string, 0, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		n := &node{opts: opts.Node}
+		n.opts.Addr = "127.0.0.1:0"
+		if err := c.boot(n); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		urls = append(urls, n.url)
+		opts.Logf("chaos: node %d up at %s", i, n.url)
+	}
+
+	ropts := opts.Router
+	ropts.Addr = "127.0.0.1:0"
+	ropts.Nodes = urls
+	c.Injector = cluster.NewFaultInjector(ropts.Transport)
+	ropts.Transport = c.Injector
+	if ropts.Logf == nil {
+		ropts.Logf = opts.Logf
+	}
+	r, err := cluster.New(ropts)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	addr, err := r.Listen()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.router = r
+	c.routerURL = "http://" + addr.String()
+	c.routerDone = make(chan struct{})
+	go func() {
+		defer close(c.routerDone)
+		if err := r.Serve(); err != nil {
+			opts.Logf("chaos: router serve: %v", err)
+		}
+	}()
+	opts.Logf("chaos: router up at %s (%d nodes)", c.routerURL, opts.Nodes)
+	return c, nil
+}
+
+// boot starts (or revives) one node on n.opts.Addr, filling its url,
+// addr, srv, done and alive fields.
+func (c *Cluster) boot(n *node) error {
+	srv := serve.New(n.opts)
+	var addr net.Addr
+	var err error
+	// A revived node reclaims its old port; give the kernel a few
+	// rounds to release it after the Abort that killed the previous
+	// incarnation.
+	for attempt := 0; ; attempt++ {
+		addr, err = srv.Listen()
+		if err == nil {
+			break
+		}
+		if attempt >= 20 {
+			return fmt.Errorf("chaos: rebinding %s: %w", n.opts.Addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	n.srv = srv
+	n.addr = addr.String()
+	n.url = "http://" + n.addr
+	n.opts.Addr = n.addr // pin the port for future restarts
+	n.done = make(chan struct{})
+	n.alive = true
+	done := n.done
+	go func() {
+		defer close(done)
+		if err := srv.Serve(); err != nil {
+			c.opts.Logf("chaos: node %s serve: %v", addr, err)
+		}
+	}()
+	return nil
+}
+
+// RouterURL returns the router's base URL.
+func (c *Cluster) RouterURL() string { return c.routerURL }
+
+// Router exposes the router (health table, metrics, breakers).
+func (c *Cluster) Router() *cluster.Router { return c.router }
+
+// NodeURL returns node i's base URL (its ring identity).
+func (c *Cluster) NodeURL(i int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i].url
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// Kill hard-stops node i mid-flight: its listener and connections close
+// immediately and nothing drains, exactly like a crashed process. The
+// port stays reserved for Restart.
+func (c *Cluster) Kill(i int) error {
+	c.mu.Lock()
+	n := c.nodes[i]
+	if !n.alive {
+		c.mu.Unlock()
+		return fmt.Errorf("chaos: node %d already dead", i)
+	}
+	n.alive = false
+	c.mu.Unlock()
+	err := n.srv.Abort()
+	<-n.done
+	c.opts.Logf("chaos: node %d (%s) killed", i, n.url)
+	return err
+}
+
+// Restart revives a killed node on its original port with a fresh
+// server (state gone, like a restarted process — but sharing the
+// artifact cache, so re-admissions are warm).
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[i]
+	if n.alive {
+		return fmt.Errorf("chaos: node %d already alive", i)
+	}
+	if err := c.boot(n); err != nil {
+		return err
+	}
+	c.opts.Logf("chaos: node %d (%s) restarted", i, n.url)
+	return nil
+}
+
+// Inject arms (or clears, with cluster.Fault{}) a wire-level fault
+// between the router and node i.
+func (c *Cluster) Inject(i int, f cluster.Fault) {
+	c.mu.Lock()
+	url := c.nodes[i].url
+	c.mu.Unlock()
+	c.Injector.Set(url, f)
+	c.opts.Logf("chaos: node %d fault = %s", i, f.Kind)
+}
+
+// Close tears the whole cluster down: router first (so nothing proxies
+// into dying nodes), then every live node.
+func (c *Cluster) Close() {
+	if c.router != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = c.router.Shutdown(ctx)
+		cancel()
+		<-c.routerDone
+	}
+	c.mu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		if !n.alive {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = n.srv.Shutdown(ctx)
+		cancel()
+		<-n.done
+	}
+}

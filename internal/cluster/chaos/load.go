@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"rtmap/internal/serve"
+	"rtmap/internal/workload"
+)
+
+// DriveOptions shapes a closed-loop load run against the router.
+type DriveOptions struct {
+	// Models to cycle through (default tinycnn + tinyresnet). Workers is
+	// the closed-loop client count (default 4).
+	Models  []string
+	Workers int
+	// Variants drives that many seed-variants of each model (default 1:
+	// just seed 1). Distinct variants hash independently on the ring, so
+	// this is the knob that spreads one architecture's load across nodes
+	// (the cluster bench uses it for its scaling arms).
+	Variants int
+	// Pinned dedicates Workers closed-loop clients to EVERY variant
+	// instead of cycling one shared pool across all of them. The cycling
+	// pool equalizes per-variant rates — the slowest owner gates every
+	// worker's cycle — while pinned workers let each node run at its own
+	// capacity, which is what an aggregate-throughput measurement needs.
+	Pinned bool
+	// Class is the request priority class sent with every request
+	// ("interactive" exercises the hedging path); DeadlineMS attaches a
+	// soft deadline. Both empty/zero by default.
+	Class      string
+	DeadlineMS int
+	// Inputs is the sample count per request (default 2); Seed the
+	// workload generator seed (default 7).
+	Inputs int
+	Seed   uint64
+}
+
+// Report is the outcome tally of one Drive run. The chaos gates are
+// Errors == 0 (no accepted request was dropped: every answer is a clean
+// 200, 429 or 503) and Mismatches == 0 (every 200 carried bit-exact
+// logits regardless of serving node, retry or hedge).
+type Report struct {
+	Sent       int64
+	OK         int64
+	Rejected   int64 // clean backpressure: HTTP 429/503 with an error document
+	Errors     int64 // transport failures and non-backpressure HTTP errors
+	Mismatches int64 // 200s whose logits differ from the model's reference
+
+	// ByCategory counts outcomes: "ok", "http_429", "http_503",
+	// "transport", "http_<other>", "mismatch".
+	ByCategory map[string]int64
+	// Samples holds the first few error/mismatch descriptions.
+	Samples []string
+}
+
+func (r *Report) record(category string, sample string) {
+	if r.ByCategory == nil {
+		r.ByCategory = map[string]int64{}
+	}
+	r.ByCategory[category]++
+	if sample != "" && len(r.Samples) < 8 {
+		r.Samples = append(r.Samples, sample)
+	}
+}
+
+// Clean reports whether the run met the chaos gates.
+func (r *Report) Clean() bool { return r.Errors == 0 && r.Mismatches == 0 }
+
+// String summarizes the tally.
+func (r *Report) String() string {
+	return fmt.Sprintf("sent %d ok %d rejected %d errors %d mismatches %d",
+		r.Sent, r.OK, r.Rejected, r.Errors, r.Mismatches)
+}
+
+// Drive runs closed-loop load through the router until ctx ends,
+// checking every 200 for bit-exactness against the model's first
+// accepted answer (inference is deterministic, so any divergence means
+// a retry, hedge or failover corrupted a result).
+func (c *Cluster) Drive(ctx context.Context, opts DriveOptions) (*Report, error) {
+	if len(opts.Models) == 0 {
+		opts.Models = []string{"tinycnn", "tinyresnet"}
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Inputs <= 0 {
+		opts.Inputs = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	if opts.Variants <= 0 {
+		opts.Variants = 1
+	}
+
+	var variants []*driveVariant
+	for _, m := range opts.Models {
+		sh, ok := serve.ZooShape(m)
+		if !ok {
+			return nil, fmt.Errorf("chaos: model %q is not in the zoo", m)
+		}
+		for v := 1; v <= opts.Variants; v++ {
+			req := serve.InferRequest{Model: m, Seed: uint64(v)}
+			for _, in := range workload.Inputs(sh, opts.Inputs, opts.Seed) {
+				req.Inputs = append(req.Inputs, in.Data)
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			variants = append(variants, &driveVariant{
+				name:  fmt.Sprintf("%s/seed%d", m, v),
+				model: m,
+				body:  b,
+			})
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		report Report
+		refs   = map[string]string{} // variant -> canonical logits key
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	fire := func(v *driveVariant) {
+		category, sample, logits := c.shoot(ctx, client, v, opts)
+		mu.Lock()
+		defer mu.Unlock()
+		report.Sent++
+		switch category {
+		case "ok":
+			report.OK++
+			key := logitsKey(logits)
+			if ref, seen := refs[v.name]; !seen {
+				refs[v.name] = key
+			} else if ref != key {
+				report.Mismatches++
+				report.record("mismatch", fmt.Sprintf("%s: logits diverged from reference", v.name))
+				return
+			}
+		case "http_429", "http_503":
+			report.Rejected++
+		case "cancelled":
+			// ctx ended mid-request: not a cluster outcome at all.
+			report.Sent--
+			return
+		default:
+			report.Errors++
+		}
+		report.record(category, sample)
+	}
+
+	var wg sync.WaitGroup
+	if opts.Pinned {
+		for _, v := range variants {
+			for w := 0; w < opts.Workers; w++ {
+				wg.Add(1)
+				go func(v *driveVariant) {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						fire(v)
+					}
+				}(v)
+			}
+		}
+	} else {
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ctx.Err() == nil; i++ {
+					fire(variants[(w+i)%len(variants)])
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	return &report, nil
+}
+
+// driveVariant is one (model, seed) request body the driver cycles.
+type driveVariant struct {
+	name  string // model/seedN, the reference-logits key
+	model string
+	body  []byte
+}
+
+// shoot issues one request and classifies its outcome.
+func (c *Cluster) shoot(ctx context.Context, client *http.Client, v *driveVariant, opts DriveOptions) (category, sample string, logits [][]int32) {
+	model := v.model
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.routerURL+"/v1/infer", bytes.NewReader(v.body))
+	if err != nil {
+		return "transport", err.Error(), nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if opts.Class != "" {
+		req.Header.Set(serve.ClassHeader, opts.Class)
+	}
+	if opts.DeadlineMS > 0 {
+		req.Header.Set(serve.DeadlineHeader, fmt.Sprint(opts.DeadlineMS))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return "cancelled", "", nil
+		}
+		return "transport", fmt.Sprintf("%s: %v", model, err), nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return "cancelled", "", nil
+		}
+		return "transport", fmt.Sprintf("%s: reading body: %v", model, err), nil
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out serve.InferResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return "http_200_malformed", fmt.Sprintf("%s: %v", model, err), nil
+		}
+		for _, r := range out.Results {
+			logits = append(logits, r.Logits)
+		}
+		return "ok", "", logits
+	case http.StatusTooManyRequests:
+		return "http_429", "", nil
+	case http.StatusServiceUnavailable:
+		return "http_503", "", nil
+	default:
+		return fmt.Sprintf("http_%d", resp.StatusCode),
+			fmt.Sprintf("%s: HTTP %d: %.120s", model, resp.StatusCode, raw), nil
+	}
+}
+
+// logitsKey canonicalizes a response's logits for bit-exact comparison.
+func logitsKey(logits [][]int32) string {
+	var b bytes.Buffer
+	for _, row := range logits {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}

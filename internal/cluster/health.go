@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NodeState is one node's position in the health state machine.
+//
+//	up        healthy: full traffic.
+//	suspect   one or more probes failed, but fewer than FailThreshold:
+//	          still routable (a blip must not shift ownership), but the
+//	          router prefers other owners for hedges.
+//	down      FailThreshold consecutive probe failures: not routable;
+//	          ownership of its models moves along the ring.
+//	probation a down node answered a probe again: routable, but one
+//	          probe failure sends it straight back to down; only
+//	          SuccessThreshold consecutive successes restore up.
+type NodeState int
+
+const (
+	StateUp NodeState = iota
+	StateSuspect
+	StateDown
+	StateProbation
+)
+
+// String returns the exposition name of the state.
+func (s NodeState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateProbation:
+		return "probation"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Routable reports whether a node in this state may receive proxied
+// traffic. suspect stays routable: the failure is unconfirmed, and
+// flapping ownership on a single lost probe would multiply cold model
+// admissions across the cluster.
+func (s NodeState) Routable() bool { return s != StateDown }
+
+// HealthOptions configures the prober. Zero values select defaults.
+type HealthOptions struct {
+	// Interval between probe rounds (default 250ms). A node kill is
+	// detected — state down, ownership moved — within FailThreshold
+	// intervals; the retry policy masks the failure in the meantime.
+	Interval time.Duration
+	// Timeout per probe (default Interval, min 50ms).
+	Timeout time.Duration
+	// FailThreshold consecutive probe failures take a node from up via
+	// suspect to down (default 3). SuccessThreshold consecutive probe
+	// successes take it from probation back to up (default 2).
+	FailThreshold    int
+	SuccessThreshold int
+	// Logf receives state-transition log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval
+	}
+	if o.Timeout < 50*time.Millisecond {
+		o.Timeout = 50 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.SuccessThreshold <= 0 {
+		o.SuccessThreshold = 2
+	}
+	return o
+}
+
+// member is one node's health record.
+type member struct {
+	state     NodeState
+	failures  int // consecutive probe failures
+	successes int // consecutive probe successes (probation exit counter)
+	probes    int64
+	probeFail int64
+	lastErr   string
+	lastProbe time.Time
+}
+
+// Health is the actively probed member table. Probing drives the state
+// machine; the router additionally reports proxied-attempt outcomes
+// (ReportAttempt) so a crashed node is confirmed down without waiting
+// for the next probe round.
+type Health struct {
+	opts   HealthOptions
+	client *http.Client
+	// onRejoin, when non-nil, fires on a down → probation transition —
+	// the router hooks it to reset the node's circuit breaker, so a
+	// rejoining node starts from a clean slate instead of inheriting the
+	// open breaker its death earned.
+	onRejoin func(node string)
+
+	mu      sync.Mutex
+	members map[string]*member
+	cycles  int64 // completed probe rounds
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// NewHealth builds a member table over the node base URLs. transport,
+// when non-nil, overrides the probe transport (the fault injector hooks
+// in here so a "partitioned" node fails its probes too).
+func NewHealth(nodes []string, opts HealthOptions, transport http.RoundTripper) *Health {
+	opts = opts.withDefaults()
+	h := &Health{
+		opts:    opts,
+		client:  &http.Client{Timeout: opts.Timeout, Transport: transport},
+		members: make(map[string]*member, len(nodes)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, n := range nodes {
+		h.members[n] = &member{state: StateUp}
+	}
+	return h
+}
+
+// SetRejoinHook registers the down→probation callback (call before Start).
+func (h *Health) SetRejoinHook(fn func(node string)) { h.onRejoin = fn }
+
+// Start launches the probe loop. Stop halts it.
+func (h *Health) Start() {
+	h.mu.Lock()
+	h.started = true
+	h.mu.Unlock()
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.opts.Interval)
+		defer t.Stop()
+		for {
+			h.probeAll()
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// Stop terminates the probe loop and waits for it to exit (no-op when
+// Start never ran — handler-only embeddings drive probes themselves).
+func (h *Health) Stop() {
+	h.mu.Lock()
+	started := h.started
+	h.mu.Unlock()
+	if !started {
+		return
+	}
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// probeAll probes every member concurrently and applies the outcomes.
+func (h *Health) probeAll() {
+	h.mu.Lock()
+	nodes := make([]string, 0, len(h.members))
+	for n := range h.members {
+		nodes = append(nodes, n)
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			err := h.probe(node)
+			h.observe(node, err == nil, err, true)
+		}(n)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	h.cycles++
+	h.mu.Unlock()
+}
+
+// probe issues one GET /healthz. Any transport error, timeout, or
+// non-200 status (a draining node answers 503) counts as a failure.
+func (h *Health) probe(node string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), h.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ReportAttempt feeds a proxied-attempt outcome into the state machine:
+// a connection-level failure (refused dial, peer reset) counts like a
+// failed probe (so a crash is confirmed within FailThreshold attempts
+// even between probe rounds); a success counts like a passed probe.
+// HTTP-level rejections (503 from a shedding node) and attempt timeouts
+// must NOT be reported here — an overloaded or slow node is alive, and
+// marking it down would shift its models onto the survivors and
+// overload them too.
+func (h *Health) ReportAttempt(node string, ok bool, err error) {
+	h.observe(node, ok, err, false)
+}
+
+// observe applies one probe or attempt outcome to the node's state
+// machine. probe outcomes update the probe counters; both kinds drive
+// the transitions.
+func (h *Health) observe(node string, ok bool, err error, probe bool) {
+	h.mu.Lock()
+	m := h.members[node]
+	if m == nil {
+		h.mu.Unlock()
+		return
+	}
+	if probe {
+		m.probes++
+		m.lastProbe = time.Now()
+		if !ok {
+			m.probeFail++
+		}
+	}
+	if err != nil {
+		m.lastErr = err.Error()
+	}
+	prev := m.state
+	if ok {
+		m.failures = 0
+		m.successes++
+		switch m.state {
+		case StateSuspect:
+			m.state = StateUp
+		case StateDown:
+			m.state = StateProbation
+			m.successes = 1
+		case StateProbation:
+			if m.successes >= h.opts.SuccessThreshold {
+				m.state = StateUp
+			}
+		}
+	} else {
+		m.successes = 0
+		m.failures++
+		switch m.state {
+		case StateUp:
+			m.state = StateSuspect
+			if m.failures >= h.opts.FailThreshold {
+				m.state = StateDown
+			}
+		case StateSuspect:
+			if m.failures >= h.opts.FailThreshold {
+				m.state = StateDown
+			}
+		case StateProbation:
+			// One strike in probation: straight back down.
+			m.state = StateDown
+		}
+	}
+	cur := m.state
+	failures := m.failures
+	h.mu.Unlock()
+
+	if prev != cur {
+		if h.opts.Logf != nil {
+			h.opts.Logf("health: node %s %s -> %s (failures %d)", node, prev, cur, failures)
+		}
+		if prev == StateDown && cur == StateProbation && h.onRejoin != nil {
+			h.onRejoin(node)
+		}
+	}
+}
+
+// State returns the node's current state (down for unknown nodes, which
+// keeps a typo'd node name unroutable rather than panicking).
+func (h *Health) State(node string) NodeState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m := h.members[node]; m != nil {
+		return m.state
+	}
+	return StateDown
+}
+
+// Cycles returns how many probe rounds have completed (tests and the
+// bench use it to convert recovery time into health-check cycles).
+func (h *Health) Cycles() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cycles
+}
+
+// NodeHealth is one member's snapshot for /cluster and /metrics.
+type NodeHealth struct {
+	Node      string    `json:"node"`
+	State     string    `json:"state"`
+	Failures  int       `json:"consecutive_failures"`
+	Probes    int64     `json:"probes"`
+	ProbeFail int64     `json:"probe_failures"`
+	LastError string    `json:"last_error,omitempty"`
+	LastProbe time.Time `json:"last_probe"`
+}
+
+// Snapshot returns every member's health, sorted by node name.
+func (h *Health) Snapshot() []NodeHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeHealth, 0, len(h.members))
+	for n, m := range h.members {
+		out = append(out, NodeHealth{
+			Node: n, State: m.state.String(), Failures: m.failures,
+			Probes: m.probes, ProbeFail: m.probeFail,
+			LastError: m.lastErr, LastProbe: m.lastProbe,
+		})
+	}
+	sortNodeHealth(out)
+	return out
+}
+
+func sortNodeHealth(s []NodeHealth) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Node < s[j-1].Node; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drive pushes synthetic probe outcomes through the state machine
+// without a live prober.
+func drive(h *Health, node string, ok bool, times int) {
+	for i := 0; i < times; i++ {
+		var err error
+		if !ok {
+			err = errors.New("synthetic probe failure")
+		}
+		h.observe(node, ok, err, true)
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	const n = "http://n:1"
+	h := NewHealth([]string{n}, HealthOptions{FailThreshold: 3, SuccessThreshold: 2}, nil)
+
+	if got := h.State(n); got != StateUp {
+		t.Fatalf("initial state %v, want up", got)
+	}
+
+	// One failure: suspect, still routable.
+	drive(h, n, false, 1)
+	if got := h.State(n); got != StateSuspect || !got.Routable() {
+		t.Fatalf("after 1 failure: %v routable=%v, want suspect/routable", got, got.Routable())
+	}
+	// A success clears the suspicion.
+	drive(h, n, true, 1)
+	if got := h.State(n); got != StateUp {
+		t.Fatalf("suspect + success = %v, want up", got)
+	}
+
+	// FailThreshold consecutive failures confirm death.
+	drive(h, n, false, 3)
+	if got := h.State(n); got != StateDown || got.Routable() {
+		t.Fatalf("after 3 failures: %v routable=%v, want down/unroutable", got, got.Routable())
+	}
+
+	// First success after death: probation — routable, but on thin ice.
+	drive(h, n, true, 1)
+	if got := h.State(n); got != StateProbation || !got.Routable() {
+		t.Fatalf("down + success = %v, want probation/routable", got)
+	}
+	// One strike in probation goes straight back down.
+	drive(h, n, false, 1)
+	if got := h.State(n); got != StateDown {
+		t.Fatalf("probation + failure = %v, want down", got)
+	}
+	// SuccessThreshold consecutive successes restore full membership.
+	drive(h, n, true, 2)
+	if got := h.State(n); got != StateUp {
+		t.Fatalf("down + 2 successes = %v, want up", got)
+	}
+}
+
+// TestHealthRejoinHookFiresOnceOnRejoin is the regression anchor for
+// breaker hygiene: the hook must fire exactly on down → probation, not
+// on suspect blips or probation → up.
+func TestHealthRejoinHookFiresOnceOnRejoin(t *testing.T) {
+	const n = "http://n:1"
+	h := NewHealth([]string{n}, HealthOptions{FailThreshold: 2, SuccessThreshold: 2}, nil)
+	var rejoins []string
+	h.SetRejoinHook(func(node string) { rejoins = append(rejoins, node) })
+
+	drive(h, n, false, 1) // suspect
+	drive(h, n, true, 1)  // back up — no rejoin
+	if len(rejoins) != 0 {
+		t.Fatalf("rejoin hook fired on a suspect blip: %v", rejoins)
+	}
+	drive(h, n, false, 2) // down
+	drive(h, n, true, 2)  // probation (hook), then up (no second firing)
+	if len(rejoins) != 1 || rejoins[0] != n {
+		t.Fatalf("rejoin hook fired %v, want exactly one firing for %s", rejoins, n)
+	}
+}
+
+func TestHealthPassiveReportsConfirmDeath(t *testing.T) {
+	const n = "http://n:1"
+	h := NewHealth([]string{n}, HealthOptions{FailThreshold: 3}, nil)
+	// Proxied-attempt connect failures count like probes: death is
+	// confirmed between probe rounds.
+	for i := 0; i < 3; i++ {
+		h.ReportAttempt(n, false, errors.New("connection refused"))
+	}
+	if got := h.State(n); got != StateDown {
+		t.Fatalf("3 passive failures left state %v, want down", got)
+	}
+	// Passive failures must not bump the probe counters.
+	snap := h.Snapshot()
+	if snap[0].Probes != 0 || snap[0].ProbeFail != 0 {
+		t.Fatalf("passive reports counted as probes: %+v", snap[0])
+	}
+}
+
+func TestHealthUnknownNodeStaysDown(t *testing.T) {
+	h := NewHealth([]string{"http://n:1"}, HealthOptions{}, nil)
+	if got := h.State("http://typo:1"); got != StateDown {
+		t.Fatalf("unknown node state %v, want down", got)
+	}
+	h.ReportAttempt("http://typo:1", true, nil) // must not panic or register
+	if len(h.Snapshot()) != 1 {
+		t.Fatal("unknown node leaked into the member table")
+	}
+}
+
+func TestHealthStopWithoutStart(t *testing.T) {
+	h := NewHealth([]string{"http://n:1"}, HealthOptions{}, nil)
+	done := make(chan struct{})
+	go func() { h.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent hash ring over node names. Each node contributes
+// a fixed number of virtual points (hashed node|index), so ownership is
+// balanced and the death of one node redistributes only that node's
+// share among the survivors instead of reshuffling every model. The
+// ring is immutable after construction — membership is fixed at router
+// start; liveness is the health tracker's job, and Owners filters
+// through it.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultVirtualNodes is the per-node virtual point count used when
+// NewRing is given vnodes <= 0. 128 points keep the per-node ownership
+// share within a few percent of uniform for small clusters.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given node names (router node URLs).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for ni, name := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s|%d", name, v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (possible in principle) break deterministically by
+		// node index so every router instance agrees on ownership.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's member names in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns up to n distinct nodes owning key, in ring order
+// starting at the key's position. The first element is the primary
+// owner; the rest are the failover/hedge targets, which is what makes
+// rebalancing automatic: when the primary is down the router's walk
+// lands on exactly the node that inherits the key's arc.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make([]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// hash64 is the ring's point/key hash: FNV-1a (stdlib-only, stable
+// across processes) finished with a splitmix64 mix. Raw FNV-1a has weak
+// avalanche on short, near-identical strings — exactly what node URLs
+// and vnode suffixes are — and the resulting clustered points skew
+// ownership shares badly; the finalizer restores uniform dispersion.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBalanceAndDeterminism(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(nodes, 0)
+
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		o1 := r1.Owners(key, 2)
+		o2 := r2.Owners(key, 2)
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("Owners(%q) = %v: want 2 distinct nodes", key, o1)
+		}
+		if o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatalf("rings disagree on %q: %v vs %v", key, o1, o2)
+		}
+		counts[o1[0]]++
+	}
+	for n, c := range counts {
+		// 128 vnodes keeps shares within a loose factor of uniform.
+		if c < keys/6 || c > keys/2 {
+			t.Errorf("node %s owns %d/%d keys: ring badly imbalanced %v", n, c, keys, counts)
+		}
+	}
+}
+
+// TestRingFailoverMovesOnlyDeadArc is the consistent-hashing contract:
+// when one node dies, keys it did not own keep their primary, and its
+// own keys move to exactly their next owner in ring order.
+func TestRingFailoverMovesOnlyDeadArc(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://b:1"
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		owners := r.Owners(key, len(nodes))
+		// Simulate the router's walk with the dead node filtered.
+		var surviving string
+		for _, n := range owners {
+			if n != dead {
+				surviving = n
+				break
+			}
+		}
+		if owners[0] != dead && surviving != owners[0] {
+			t.Fatalf("key %q: primary %s alive but routed to %s", key, owners[0], surviving)
+		}
+		if owners[0] == dead && surviving != owners[1] {
+			t.Fatalf("key %q: dead primary should fail to second owner %s, got %s", key, owners[1], surviving)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestRingOwnersClampsToMembership(t *testing.T) {
+	r, _ := NewRing([]string{"http://a:1", "http://b:1"}, 8)
+	if got := r.Owners("k", 10); len(got) != 2 {
+		t.Fatalf("Owners(k, 10) = %v: want both nodes exactly once", got)
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("Owners(k, 0) = %v: want the primary", got)
+	}
+}

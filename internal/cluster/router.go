@@ -1,0 +1,768 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rtmap/internal/dispatch"
+	"rtmap/internal/serve"
+	"rtmap/internal/trace"
+)
+
+// Options configures the cluster router tier.
+type Options struct {
+	// Addr is the router's listen address (":8090" by default).
+	Addr string
+	// Nodes are the rtmap-serve base URLs ("http://127.0.0.1:8081", ...)
+	// forming the cluster. Membership is fixed at start; liveness is the
+	// health tracker's job.
+	Nodes []string
+	// VirtualNodes per member on the hash ring (0: DefaultVirtualNodes).
+	VirtualNodes int
+
+	// Health tunes the active prober; Breaker the per-node circuit
+	// breakers; Timeouts the class-derived per-attempt deadlines.
+	Health  HealthOptions
+	Breaker BreakerOptions
+	Timeout dispatch.AttemptTimeouts
+
+	// MaxAttempts bounds total tries per request — the first attempt plus
+	// retries (default 3). BackoffBase/BackoffCap shape the capped
+	// exponential delay between retries (defaults 10ms/250ms).
+	MaxAttempts int
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// BudgetEarn/BudgetBurst parameterize the per-model retry budget
+	// (defaults 0.1 token per request, burst 16).
+	BudgetEarn  float64
+	BudgetBurst float64
+
+	// DisableHedge turns request hedging off. HedgeFallback is the hedge
+	// delay used before a model has attempt-latency samples (default
+	// 25ms); afterwards the delay is the model's observed p95.
+	DisableHedge  bool
+	HedgeFallback time.Duration
+
+	// Transport overrides the proxy/probe transport; the fault-injection
+	// harness hooks in here (nil: http.DefaultTransport).
+	Transport http.RoundTripper
+
+	// TraceBuf is the span ring capacity (0: trace.DefaultCapacity);
+	// TraceSample traces 1-in-N headerless requests (0: header-only).
+	TraceBuf    int
+	TraceSample int
+
+	// MaxBodyBytes caps a proxied request body (default 64 MiB).
+	MaxBodyBytes int64
+
+	// Logf receives router log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":8090"
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 250 * time.Millisecond
+	}
+	if o.HedgeFallback <= 0 {
+		o.HedgeFallback = 25 * time.Millisecond
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Router is the cluster front tier: one HTTP server that consistent-
+// hashes models across rtmap-serve nodes and wraps every proxied
+// /v1/infer in the robustness policy — class-derived attempt timeouts,
+// budgeted retries with capped exponential backoff, hedged interactive
+// requests, per-node circuit breakers, and health-driven failover.
+type Router struct {
+	opts     Options
+	ring     *Ring
+	health   *Health
+	breakers *Breakers
+	budget   *RetryBudget
+	lat      *Latencies
+	metrics  *Metrics
+	tracer   *trace.Tracer
+	client   *http.Client
+
+	mux      *http.ServeMux
+	http     *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+}
+
+// New constructs a Router (not yet listening, prober not yet started).
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Nodes, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	transport := opts.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	opts.Health.Logf = opts.Logf
+	r := &Router{
+		opts:     opts,
+		ring:     ring,
+		health:   NewHealth(opts.Nodes, opts.Health, transport),
+		breakers: NewBreakers(opts.Nodes, opts.Breaker),
+		budget:   NewRetryBudget(opts.BudgetEarn, opts.BudgetBurst),
+		lat:      NewLatencies(),
+		metrics:  NewMetrics(),
+		tracer:   trace.New(opts.TraceBuf, opts.TraceSample, 0),
+		// No client-level timeout: each attempt carries its own
+		// class-derived context deadline.
+		client: &http.Client{Transport: transport},
+		mux:    http.NewServeMux(),
+	}
+	// A rejoining node (down -> probation) starts from a clean breaker
+	// rather than inheriting the open circuit its death earned.
+	r.health.SetRejoinHook(func(node string) {
+		r.breakers.Reset(node)
+		r.opts.Logf("cluster: node %s rejoined, breaker reset", node)
+	})
+	r.mux.HandleFunc("GET /healthz", r.handleHealth)
+	r.mux.HandleFunc("POST /v1/infer", r.handleInfer)
+	r.mux.HandleFunc("GET /v1/models", r.handleModels)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /cluster", r.handleCluster)
+	r.mux.HandleFunc("GET /debug/traces", r.handleTraces)
+	r.http = &http.Server{Handler: r.mux}
+	return r, nil
+}
+
+// Handler exposes the route table (httptest embedding).
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Health exposes the member table (tests, the chaos harness).
+func (r *Router) Health() *Health { return r.health }
+
+// Breakers exposes the circuit-breaker table (tests).
+func (r *Router) Breakers() *Breakers { return r.breakers }
+
+// Metrics exposes the router counters (tests, the bench).
+func (r *Router) Metrics() *Metrics { return r.metrics }
+
+// Ring exposes the hash ring (tests, /cluster).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Listen binds the configured address and returns the resolved one.
+func (r *Router) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", r.opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	r.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve starts the health prober and blocks serving HTTP until Shutdown.
+func (r *Router) Serve() error {
+	if r.ln == nil {
+		if _, err := r.Listen(); err != nil {
+			return err
+		}
+	}
+	r.health.Start()
+	r.opts.Logf("router listening on %s (%d nodes)", r.ln.Addr(), len(r.opts.Nodes))
+	if err := r.http.Serve(r.ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown stops accepting requests, lets in-flight proxies finish
+// within ctx, and halts the prober.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	err := r.http.Shutdown(ctx)
+	r.health.Stop()
+	return err
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	if r.draining.Load() {
+		httpJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	httpJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleModels proxies the model listing from the first routable node
+// (every node serves the same zoo, so one answer represents the cluster).
+func (r *Router) handleModels(w http.ResponseWriter, req *http.Request) {
+	for _, node := range r.ring.Nodes() {
+		if !r.health.State(node).Routable() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), 2*time.Second)
+		proxy, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/models", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := r.client.Do(proxy)
+		if err != nil {
+			cancel()
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Rtmap-Node", node)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+	shedJSON(w, "no routable node")
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	r.metrics.WritePrometheus(w, r.health, r.breakers)
+	fmt.Fprintf(w, "# TYPE rtmap_router_health_cycles_total counter\nrtmap_router_health_cycles_total %d\n", r.health.Cycles())
+}
+
+// clusterResponse is the /cluster member-table document.
+type clusterResponse struct {
+	Nodes  []clusterNode `json:"nodes"`
+	Cycles int64         `json:"health_cycles"`
+}
+
+type clusterNode struct {
+	NodeHealth
+	Breaker string `json:"breaker"`
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	resp := clusterResponse{Cycles: r.health.Cycles()}
+	for _, nh := range r.health.Snapshot() {
+		resp.Nodes = append(resp.Nodes, clusterNode{
+			NodeHealth: nh, Breaker: r.breakers.State(nh.Node).String(),
+		})
+	}
+	httpJSON(w, http.StatusOK, resp)
+}
+
+func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
+	spans := r.tracer.Snapshot()
+	total := r.tracer.Total()
+	httpJSON(w, http.StatusOK, struct {
+		Spans         []trace.Span `json:"spans"`
+		TotalRecorded uint64       `json:"total_recorded"`
+		Dropped       uint64       `json:"dropped"`
+	}{spans, total, total - uint64(len(spans))})
+}
+
+// inferProbe is the minimal decode of a proxied inference body: the
+// router only needs the routing key; the payload is relayed verbatim.
+// Field names mirror serve.InferRequest.
+type inferProbe struct {
+	Model    string   `json:"model"`
+	ActBits  int      `json:"act_bits"`
+	Sparsity *float64 `json:"sparsity"`
+	Seed     uint64   `json:"seed"`
+}
+
+// RouteKey is the ring key of one model variant: the architecture name
+// plus the build parameters that change its compiled artifact. Hashing
+// the variant rather than the bare name keeps each variant's traffic on
+// the nodes holding its artifact warm while spreading one popular
+// architecture's variants across the cluster. Omitted request fields
+// stay at their zero values — the key only has to be consistent for
+// identical bodies, not to resolve node-side defaults.
+func RouteKey(model string, actBits int, sparsity *float64, seed uint64) string {
+	sp := "-"
+	if sparsity != nil {
+		sp = strconv.FormatFloat(*sparsity, 'g', -1, 64)
+	}
+	return fmt.Sprintf("%s?bits=%d&sparsity=%s&seed=%d", model, actBits, sp, seed)
+}
+
+// attemptOutcome classifies one proxied attempt for the retry policy.
+type attemptOutcome int
+
+const (
+	outcomeRelay     attemptOutcome = iota // an HTTP response the client should see
+	outcomeRetryable                       // safe to try another owner
+	outcomeCancelled                       // our own context ended (hedge loser, client gone)
+)
+
+// proxyResult is one attempt's full outcome. Response bodies are
+// buffered before relay, so "zero bytes reached the client" holds for
+// every non-relayed attempt — the precondition for safe retries.
+type proxyResult struct {
+	node    string
+	outcome attemptOutcome
+	status  int           // valid when an HTTP response arrived
+	header  http.Header   // ditto
+	body    []byte        // ditto
+	err     error         // transport error, when no response arrived
+	wall    time.Duration // attempt wall time
+}
+
+func (r *Router) handleInfer(w http.ResponseWriter, req *http.Request) {
+	t0 := time.Now()
+	if r.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "router draining", Kind: "unavailable"})
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(req.Body, r.opts.MaxBodyBytes+1))
+	if err != nil {
+		httpJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	if int64(len(body)) > r.opts.MaxBodyBytes {
+		httpJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: "request body exceeds router limit", Kind: "bad_request"})
+		return
+	}
+	var probe inferProbe
+	if err := json.Unmarshal(body, &probe); err != nil || probe.Model == "" {
+		httpJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "request carries no model name", Kind: "bad_request"})
+		return
+	}
+
+	class, _ := dispatch.ParseClass(req.Header.Get(serve.ClassHeader))
+	var remaining time.Duration
+	if ms := req.Header.Get(serve.DeadlineHeader); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			remaining = time.Duration(v) * time.Millisecond
+		}
+	}
+	deadline := time.Time{}
+	if remaining > 0 {
+		deadline = t0.Add(remaining)
+	}
+
+	traceID := req.Header.Get(serve.TraceHeader)
+	if traceID == "" && r.tracer.SampleRequest() {
+		traceID = trace.NewID()
+	}
+
+	key := RouteKey(probe.Model, probe.ActBits, probe.Sparsity, probe.Seed)
+	res := r.proxyWithPolicy(req.Context(), key, probe.Model, class, deadline, traceID, body, req.Header)
+
+	wall := time.Since(t0)
+	if traceID != "" {
+		detail := "failed"
+		if res != nil && res.outcome == outcomeRelay {
+			detail = res.node
+		}
+		r.tracer.Record(trace.Span{
+			TraceID: traceID, Name: "route", Model: probe.Model,
+			Device: -1, Replica: -1, Stage: -1,
+			Start: t0.UnixNano(), Dur: wall.Nanoseconds(), Detail: detail,
+		})
+	}
+
+	if res == nil {
+		// No routable owner, or the policy gave up without a response to
+		// relay: the cluster as a whole sheds.
+		r.metrics.ObserveShed()
+		r.metrics.ObserveRequest(wall, false)
+		w.Header().Set("Retry-After", "1")
+		httpJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "no live owner for model", Kind: "unavailable"})
+		return
+	}
+	if res.outcome != outcomeRelay {
+		// Transport-level failure on the last attempt, nothing relayable.
+		// No node accepted the request, so this is a clean retryable
+		// rejection (503), same contract as a breaker/owner shed — the
+		// router never converts an unaccepted request into a hard error.
+		r.metrics.ObserveRequest(wall, false)
+		w.Header().Set("Retry-After", "1")
+		httpJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("node %s: %v", res.node, res.err), Kind: "unavailable"})
+		return
+	}
+
+	ok := res.status < 400
+	r.metrics.ObserveRequest(wall, ok)
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Rtmap-Node", res.node)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// errorResponse mirrors the node-side error document so router-origin
+// errors are indistinguishable in shape from node-origin ones.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// proxyWithPolicy runs the full robustness policy for one request:
+// walk the key's owners in ring order, skip unroutable/broken nodes,
+// retry safe failures with capped exponential backoff under the model's
+// retry budget, hedge interactive first attempts. Returns nil when no
+// attempt could even be made. key places the request on the ring
+// (RouteKey); model names it for budgets, metrics and spans.
+func (r *Router) proxyWithPolicy(ctx context.Context, key, model string, class dispatch.Class, deadline time.Time, traceID string, body []byte, hdr http.Header) *proxyResult {
+	owners := r.ring.Owners(key, len(r.opts.Nodes))
+	r.budget.Earn(model)
+
+	tried := make(map[string]bool, len(owners))
+	// nextOwner returns the first routable, breaker-admitted owner not
+	// yet tried, in ring (preference) order.
+	nextOwner := func() (string, bool) {
+		now := time.Now()
+		for _, n := range owners {
+			if tried[n] || !r.health.State(n).Routable() {
+				continue
+			}
+			if !r.breakers.Allow(n, now) {
+				continue
+			}
+			return n, true
+		}
+		return "", false
+	}
+
+	var last *proxyResult
+	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		node, ok := nextOwner()
+		if !ok {
+			break
+		}
+		tried[node] = true
+
+		if attempt > 0 {
+			if !r.budget.Spend(model) {
+				r.metrics.ObserveBudgetExhausted()
+				break
+			}
+			backoff := r.opts.BackoffBase << (attempt - 1)
+			if backoff > r.opts.BackoffCap {
+				backoff = r.opts.BackoffCap
+			}
+			if !sleepCtx(ctx, backoff) {
+				break
+			}
+			r.metrics.ObserveRetry()
+			if traceID != "" {
+				reason := "transport"
+				if last != nil && last.status != 0 {
+					reason = fmt.Sprintf("http_%d", last.status)
+				}
+				r.tracer.Record(trace.Span{
+					TraceID: traceID, Name: "retry", Model: model,
+					Device: -1, Replica: -1, Stage: -1,
+					Start: time.Now().UnixNano(), Dur: backoff.Nanoseconds(),
+					Detail: fmt.Sprintf("attempt %d -> %s after %s", attempt+1, node, reason),
+				})
+			}
+		}
+
+		var res *proxyResult
+		if attempt == 0 && class == dispatch.ClassInteractive && !r.opts.DisableHedge {
+			res = r.hedgedAttempt(ctx, node, key, model, class, deadline, traceID, body, hdr, tried)
+		} else {
+			res = r.attempt(ctx, node, model, class, deadline, traceID, body, hdr)
+		}
+		last = res
+		switch res.outcome {
+		case outcomeRelay:
+			return res
+		case outcomeCancelled:
+			return res
+		}
+		// outcomeRetryable: walk on to the next owner.
+	}
+	if last != nil && last.outcome == outcomeRetryable {
+		// Exhausted attempts/budget/owners on a retryable failure: if the
+		// last failure was an HTTP 503 we can still relay it (it carries
+		// the node's Retry-After); a pure transport error has no response.
+		if last.status != 0 {
+			last.outcome = outcomeRelay
+		}
+		return last
+	}
+	return last
+}
+
+// hedgedAttempt races the primary attempt against a second owner: if
+// the primary has not answered within the model's p95 attempt latency,
+// a hedge fires at the next owner and the first response wins; the
+// loser's context is cancelled. Only the winner is relayed, so results
+// stay bit-exact regardless of which copy ran.
+func (r *Router) hedgedAttempt(ctx context.Context, primary, key, model string, class dispatch.Class, deadline time.Time, traceID string, body []byte, hdr http.Header, tried map[string]bool) *proxyResult {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan *proxyResult, 2)
+	go func() {
+		results <- r.attempt(hctx, primary, model, class, deadline, traceID, body, hdr)
+	}()
+
+	delay := r.lat.P95(model, r.opts.HedgeFallback)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	inFlight := 1
+	hedgeNode := ""
+	var failed *proxyResult
+	for inFlight > 0 {
+		select {
+		case res := <-results:
+			inFlight--
+			if res.outcome == outcomeRelay {
+				if hedgeNode != "" {
+					r.metrics.ObserveHedge(res.node == hedgeNode)
+				}
+				return res
+			}
+			if res.outcome == outcomeCancelled && ctx.Err() == nil {
+				// Lost the race to the other attempt's completion path;
+				// keep waiting for the winner.
+				continue
+			}
+			failed = res
+		case <-timer.C:
+			if hedgeNode != "" {
+				continue
+			}
+			// Pick the next distinct routable owner; spend a budget token
+			// (a hedge is a speculative retry and amplifies identically).
+			now := time.Now()
+			for _, n := range r.ring.Owners(key, len(r.opts.Nodes)) {
+				if n == primary || tried[n] || !r.health.State(n).Routable() || !r.breakers.Allow(n, now) {
+					continue
+				}
+				hedgeNode = n
+				break
+			}
+			if hedgeNode == "" || !r.budget.Spend(model) {
+				if hedgeNode != "" {
+					r.metrics.ObserveBudgetExhausted()
+					hedgeNode = ""
+				}
+				continue
+			}
+			if traceID != "" {
+				r.tracer.Record(trace.Span{
+					TraceID: traceID, Name: "hedge", Model: model,
+					Device: -1, Replica: -1, Stage: -1,
+					Start: time.Now().UnixNano(), Dur: delay.Nanoseconds(),
+					Detail: fmt.Sprintf("%s -> %s after %s", primary, hedgeNode, delay),
+				})
+			}
+			tried[hedgeNode] = true
+			inFlight++
+			go func(n string) {
+				results <- r.attempt(hctx, n, model, class, deadline, traceID, body, hdr)
+			}(hedgeNode)
+		}
+	}
+	if hedgeNode != "" {
+		r.metrics.ObserveHedge(false)
+	}
+	return failed
+}
+
+// attempt issues one proxied POST /v1/infer against one node under the
+// class-derived attempt timeout, classifies the outcome, and feeds the
+// health tracker and the node's breaker.
+func (r *Router) attempt(ctx context.Context, node, model string, class dispatch.Class, deadline time.Time, traceID string, body []byte, hdr http.Header) *proxyResult {
+	remaining := time.Duration(0)
+	if !deadline.IsZero() {
+		remaining = time.Until(deadline)
+	}
+	timeout := r.opts.Timeout.AttemptTimeout(class, remaining)
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	t0 := time.Now()
+	res := &proxyResult{node: node}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, node+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		res.outcome, res.err, res.wall = outcomeRetryable, err, time.Since(t0)
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for _, h := range []string{serve.ClassHeader, serve.DeadlineHeader} {
+		if v := hdr.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if traceID != "" {
+		// Forward the (possibly router-minted) trace ID so node-side
+		// spans join the router's route/retry/hedge spans.
+		req.Header.Set(serve.TraceHeader, traceID)
+	}
+
+	resp, err := r.client.Do(req)
+	res.wall = time.Since(t0)
+	if err != nil {
+		res.err = err
+		switch {
+		case ctx.Err() != nil:
+			// Our parent ended: hedge lost the race or the client is gone.
+			// Not a node failure — feed nothing into health or breakers.
+			res.outcome = outcomeCancelled
+			r.metrics.ObserveAttempt(node, attemptError, res.wall)
+		case errors.Is(err, syscall.ECONNREFUSED):
+			// Connect-level refusal: nobody is listening. Safe to retry
+			// (the request never ran) and strong evidence the node is
+			// dead — confirm it to the health tracker without waiting for
+			// the next probe round.
+			res.outcome = outcomeRetryable
+			r.health.ReportAttempt(node, false, err)
+			r.breakers.Observe(node, false, time.Now())
+			r.metrics.ObserveAttempt(node, attemptRefused, res.wall)
+		case errors.Is(err, context.DeadlineExceeded):
+			// The attempt timeout expired with zero response bytes: a hung
+			// or overwhelmed node. Inference is pure and nothing reached
+			// the client, so retrying elsewhere is safe. Ambiguous as a
+			// liveness signal — let the prober decide — but it does count
+			// against the breaker so a black-holing node stops absorbing
+			// attempts.
+			res.outcome = outcomeRetryable
+			r.breakers.Observe(node, false, time.Now())
+			r.metrics.ObserveAttempt(node, attemptTimeout, res.wall)
+		case errors.Is(err, syscall.ECONNRESET), errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			// The node's TCP stack tore the connection down mid-request: a
+			// crashed process, not a slow one (the transport already retries
+			// idle-connection races itself, so what reaches here is real).
+			// Same death signal as a refused dial — report it so in-flight
+			// traffic confirms a kill without waiting out a probe round.
+			res.outcome = outcomeRetryable
+			r.health.ReportAttempt(node, false, err)
+			r.breakers.Observe(node, false, time.Now())
+			r.metrics.ObserveAttempt(node, attemptError, res.wall)
+		default:
+			// Other transport failure (DNS, TLS, malformed response). No
+			// response bytes were relayed, so retry is safe; too ambiguous
+			// as a liveness signal — let the prober decide.
+			res.outcome = outcomeRetryable
+			r.breakers.Observe(node, false, time.Now())
+			r.metrics.ObserveAttempt(node, attemptError, res.wall)
+		}
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	res.header = resp.Header
+	res.body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		// Response truncated mid-body. Zero bytes were relayed (we
+		// buffer), so retrying is still safe.
+		res.outcome, res.err, res.status = outcomeRetryable, err, 0
+		res.wall = time.Since(t0)
+		if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn down mid-body: the same crash signal as above.
+			r.health.ReportAttempt(node, false, err)
+		}
+		r.breakers.Observe(node, false, time.Now())
+		r.metrics.ObserveAttempt(node, attemptError, res.wall)
+		return res
+	}
+	res.wall = time.Since(t0)
+
+	// Any complete HTTP response proves the node alive: report health
+	// and breaker success even for rejections — a shedding node is
+	// protecting itself, not dying, and opening its breaker would dump
+	// its load onto the other owners.
+	r.health.ReportAttempt(node, true, nil)
+	r.breakers.Observe(node, true, time.Now())
+
+	switch {
+	case res.status < 400:
+		res.outcome = outcomeRelay
+		r.lat.Observe(model, res.wall)
+		r.metrics.ObserveAttempt(node, attemptOK, res.wall)
+	case res.status == http.StatusServiceUnavailable && errKind(res.body) != "expired":
+		// 503 kind unavailable: the node is draining or lost capacity for
+		// this model — the canonical safe retry (kind "expired" is the
+		// request's own deadline talking; another node can't beat it).
+		res.outcome = outcomeRetryable
+		r.metrics.ObserveAttempt(node, attemptReject, res.wall)
+	default:
+		// 4xx (bad request, shed with Retry-After, expired): the client
+		// must see it; retrying would either fail identically or defeat
+		// node-side backpressure.
+		res.outcome = outcomeRelay
+		r.metrics.ObserveAttempt(node, attemptReject, res.wall)
+	}
+	return res
+}
+
+// errKind extracts the "kind" field of a node error document.
+func errKind(body []byte) string {
+	var e errorResponse
+	if json.Unmarshal(body, &e) == nil {
+		return e.Kind
+	}
+	return ""
+}
+
+// sleepCtx sleeps d or until ctx ends; false means the context won.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// shedJSON answers a router-level 503 with Retry-After.
+func shedJSON(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	httpJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg, Kind: "unavailable"})
+}
+
+// httpJSON writes v as a JSON response (the serve package's helper is
+// unexported; four lines beats an export).
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

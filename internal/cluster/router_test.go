@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rtmap/internal/dispatch"
+	"rtmap/internal/serve"
+)
+
+// stubNode is one fake rtmap-serve backend: healthy /healthz plus a
+// swappable /v1/infer handler.
+type stubNode struct {
+	ts    *httptest.Server
+	hits  atomic.Int32
+	infer atomic.Pointer[http.HandlerFunc]
+}
+
+func newStub(t *testing.T, infer http.HandlerFunc) *stubNode {
+	t.Helper()
+	s := &stubNode{}
+	s.infer.Store(&infer)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("POST /v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		s.hits.Add(1)
+		// Drain the body like the real server does: the stdlib server only
+		// detects a client disconnect (and cancels r.Context()) once the
+		// request body has been consumed.
+		io.Copy(io.Discard, r.Body)
+		(*s.infer.Load())(w, r)
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func ok200(body string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}
+}
+
+func newTestRouter(t *testing.T, opts Options, nodes ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	opts.Nodes = nodes
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	r, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+// keyWithPrimary finds a model name whose ring primary is the given
+// node. postInfer sends bare bodies (no bits/sparsity/seed), so the
+// router places them at RouteKey(name, 0, nil, 0).
+func keyWithPrimary(t *testing.T, r *Ring, primary string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("model-%d", i)
+		if r.Owners(RouteKey(k, 0, nil, 0), 1)[0] == primary {
+			return k
+		}
+	}
+	t.Fatalf("no key maps to %s", primary)
+	return ""
+}
+
+func postInfer(t *testing.T, url, model string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	body := fmt.Sprintf(`{"model":%q,"inputs":[[1,2,3]]}`, model)
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/infer", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestRouterProxiesAndForwardsHeaders(t *testing.T) {
+	var gotClass, gotDeadline, gotTrace atomic.Value
+	stub := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		gotClass.Store(r.Header.Get(serve.ClassHeader))
+		gotDeadline.Store(r.Header.Get(serve.DeadlineHeader))
+		gotTrace.Store(r.Header.Get(serve.TraceHeader))
+		ok200(`{"model":"m","results":[]}`)(w, r)
+	})
+	r, ts := newTestRouter(t, Options{}, stub.ts.URL)
+
+	resp, raw := postInfer(t, ts.URL, "m", map[string]string{
+		serve.ClassHeader:    "standard",
+		serve.DeadlineHeader: "5000",
+		serve.TraceHeader:    "cafef00dcafef00d",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"results"`)) {
+		t.Fatalf("body not relayed: %s", raw)
+	}
+	if resp.Header.Get("X-Rtmap-Node") != stub.ts.URL {
+		t.Fatalf("X-Rtmap-Node = %q, want %q", resp.Header.Get("X-Rtmap-Node"), stub.ts.URL)
+	}
+	if gotClass.Load() != "standard" || gotDeadline.Load() != "5000" || gotTrace.Load() != "cafef00dcafef00d" {
+		t.Fatalf("headers not forwarded: class=%v deadline=%v trace=%v",
+			gotClass.Load(), gotDeadline.Load(), gotTrace.Load())
+	}
+	// The explicit trace header left route spans behind.
+	var foundRoute bool
+	for _, sp := range r.tracer.Snapshot() {
+		if sp.Name == "route" && sp.TraceID == "cafef00dcafef00d" {
+			foundRoute = true
+		}
+	}
+	if !foundRoute {
+		t.Fatal("no route span recorded for the traced request")
+	}
+}
+
+func TestRouterFailsOverOnRefusedConnection(t *testing.T) {
+	alive := newStub(t, ok200(`{"model":"m","results":[{"argmax":3}]}`))
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadTS.URL
+	deadTS.Close() // nothing listens: dials get ECONNREFUSED
+
+	r, ts := newTestRouter(t, Options{}, deadURL, alive.ts.URL)
+	model := keyWithPrimary(t, r.Ring(), deadURL)
+
+	resp, raw := postInfer(t, ts.URL, model, map[string]string{serve.TraceHeader: "deadbeefdeadbeef"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover failed: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Rtmap-Node"); got != alive.ts.URL {
+		t.Fatalf("served by %q, want the surviving owner %q", got, alive.ts.URL)
+	}
+	_, retries, _, _, _ := r.Metrics().Counters()
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+	var foundRetry bool
+	for _, sp := range r.tracer.Snapshot() {
+		if sp.Name == "retry" && sp.TraceID == "deadbeefdeadbeef" {
+			foundRetry = true
+		}
+	}
+	if !foundRetry {
+		t.Fatal("no retry span joined to the request trace")
+	}
+}
+
+func TestRouterRetries503ButNotExpired(t *testing.T) {
+	unavailable := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"draining","kind":"unavailable"}`)
+	})
+	alive := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{}, unavailable.ts.URL, alive.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), unavailable.ts.URL)
+	resp, raw := postInfer(t, ts.URL, model, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("503 not retried: HTTP %d: %s", resp.StatusCode, raw)
+	}
+
+	// 503 kind "expired" is the request's own deadline: relay, never retry.
+	expired := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"deadline passed","kind":"expired"}`)
+	}
+	h := http.HandlerFunc(expired)
+	unavailable.infer.Store(&h)
+	aliveHits := alive.hits.Load()
+	resp, raw = postInfer(t, ts.URL, model, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(raw, []byte("expired")) {
+		t.Fatalf("expired 503 mishandled: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if alive.hits.Load() != aliveHits {
+		t.Fatal("router retried a request whose deadline already expired")
+	}
+}
+
+func TestRouterNeverRetriesRelayedResponses(t *testing.T) {
+	bad := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"boom","kind":"internal"}`)
+	})
+	other := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{}, bad.ts.URL, other.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), bad.ts.URL)
+	resp, _ := postInfer(t, ts.URL, model, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("HTTP %d, want the node's 500 relayed", resp.StatusCode)
+	}
+	if other.hits.Load() != 0 {
+		t.Fatal("router retried after relaying a response-bearing failure")
+	}
+}
+
+func TestRouterHedgesInteractiveRequests(t *testing.T) {
+	slow := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		io.WriteString(w, `{"model":"m","results":[{"argmax":1}]}`)
+	})
+	fast := newStub(t, ok200(`{"model":"m","results":[{"argmax":2}]}`))
+	r, ts := newTestRouter(t, Options{HedgeFallback: 30 * time.Millisecond}, slow.ts.URL, fast.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), slow.ts.URL)
+	start := time.Now()
+	resp, raw := postInfer(t, ts.URL, model, map[string]string{serve.ClassHeader: "interactive"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Rtmap-Node"); got != fast.ts.URL {
+		t.Fatalf("winner %q, want the hedged node %q", got, fast.ts.URL)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not cut the tail: %v", elapsed)
+	}
+	_, _, _, hedgeWins, _ := r.Metrics().Counters()
+	if hedgeWins != 1 {
+		t.Fatalf("hedgeWins = %d, want 1", hedgeWins)
+	}
+	// Standard-class traffic must not hedge.
+	fastHits := fast.hits.Load()
+	fastBody := ok200(`{"model":"m","results":[]}`)
+	slow.infer.Store(&fastBody)
+	if resp, _ := postInfer(t, ts.URL, model, nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("standard request failed")
+	}
+	if fast.hits.Load() != fastHits {
+		t.Fatal("standard-class request hedged")
+	}
+}
+
+func TestRouterShedsWhenAllOwnersDown(t *testing.T) {
+	a := newStub(t, ok200(`{}`))
+	b := newStub(t, ok200(`{}`))
+	r, ts := newTestRouter(t, Options{}, a.ts.URL, b.ts.URL)
+	for _, n := range []string{a.ts.URL, b.ts.URL} {
+		for i := 0; i < 3; i++ {
+			r.health.observe(n, false, errors.New("probe failed"), true)
+		}
+		if got := r.health.State(n); got != StateDown {
+			t.Fatalf("setup: %s state %v, want down", n, got)
+		}
+	}
+	resp, raw := postInfer(t, ts.URL, "anymodel", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d: %s, want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("cluster-level shed without Retry-After")
+	}
+	if a.hits.Load()+b.hits.Load() != 0 {
+		t.Fatal("router proxied to a down node")
+	}
+	_, _, _, _, sheds := r.Metrics().Counters()
+	if sheds != 1 {
+		t.Fatalf("sheds = %d, want 1", sheds)
+	}
+}
+
+func TestRouterRetryBudgetCapsRetries(t *testing.T) {
+	always503 := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"x","kind":"unavailable"}`)
+	}
+	a := newStub(t, always503)
+	b := newStub(t, always503)
+	r, ts := newTestRouter(t, Options{BudgetEarn: 0.001, BudgetBurst: 1, MaxAttempts: 3}, a.ts.URL, b.ts.URL)
+
+	// First request spends the whole burst on its one retry...
+	resp, _ := postInfer(t, ts.URL, "m", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want the relayed 503", resp.StatusCode)
+	}
+	hits1 := a.hits.Load() + b.hits.Load()
+	if hits1 != 2 {
+		t.Fatalf("first request made %d attempts, want 2 (burst 1 allows one retry)", hits1)
+	}
+	// ...so the second gets no retries at all.
+	postInfer(t, ts.URL, "m", nil)
+	if got := a.hits.Load() + b.hits.Load() - hits1; got != 1 {
+		t.Fatalf("exhausted budget still allowed %d attempts, want 1", got)
+	}
+	_, retries, _, _, _ := r.Metrics().Counters()
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+}
+
+// TestRouterRejoinResetsBreaker wires the whole regression together: a
+// node dies with an open breaker, rejoins via probation, and must be
+// routable with a clean breaker immediately.
+func TestRouterRejoinResetsBreaker(t *testing.T) {
+	a := newStub(t, ok200(`{"model":"m","results":[]}`))
+	b := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{}, a.ts.URL, b.ts.URL)
+	node := a.ts.URL
+
+	// Death: breaker opens, health confirms down.
+	for i := 0; i < 5; i++ {
+		r.breakers.Observe(node, false, time.Now())
+	}
+	for i := 0; i < 3; i++ {
+		r.health.observe(node, false, errors.New("probe failed"), true)
+	}
+	if r.breakers.State(node) != BreakerOpen || r.health.State(node) != StateDown {
+		t.Fatal("setup: node should be down with an open breaker")
+	}
+
+	// Rejoin: one good probe moves down -> probation and fires the hook.
+	r.health.observe(node, true, nil, true)
+	if got := r.health.State(node); got != StateProbation {
+		t.Fatalf("state %v after rejoin probe, want probation", got)
+	}
+	if got := r.breakers.State(node); got != BreakerClosed {
+		t.Fatalf("breaker %v after rejoin, want closed (clean slate)", got)
+	}
+
+	// And the node takes traffic right away.
+	model := keyWithPrimary(t, r.Ring(), node)
+	resp, _ := postInfer(t, ts.URL, model, nil)
+	if resp.StatusCode != http.StatusOK || a.hits.Load() == 0 {
+		t.Fatalf("rejoined node not serving: HTTP %d, hits %d", resp.StatusCode, a.hits.Load())
+	}
+}
+
+func TestRouterAttemptTimeoutFailsOverHangs(t *testing.T) {
+	hang := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	alive := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{
+		DisableHedge: true,
+		Timeout:      dispatch.AttemptTimeouts{Interactive: 50 * time.Millisecond},
+	}, hang.ts.URL, alive.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), hang.ts.URL)
+	start := time.Now()
+	resp, raw := postInfer(t, ts.URL, model, map[string]string{serve.ClassHeader: "interactive"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung node stalled the request for %v", elapsed)
+	}
+}

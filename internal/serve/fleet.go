@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -787,26 +788,53 @@ func (f *Fleet) Pending() int {
 // (including in-flight pipeline hops and requeues) to retire, then stops
 // the device goroutines. Call after all batchers are closed; taking the
 // write lock waits out any Submit still blocked on a full device queue.
-func (f *Fleet) Close() {
+func (f *Fleet) Close() { _ = f.CloseCtx(context.Background()) }
+
+// CloseCtx is Close with a bound: when ctx ends before the pipeline
+// drains, it returns an error with the in-flight count instead of
+// waiting forever. The device goroutines and their channels are left
+// alive in that case — closing channels under in-flight stage hops
+// would panic the hop — which leaks them, but CloseCtx timing out means
+// the process is being torn down anyway.
+func (f *Fleet) CloseCtx(ctx context.Context) error {
 	f.closeMu.Lock()
 	if f.closed {
 		f.closeMu.Unlock()
-		return
+		return nil
 	}
 	f.closed = true
 	f.closeMu.Unlock()
+
+	// The cond has no native context support: a watcher broadcasts it
+	// when ctx ends so the wait below can observe the expiry.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			f.mu.Lock()
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
 
 	// Device loops stay alive until the pipeline is empty: a sharded
 	// batch between stages (or a batch being requeued off a dead device)
 	// holds pending > 0, so its next hop still finds an open channel.
 	f.mu.Lock()
-	for f.pending > 0 {
+	for f.pending > 0 && ctx.Err() == nil {
 		f.cond.Wait()
 	}
+	stranded := f.pending
 	f.mu.Unlock()
+	if stranded > 0 {
+		return fmt.Errorf("serve: drain timed out with %d batches in flight", stranded)
+	}
 
 	for _, d := range f.devices {
 		close(d.ch)
 	}
 	f.wg.Wait()
+	return nil
 }

@@ -103,6 +103,12 @@ type Options struct {
 	// disables shedding — the static, throughput-only configuration the
 	// SLO benchmark compares against.
 	DisableSLO bool
+	// DrainTimeout bounds Shutdown's graceful drain (default 10s): past
+	// it, lingering connections are force-closed and the fleet wind-down
+	// is abandoned rather than hung. Requests arriving during the drain
+	// are answered 503 + Retry-After. Negative disables the bound (wait
+	// forever, the pre-PR-10 behavior).
+	DrainTimeout time.Duration
 	// WallScale dilates simulated device latency into wall time: each
 	// batch (or pipeline stage) holds its device for at least
 	// WallScale × the cost model's latency estimate. Zero disables
@@ -135,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxInputs <= 0 {
 		o.MaxInputs = 64
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 10 * time.Second
 	}
 	if o.AutoscaleInterval <= 0 {
 		o.AutoscaleInterval = 250 * time.Millisecond
@@ -287,9 +296,12 @@ func (s *Server) Serve() error {
 // -fail-device arms it on a timer via Options.
 func (s *Server) FailDevice(id int) error { return s.fleet.FailDevice(id) }
 
-// Shutdown drains gracefully: new work is refused, in-flight HTTP
-// requests finish (their queued items still execute on the fleet), then
-// the batchers and the device fleet wind down.
+// Shutdown drains gracefully: new work is refused (in-flight HTTP
+// requests finish; late arrivals get 503 + Retry-After), then the
+// batchers and the device fleet wind down. The whole drain is bounded
+// by Options.DrainTimeout (when ctx carries no earlier deadline): past
+// the bound, lingering connections are force-closed and the fleet
+// wind-down abandoned — a SIGTERM always terminates the process.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	if s.scaleStop != nil {
@@ -301,13 +313,47 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.faultTimer.Stop()
 	}
 	s.faultMu.Unlock()
+	if s.opts.DrainTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+			defer cancel()
+		}
+	}
 	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// The drain bound expired with connections still open: close them
+		// hard. Their handlers' writes fail, but the process can exit.
+		s.http.Close()
+		err = fmt.Errorf("serve: drain timeout, connections force-closed: %w", err)
+	}
 	s.reg.Close()
-	s.fleet.Close()
+	if cerr := s.fleet.CloseCtx(ctx); err == nil && cerr != nil {
+		err = cerr
+	}
 	if ferr := s.tracer.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("serve: flushing trace sink: %w", ferr)
 	}
 	return err
+}
+
+// Abort hard-stops the server: every listener and connection closes
+// immediately and nothing drains — the closest in-process stand-in for
+// a process crash. The fleet and registry goroutines are deliberately
+// left running (a crash does not unwind state either); the chaos
+// harness uses Abort to kill cluster nodes mid-load.
+func (s *Server) Abort() error {
+	s.draining.Store(true)
+	if s.scaleStop != nil {
+		s.scaleOnce.Do(func() { close(s.scaleStop) })
+		<-s.scaleDone
+	}
+	s.faultMu.Lock()
+	if s.faultTimer != nil {
+		s.faultTimer.Stop()
+	}
+	s.faultMu.Unlock()
+	return s.http.Close()
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -580,6 +626,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		s.metrics.ObserveRequest(time.Since(start), 0, true)
 		httpSpan(fmt.Sprintf("error %d", code))
 		httpJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
+	}
+	if s.draining.Load() {
+		// Drain window: the listener is closing but this keep-alive
+		// connection raced one more request in. Refuse it retryably
+		// instead of queueing work the fleet wind-down would strand.
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusServiceUnavailable, kindUnavailable, "server draining")
+		return
 	}
 	var req InferRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
