@@ -113,6 +113,21 @@ func (b *Breakers) Allow(node string, now time.Time) bool {
 	return false
 }
 
+// CancelTrial releases a half-open trial admission whose attempt never
+// reached an outcome — budget exhaustion, backoff cancellation, a
+// dropped hedge candidate, or the router's own context ending. Every
+// Allow that admitted a trial must be balanced by Observe or
+// CancelTrial; otherwise inTrial sticks true and the node is refused
+// forever. The breaker stays half-open, so the next Allow admits a
+// fresh trial.
+func (b *Breakers) CancelTrial(node string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br := b.m[node]; br != nil && br.state == BreakerHalfOpen {
+		br.inTrial = false
+	}
+}
+
 // Observe applies one attempt outcome. Only transport-level failures
 // and node-down rejections should be reported as failures — a 503 from
 // a shedding node is the node protecting itself, not the node dying;

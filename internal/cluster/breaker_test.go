@@ -92,6 +92,39 @@ func TestBreakerResetGivesRejoinersCleanSlate(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelTrialReleasesAdmission: an Allow that admitted a
+// half-open trial whose attempt never produces an outcome (budget
+// refusal, cancellation) must be releasable, or the node is refused
+// forever.
+func TestBreakerCancelTrialReleasesAdmission(t *testing.T) {
+	const n = "http://n:1"
+	b := NewBreakers([]string{n}, BreakerOptions{Threshold: 1, Cooloff: 100 * time.Millisecond})
+	now := time.Unix(1000, 0)
+	b.Observe(n, false, now) // open
+	later := now.Add(150 * time.Millisecond)
+	if !b.Allow(n, later) {
+		t.Fatal("cooled-off breaker refused the trial")
+	}
+	if b.Allow(n, later) {
+		t.Fatal("second concurrent trial admitted")
+	}
+	// The trial's attempt never ran; without CancelTrial this admission
+	// would be leaked and Allow would refuse the node forever.
+	b.CancelTrial(n)
+	if !b.Allow(n, later) {
+		t.Fatal("cancelled trial not released: node permanently refused")
+	}
+	b.Observe(n, true, later)
+	if b.State(n) != BreakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", b.State(n))
+	}
+	// On a closed breaker CancelTrial is a no-op, not a state change.
+	b.CancelTrial(n)
+	if b.State(n) != BreakerClosed || !b.Allow(n, later) {
+		t.Fatal("CancelTrial disturbed a closed breaker")
+	}
+}
+
 func TestBreakerUnknownNodeRefused(t *testing.T) {
 	b := NewBreakers([]string{"http://n:1"}, BreakerOptions{})
 	if b.Allow("http://typo:1", time.Now()) {

@@ -67,11 +67,12 @@ func (h *routerHist) write(w io.Writer, name, labels string) {
 
 // attemptResultNames classify proxied attempts for the per-node counter.
 const (
-	attemptOK      = "ok"       // 2xx relayed
-	attemptReject  = "rejected" // 4xx/503 relayed (shed, expired, client error)
-	attemptRefused = "refused"  // connect-level failure, safe to retry
-	attemptTimeout = "timeout"  // attempt deadline expired
-	attemptError   = "error"    // transport failure after the request left
+	attemptOK        = "ok"        // 2xx relayed
+	attemptReject    = "rejected"  // 4xx/503 relayed (shed, expired, client error)
+	attemptRefused   = "refused"   // connect-level failure, safe to retry
+	attemptTimeout   = "timeout"   // attempt deadline expired
+	attemptError     = "error"     // transport failure after the request left
+	attemptCancelled = "cancelled" // our own cancellation (hedge loser, client gone) — not a node failure
 )
 
 // Metrics accumulates the router's counters for /metrics (Prometheus

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -288,14 +289,22 @@ func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
 }
 
 // inferProbe is the minimal decode of a proxied inference body: the
-// router only needs the routing key; the payload is relayed verbatim.
-// Field names mirror serve.InferRequest.
+// router needs the routing key plus the SLO fields (the policy is
+// deadline- and class-aware even when clients set them in the body
+// rather than headers); the payload is relayed verbatim. Field names
+// mirror serve.InferRequest.
 type inferProbe struct {
-	Model    string   `json:"model"`
-	ActBits  int      `json:"act_bits"`
-	Sparsity *float64 `json:"sparsity"`
-	Seed     uint64   `json:"seed"`
+	Model      string   `json:"model"`
+	ActBits    int      `json:"act_bits"`
+	Sparsity   *float64 `json:"sparsity"`
+	Seed       uint64   `json:"seed"`
+	Class      string   `json:"class"`
+	DeadlineMS float64  `json:"deadline_ms"`
 }
+
+// maxDeadlineMS mirrors the node-side 24h deadline clamp: it keeps
+// extreme client floats out of the float→Duration conversion.
+const maxDeadlineMS = 24 * 60 * 60 * 1000
 
 // RouteKey is the ring key of one model variant: the architecture name
 // plus the build parameters that change its compiled artifact. Hashing
@@ -360,16 +369,29 @@ func (r *Router) handleInfer(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	class, _ := dispatch.ParseClass(req.Header.Get(serve.ClassHeader))
-	var remaining time.Duration
-	if ms := req.Header.Get(serve.DeadlineHeader); ms != "" {
-		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
-			remaining = time.Duration(v) * time.Millisecond
+	// Headers win over body fields, same precedence as the node's
+	// parseSLO; malformed values are forwarded untouched for the node to
+	// reject rather than second-guessed here.
+	cs := probe.Class
+	if h := req.Header.Get(serve.ClassHeader); h != "" {
+		cs = h
+	}
+	class, _ := dispatch.ParseClass(cs)
+	ms := probe.DeadlineMS
+	if h := req.Header.Get(serve.DeadlineHeader); h != "" {
+		// ParseFloat, not Atoi: the node accepts fractional milliseconds,
+		// and the router's clamp must fire for every deadline the node
+		// would enforce.
+		if v, err := strconv.ParseFloat(h, 64); err == nil {
+			ms = v
 		}
 	}
 	deadline := time.Time{}
-	if remaining > 0 {
-		deadline = t0.Add(remaining)
+	if ms > 0 && !math.IsInf(ms, 0) && !math.IsNaN(ms) {
+		if ms > maxDeadlineMS {
+			ms = maxDeadlineMS
+		}
+		deadline = t0.Add(time.Duration(ms * float64(time.Millisecond)))
 	}
 
 	traceID := req.Header.Get(serve.TraceHeader)
@@ -394,10 +416,17 @@ func (r *Router) handleInfer(w http.ResponseWriter, req *http.Request) {
 	}
 
 	if res == nil {
-		// No routable owner, or the policy gave up without a response to
-		// relay: the cluster as a whole sheds.
 		r.metrics.ObserveShed()
 		r.metrics.ObserveRequest(wall, false)
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// The deadline ran out before any attempt produced an
+			// answer: the request is expired, not the cluster dead.
+			httpJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "deadline expired before an attempt completed", Kind: "expired"})
+			return
+		}
+		// No routable owner, or the policy gave up without a response to
+		// relay: the cluster as a whole sheds.
 		w.Header().Set("Retry-After", "1")
 		httpJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "no live owner for model", Kind: "unavailable"})
@@ -466,6 +495,12 @@ func (r *Router) proxyWithPolicy(ctx context.Context, key, model string, class d
 		if ctx.Err() != nil {
 			break
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// Deadline spent: another attempt cannot beat it. Relay what
+			// we have (or shed) instead of burning full-length attempts
+			// on an already-dead request.
+			break
+		}
 		node, ok := nextOwner()
 		if !ok {
 			break
@@ -474,14 +509,31 @@ func (r *Router) proxyWithPolicy(ctx context.Context, key, model string, class d
 
 		if attempt > 0 {
 			if !r.budget.Spend(model) {
+				// Allow admitted node (possibly a half-open trial) but no
+				// attempt will run: release the trial or it leaks and the
+				// node is refused forever.
+				r.breakers.CancelTrial(node)
 				r.metrics.ObserveBudgetExhausted()
 				break
 			}
-			backoff := r.opts.BackoffBase << (attempt - 1)
-			if backoff > r.opts.BackoffCap {
+			shift := attempt - 1
+			if shift > 20 {
+				// base<<~40 overflows Duration negative, which would slip
+				// under the cap comparison and hot-loop; past 20 doublings
+				// every sane base exceeds the cap anyway.
+				shift = 20
+			}
+			backoff := r.opts.BackoffBase << shift
+			if backoff <= 0 || backoff > r.opts.BackoffCap {
 				backoff = r.opts.BackoffCap
 			}
 			if !sleepCtx(ctx, backoff) {
+				r.breakers.CancelTrial(node)
+				break
+			}
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				// Deadline passed during the backoff sleep.
+				r.breakers.CancelTrial(node)
 				break
 			}
 			r.metrics.ObserveRetry()
@@ -579,6 +631,9 @@ func (r *Router) hedgedAttempt(ctx context.Context, primary, key, model string, 
 			}
 			if hedgeNode == "" || !r.budget.Spend(model) {
 				if hedgeNode != "" {
+					// Allow admitted the candidate but the budget refused
+					// the hedge: release any half-open trial admission.
+					r.breakers.CancelTrial(hedgeNode)
 					r.metrics.ObserveBudgetExhausted()
 					hedgeNode = ""
 				}
@@ -621,14 +676,30 @@ func (r *Router) attempt(ctx context.Context, node, model string, class dispatch
 	res := &proxyResult{node: node}
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, node+"/v1/infer", bytes.NewReader(body))
 	if err != nil {
+		// Nothing was sent: release any trial admission rather than leak it.
+		r.breakers.CancelTrial(node)
 		res.outcome, res.err, res.wall = outcomeRetryable, err, time.Since(t0)
 		return res
 	}
 	req.Header.Set("Content-Type", "application/json")
-	for _, h := range []string{serve.ClassHeader, serve.DeadlineHeader} {
-		if v := hdr.Get(h); v != "" {
-			req.Header.Set(h, v)
+	if v := hdr.Get(serve.ClassHeader); v != "" {
+		req.Header.Set(serve.ClassHeader, v)
+	}
+	if !deadline.IsZero() {
+		// Forward the *remaining* budget, not the client's original: the
+		// node reads the header as milliseconds from its own receipt, so
+		// relaying it verbatim would restart the full budget on every
+		// retry/hedge. Floor just above zero — zero reads as "no
+		// deadline" node-side, negative as malformed.
+		ms := float64(remaining) / float64(time.Millisecond)
+		if ms <= 0 {
+			ms = 0.001
 		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatFloat(ms, 'f', -1, 64))
+	} else if v := hdr.Get(serve.DeadlineHeader); v != "" {
+		// Unparseable client value: relay verbatim so the node rejects it
+		// with the authoritative 400.
+		req.Header.Set(serve.DeadlineHeader, v)
 	}
 	if traceID != "" {
 		// Forward the (possibly router-minted) trace ID so node-side
@@ -643,9 +714,13 @@ func (r *Router) attempt(ctx context.Context, node, model string, class dispatch
 		switch {
 		case ctx.Err() != nil:
 			// Our parent ended: hedge lost the race or the client is gone.
-			// Not a node failure — feed nothing into health or breakers.
+			// Not a node failure — feed nothing into health or breakers,
+			// but release any half-open trial this attempt was admitted
+			// under, and label it distinctly so routine hedge losses don't
+			// read as node errors on dashboards.
 			res.outcome = outcomeCancelled
-			r.metrics.ObserveAttempt(node, attemptError, res.wall)
+			r.breakers.CancelTrial(node)
+			r.metrics.ObserveAttempt(node, attemptCancelled, res.wall)
 		case errors.Is(err, syscall.ECONNREFUSED):
 			// Connect-level refusal: nobody is listening. Safe to retry
 			// (the request never ran) and strong evidence the node is

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -129,9 +130,15 @@ func TestRouterProxiesAndForwardsHeaders(t *testing.T) {
 	if resp.Header.Get("X-Rtmap-Node") != stub.ts.URL {
 		t.Fatalf("X-Rtmap-Node = %q, want %q", resp.Header.Get("X-Rtmap-Node"), stub.ts.URL)
 	}
-	if gotClass.Load() != "standard" || gotDeadline.Load() != "5000" || gotTrace.Load() != "cafef00dcafef00d" {
-		t.Fatalf("headers not forwarded: class=%v deadline=%v trace=%v",
-			gotClass.Load(), gotDeadline.Load(), gotTrace.Load())
+	if gotClass.Load() != "standard" || gotTrace.Load() != "cafef00dcafef00d" {
+		t.Fatalf("headers not forwarded: class=%v trace=%v", gotClass.Load(), gotTrace.Load())
+	}
+	// The deadline header is rewritten to the remaining budget (the node
+	// reads it as ms from its own receipt), so the node must see a
+	// positive value no larger than the client's 5000.
+	gd, _ := gotDeadline.Load().(string)
+	if v, err := strconv.ParseFloat(gd, 64); err != nil || v <= 0 || v > 5000 {
+		t.Fatalf("deadline %q not rewritten to remaining budget in (0, 5000]", gd)
 	}
 	// The explicit trace header left route spans behind.
 	var foundRoute bool
@@ -358,6 +365,108 @@ func TestRouterRejoinResetsBreaker(t *testing.T) {
 	resp, _ := postInfer(t, ts.URL, model, nil)
 	if resp.StatusCode != http.StatusOK || a.hits.Load() == 0 {
 		t.Fatalf("rejoined node not serving: HTTP %d, hits %d", resp.StatusCode, a.hits.Load())
+	}
+}
+
+// TestRouterDeadlineBudgetShrinksAcrossRetries: each attempt must see
+// the deadline budget that is actually left, not the client's original —
+// forwarding it verbatim would restart the full budget on every retry.
+func TestRouterDeadlineBudgetShrinksAcrossRetries(t *testing.T) {
+	var firstDeadline, secondDeadline atomic.Value
+	flaky := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		firstDeadline.Store(r.Header.Get(serve.DeadlineHeader))
+		time.Sleep(20 * time.Millisecond) // burn visible budget
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"x","kind":"unavailable"}`)
+	})
+	alive := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		secondDeadline.Store(r.Header.Get(serve.DeadlineHeader))
+		ok200(`{"model":"m","results":[]}`)(w, r)
+	})
+	r, ts := newTestRouter(t, Options{DisableHedge: true}, flaky.ts.URL, alive.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), flaky.ts.URL)
+	resp, raw := postInfer(t, ts.URL, model, map[string]string{serve.DeadlineHeader: "5000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	d1, err1 := strconv.ParseFloat(firstDeadline.Load().(string), 64)
+	d2, err2 := strconv.ParseFloat(secondDeadline.Load().(string), 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable forwarded deadlines %v / %v", firstDeadline.Load(), secondDeadline.Load())
+	}
+	if d1 <= 0 || d1 > 5000 || d2 <= 0 {
+		t.Fatalf("forwarded deadlines out of range: first %g, second %g", d1, d2)
+	}
+	if d2 >= d1 {
+		t.Fatalf("retry saw budget %gms >= first attempt's %gms; remaining budget must shrink", d2, d1)
+	}
+}
+
+// TestRouterStopsRetryingPastDeadline: once the deadline is spent, the
+// router must give up instead of handing later attempts the full
+// class-base timeout.
+func TestRouterStopsRetryingPastDeadline(t *testing.T) {
+	hang := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	alive := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{DisableHedge: true}, hang.ts.URL, alive.ts.URL)
+
+	model := keyWithPrimary(t, r.Ring(), hang.ts.URL)
+	start := time.Now()
+	// Standard class (10s base): the 100ms deadline must clamp the first
+	// attempt and then stop the policy cold.
+	resp, _ := postInfer(t, ts.URL, model, map[string]string{serve.DeadlineHeader: "100"})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503 for the expired request", resp.StatusCode)
+	}
+	if alive.hits.Load() != 0 {
+		t.Fatal("router retried after the deadline expired")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("expired request held for %v; must end near its 100ms deadline", elapsed)
+	}
+}
+
+// TestRouterReleasesHalfOpenTrialOnBudgetExhaustion: when the breaker
+// admits a half-open trial but the retry budget refuses the attempt, the
+// trial admission must be released — a leaked trial would refuse the
+// node forever.
+func TestRouterReleasesHalfOpenTrialOnBudgetExhaustion(t *testing.T) {
+	primary := newStub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"x","kind":"unavailable"}`)
+	})
+	halfOpen := newStub(t, ok200(`{"model":"m","results":[]}`))
+	r, ts := newTestRouter(t, Options{DisableHedge: true, BudgetEarn: 0.001, BudgetBurst: 0.5},
+		primary.ts.URL, halfOpen.ts.URL)
+
+	// Open the second owner's breaker with failures old enough that the
+	// cooloff has elapsed: the next Allow admits a half-open trial.
+	past := time.Now().Add(-time.Minute)
+	for i := 0; i < 5; i++ {
+		r.breakers.Observe(halfOpen.ts.URL, false, past)
+	}
+	if r.breakers.State(halfOpen.ts.URL) != BreakerOpen {
+		t.Fatal("setup: breaker should be open")
+	}
+
+	// Attempt 1 relays the primary's 503 after the retry toward the
+	// half-open node is refused by the empty budget (burst 0.5 < 1).
+	model := keyWithPrimary(t, r.Ring(), primary.ts.URL)
+	resp, _ := postInfer(t, ts.URL, model, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want the relayed 503", resp.StatusCode)
+	}
+	if halfOpen.hits.Load() != 0 {
+		t.Fatal("budget-refused attempt still reached the node")
+	}
+	// The trial admission must not have leaked: the node is admitted
+	// again as soon as something asks.
+	if !r.breakers.Allow(halfOpen.ts.URL, time.Now()) {
+		t.Fatal("half-open trial leaked: node permanently refused after a budget-exhausted admission")
 	}
 }
 

@@ -40,15 +40,23 @@ func (t AttemptTimeouts) base(c Class) time.Duration {
 }
 
 // AttemptTimeout derives the per-attempt timeout for a request of class c
-// with `remaining` deadline budget left (zero or negative remaining means
-// the request carries no deadline). The timeout is the class base clamped
-// to the remaining budget: an attempt must never outlive the deadline it
-// serves — past that point the node-side deadline gate would cancel the
-// work anyway, so waiting longer only ties up a router slot. The clamp
-// floors at MinAttemptTimeout so a nearly expired request still gets one
-// honest attempt instead of an instant context cancellation.
+// with `remaining` deadline budget left (zero remaining means the request
+// carries no deadline; negative means the deadline already passed). The
+// timeout is the class base clamped to the remaining budget: an attempt
+// must never outlive the deadline it serves — past that point the
+// node-side deadline gate would cancel the work anyway, so waiting longer
+// only ties up a router slot. The clamp floors at MinAttemptTimeout so a
+// nearly expired (or just-expired) request still gets one honest attempt
+// instead of an instant context cancellation — callers should stop
+// retrying once remaining goes non-positive rather than rely on this.
 func (t AttemptTimeouts) AttemptTimeout(c Class, remaining time.Duration) time.Duration {
 	d := t.base(c)
+	if remaining < 0 {
+		// An expired deadline must not un-clamp back to the full class
+		// base: that would let a dead request keep consuming full-length
+		// attempts.
+		return MinAttemptTimeout
+	}
 	if remaining > 0 && remaining < d {
 		d = remaining
 	}

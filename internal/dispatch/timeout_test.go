@@ -1,0 +1,29 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAttemptTimeoutClampsToRemaining(t *testing.T) {
+	var ts AttemptTimeouts
+	cases := []struct {
+		name      string
+		class     Class
+		remaining time.Duration
+		want      time.Duration
+	}{
+		{"no deadline uses class base", ClassStandard, 0, DefaultTimeoutStandard},
+		{"ample budget uses class base", ClassInteractive, time.Minute, DefaultTimeoutInteractive},
+		{"tight budget clamps", ClassBulk, 500 * time.Millisecond, 500 * time.Millisecond},
+		{"near-expired floors at minimum", ClassStandard, time.Millisecond, MinAttemptTimeout},
+		// Negative remaining means the deadline already passed: it must
+		// NOT read as "no deadline" and un-clamp to the full class base.
+		{"expired gets the floor, not the base", ClassBulk, -time.Second, MinAttemptTimeout},
+	}
+	for _, c := range cases {
+		if got := ts.AttemptTimeout(c.class, c.remaining); got != c.want {
+			t.Errorf("%s: AttemptTimeout(%v, %v) = %v, want %v", c.name, c.class, c.remaining, got, c.want)
+		}
+	}
+}
